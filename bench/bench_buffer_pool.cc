@@ -1,0 +1,112 @@
+// Cold-cache study (beyond the paper's figures, quantifying its disk-cost
+// arguments): replay a workload through LRU buffer pools of varying size and
+// compare physical page misses per algorithm. SF's short sequential bursts
+// should be far more cache-friendly than TA's random hash probes — this is
+// the access-pattern difference behind the paper's wall-clock gaps on disk.
+//
+// Usage: bench_buffer_pool [--words=N] [--queries=N]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/workload.h"
+#include "storage/buffer_pool.h"
+#include "storage/posting_store.h"
+
+namespace simsel {
+namespace {
+
+using bench::AlgoSpec;
+using bench::Fmt;
+using bench::PrintTable;
+
+int Main(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 100000);
+  env_opts.with_sql_baseline = false;
+  const size_t num_queries = FlagValue(argc, argv, "queries", 100);
+  std::printf("Building env over %zu word occurrences...\n",
+              env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+
+  WorkloadOptions wo;
+  wo.num_queries = num_queries;
+  wo.min_tokens = 11;
+  wo.max_tokens = 15;
+  wo.seed = 1000;
+  Workload wl =
+      GenerateWordWorkload(env.words, env.selector->tokenizer(), wo);
+  const double tau = 0.8;
+
+  const AlgorithmKind kinds[] = {AlgorithmKind::kSf, AlgorithmKind::kInra,
+                                 AlgorithmKind::kHybrid, AlgorithmKind::kIta,
+                                 AlgorithmKind::kTa, AlgorithmKind::kNra};
+
+  std::vector<std::string> columns = {"Pool frames"};
+  for (AlgorithmKind kind : kinds) columns.push_back(AlgorithmKindName(kind));
+  std::vector<std::vector<std::string>> miss_rows, rate_rows;
+
+  for (size_t frames : {64u, 256u, 1024u, 8192u}) {
+    std::vector<std::string> mrow = {std::to_string(frames)};
+    std::vector<std::string> rrow = mrow;
+    for (AlgorithmKind kind : kinds) {
+      BufferPool pool(frames);
+      SelectOptions opts;
+      opts.buffer_pool = &pool;
+      AccessCounters total;
+      for (const std::string& query : wl.queries) {
+        PreparedQuery q = env.selector->Prepare(query);
+        QueryResult r = env.selector->SelectPrepared(q, tau, kind, opts);
+        total.Merge(r.counters);
+      }
+      mrow.push_back(
+          Fmt(total.pool_misses / static_cast<double>(wl.queries.size()),
+              "%.1f"));
+      rrow.push_back(Fmt(100.0 * pool.HitRate(), "%.1f"));
+    }
+    miss_rows.push_back(std::move(mrow));
+    rate_rows.push_back(std::move(rrow));
+  }
+
+  PrintTable("Buffer pool: physical page misses per query (tau=0.8)",
+             columns, miss_rows);
+  PrintTable("Buffer pool: hit rate % across the workload", columns,
+             rate_rows);
+
+  // Disk mode: the same workload through the byte-level posting store.
+  {
+    PostingStore store = PostingStore::Build(env.selector->index());
+    std::vector<std::vector<std::string>> rows;
+    for (AlgorithmKind kind : kinds) {
+      store.ResetCounters();
+      SelectOptions opts;
+      opts.posting_store = &store;
+      WallTimer timer;
+      for (const std::string& query : wl.queries) {
+        PreparedQuery q = env.selector->Prepare(query);
+        env.selector->SelectPrepared(q, tau, kind, opts);
+      }
+      double nq = static_cast<double>(wl.queries.size());
+      rows.push_back(
+          {AlgorithmKindName(kind), Fmt(timer.ElapsedMillis() / nq),
+           Fmt(store.sequential_page_reads() / nq, "%.1f"),
+           Fmt(store.random_page_reads() / nq, "%.1f")});
+    }
+    rows.push_back({"(store size MB)", bench::FmtMb(store.SizeBytes()), "",
+                    ""});
+    PrintTable("Disk mode: byte-level posting store (tau=0.8)",
+               {"Algorithm", "ms/q", "seq pages/q", "rand pages/q"}, rows);
+  }
+  std::printf(
+      "\nExpected shape: SF needs the fewest physical reads at every pool "
+      "size; TA/iTA miss rates stay high until the pool holds most hash "
+      "buckets (random probes defeat small caches), mirroring the paper's "
+      "argument that random access is expensive on disk.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

@@ -1,0 +1,111 @@
+// Reproduces Figure 6: wall-clock time per query for every algorithm as a
+// function of (a) the similarity threshold, (b) the query size bucket, and
+// (c) the number of modifications per query word. The average number of
+// results per query — the figure's secondary axis — is reported alongside.
+//
+// Usage: bench_fig6_wallclock [--words=N] [--queries=N]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/workload.h"
+
+namespace simsel {
+namespace {
+
+using bench::AlgoSpec;
+using bench::Fmt;
+using bench::PrintTable;
+
+int Main(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 100000);
+  env_opts.with_sql_baseline = true;
+  const size_t num_queries = FlagValue(argc, argv, "queries", 100);
+  std::printf("Building env over %zu word occurrences...\n",
+              env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+  const std::vector<AlgoSpec> algos = bench::PaperAlgorithms(true);
+
+  auto columns = [&]() {
+    std::vector<std::string> cols = {"Sweep", "avg results"};
+    for (const AlgoSpec& a : algos) cols.push_back(a.label);
+    return cols;
+  }();
+
+  auto run_row = [&](const std::string& label, const Workload& wl,
+                     double tau) {
+    std::vector<WorkloadStats> stats =
+        bench::RunSweep(*env.selector, wl, tau, algos);
+    std::vector<std::string> row = {label, Fmt(stats[0].avg_results, "%.1f")};
+    for (const WorkloadStats& s : stats) row.push_back(Fmt(s.avg_ms));
+    return row;
+  };
+
+  // (a) threshold sweep: 11-15 grams, 0 modifications.
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double tau : {0.6, 0.7, 0.8, 0.9}) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = 11;
+      wo.max_tokens = 15;
+      wo.modifications = 0;
+      wo.seed = 1000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      rows.push_back(run_row("tau=" + Fmt(tau, "%.1f"), wl, tau));
+    }
+    PrintTable("Figure 6(a): wall-clock ms/query vs threshold", columns, rows);
+  }
+
+  // (b) query-size sweep: tau = 0.8, 0 modifications.
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const bench::Bucket& bucket : bench::kBuckets) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = bucket.min_tokens;
+      wo.max_tokens = bucket.max_tokens;
+      wo.modifications = 0;
+      wo.seed = 2000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      if (wl.queries.empty()) continue;
+      rows.push_back(run_row(bucket.label, wl, 0.8));
+    }
+    PrintTable("Figure 6(b): wall-clock ms/query vs query size", columns,
+               rows);
+  }
+
+  // (c) modifications sweep: tau = 0.6, 11-15 grams.
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (int mods : {0, 1, 2, 3}) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = 11;
+      wo.max_tokens = 15;
+      wo.modifications = mods;
+      wo.seed = 3000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      rows.push_back(run_row("mods=" + std::to_string(mods), wl, 0.6));
+    }
+    PrintTable("Figure 6(c): wall-clock ms/query vs modifications", columns,
+               rows);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): SF fastest overall (sub-ms at tau=0.9 "
+      "scale), iNRA/Hybrid/SQL close behind; sort-by-id flat in tau; classic "
+      "TA/NRA slowest by 1-2 orders of magnitude; LB-based algorithms get "
+      "FASTER as queries grow while TA deteriorates; costs drop as "
+      "modifications make queries more selective.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

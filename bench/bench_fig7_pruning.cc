@@ -1,0 +1,103 @@
+// Reproduces Figure 7: pruning power — the percentage of inverted-list
+// elements each algorithm avoids reading — over the same three sweeps as
+// Figure 6. Inverted-list algorithms only (SQL does not read lists).
+//
+// Usage: bench_fig7_pruning [--words=N] [--queries=N]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/workload.h"
+
+namespace simsel {
+namespace {
+
+using bench::AlgoSpec;
+using bench::Fmt;
+using bench::PrintTable;
+
+int Main(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 100000);
+  env_opts.with_sql_baseline = false;
+  const size_t num_queries = FlagValue(argc, argv, "queries", 100);
+  std::printf("Building env over %zu word occurrences...\n",
+              env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+  const std::vector<AlgoSpec> algos = bench::PaperAlgorithms(false);
+
+  auto columns = [&]() {
+    std::vector<std::string> cols = {"Sweep"};
+    for (const AlgoSpec& a : algos) cols.push_back(a.label);
+    return cols;
+  }();
+
+  auto run_row = [&](const std::string& label, const Workload& wl,
+                     double tau) {
+    std::vector<WorkloadStats> stats =
+        bench::RunSweep(*env.selector, wl, tau, algos);
+    std::vector<std::string> row = {label};
+    for (const WorkloadStats& s : stats) {
+      row.push_back(Fmt(100.0 * s.pruning_power, "%.1f"));
+    }
+    return row;
+  };
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double tau : {0.6, 0.7, 0.8, 0.9}) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = 11;
+      wo.max_tokens = 15;
+      wo.seed = 1000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      rows.push_back(run_row("tau=" + Fmt(tau, "%.1f"), wl, tau));
+    }
+    PrintTable("Figure 7(a): % elements pruned vs threshold", columns, rows);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const bench::Bucket& bucket : bench::kBuckets) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = bucket.min_tokens;
+      wo.max_tokens = bucket.max_tokens;
+      wo.seed = 2000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      if (wl.queries.empty()) continue;
+      rows.push_back(run_row(bucket.label, wl, 0.8));
+    }
+    PrintTable("Figure 7(b): % elements pruned vs query size", columns, rows);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (int mods : {0, 1, 2, 3}) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = 11;
+      wo.max_tokens = 15;
+      wo.modifications = mods;
+      wo.seed = 3000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      rows.push_back(run_row("mods=" + std::to_string(mods), wl, 0.6));
+    }
+    PrintTable("Figure 7(c): % elements pruned vs modifications", columns,
+               rows);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): sort-by-id prunes nothing; iTA prunes the "
+      "most (random accesses complete scores directly); SF/Hybrid/iNRA reach "
+      "~95%% at tau=0.9; pruning of the LB-based algorithms grows with query "
+      "size while TA/NRA stay flat.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

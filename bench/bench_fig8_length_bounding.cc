@@ -1,0 +1,113 @@
+// Reproduces Figure 8: the effect of the Length Boundedness property.
+// Every algorithm that can use it is run with length bounding enabled and
+// disabled ("NLB"), over a threshold sweep (wall-clock, 8a) and a query-size
+// sweep for SQL and SF (8b), plus the pruning-power view (8c).
+//
+// Usage: bench_fig8_length_bounding [--words=N] [--queries=N]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gen/workload.h"
+
+namespace simsel {
+namespace {
+
+using bench::AlgoSpec;
+using bench::Fmt;
+using bench::PrintTable;
+
+std::vector<AlgoSpec> LbAlgorithms() {
+  SelectOptions nlb;
+  nlb.length_bounding = false;
+  return {
+      {AlgorithmKind::kSql, {}, "SQL"},
+      {AlgorithmKind::kSql, nlb, "SQL NLB"},
+      {AlgorithmKind::kInra, {}, "iNRA"},
+      {AlgorithmKind::kInra, nlb, "iNRA NLB"},
+      {AlgorithmKind::kIta, {}, "iTA"},
+      {AlgorithmKind::kIta, nlb, "iTA NLB"},
+      {AlgorithmKind::kSf, {}, "SF"},
+      {AlgorithmKind::kSf, nlb, "SF NLB"},
+      {AlgorithmKind::kHybrid, {}, "Hybrid"},
+      {AlgorithmKind::kHybrid, nlb, "Hybrid NLB"},
+  };
+}
+
+int Main(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 100000);
+  env_opts.with_sql_baseline = true;
+  const size_t num_queries = FlagValue(argc, argv, "queries", 100);
+  std::printf("Building env over %zu word occurrences...\n",
+              env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+  const std::vector<AlgoSpec> algos = LbAlgorithms();
+
+  std::vector<std::string> columns = {"Sweep"};
+  for (const AlgoSpec& a : algos) columns.push_back(a.label);
+
+  // (a) wall-clock vs threshold.
+  {
+    std::vector<std::vector<std::string>> time_rows, prune_rows;
+    for (double tau : {0.6, 0.7, 0.8, 0.9}) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = 11;
+      wo.max_tokens = 15;
+      wo.seed = 1000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      std::vector<WorkloadStats> stats =
+          bench::RunSweep(*env.selector, wl, tau, algos);
+      std::vector<std::string> trow = {"tau=" + Fmt(tau, "%.1f")};
+      std::vector<std::string> prow = trow;
+      for (const WorkloadStats& s : stats) {
+        trow.push_back(Fmt(s.avg_ms));
+        prow.push_back(Fmt(100.0 * s.pruning_power, "%.1f"));
+      }
+      time_rows.push_back(std::move(trow));
+      prune_rows.push_back(std::move(prow));
+    }
+    PrintTable("Figure 8(a): wall-clock ms/query, LB vs NLB", columns,
+               time_rows);
+    PrintTable("Figure 8(c): % elements pruned, LB vs NLB", columns,
+               prune_rows);
+  }
+
+  // (b) SQL and SF detail vs query size (the paper's zoomed panel).
+  {
+    std::vector<AlgoSpec> detail = {algos[0], algos[1], algos[6], algos[7]};
+    std::vector<std::string> cols = {"Query size"};
+    for (const AlgoSpec& a : detail) cols.push_back(a.label);
+    std::vector<std::vector<std::string>> rows;
+    for (const bench::Bucket& bucket : bench::kBuckets) {
+      WorkloadOptions wo;
+      wo.num_queries = num_queries;
+      wo.min_tokens = bucket.min_tokens;
+      wo.max_tokens = bucket.max_tokens;
+      wo.seed = 2000;
+      Workload wl = GenerateWordWorkload(env.words,
+                                         env.selector->tokenizer(), wo);
+      if (wl.queries.empty()) continue;
+      std::vector<WorkloadStats> stats =
+          bench::RunSweep(*env.selector, wl, 0.8, detail);
+      std::vector<std::string> row = {bucket.label};
+      for (const WorkloadStats& s : stats) row.push_back(Fmt(s.avg_ms));
+      rows.push_back(std::move(row));
+    }
+    PrintTable("Figure 8(b): SQL and SF ms/query vs query size, LB vs NLB",
+               cols, rows);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): length bounding yields up to ~4x on both "
+      "wall-clock and pruning for a given algorithm, and the gap widens with "
+      "query size (larger queries skip a larger list prefix).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

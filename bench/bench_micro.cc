@@ -1,0 +1,231 @@
+// Micro-benchmarks of the substrate containers (google-benchmark): skip
+// index seeks, extendible hash probes, B+-tree seeks and scans, loser-tree
+// merging, tokenization, and single-query latencies of the main algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+#include "container/extendible_hash.h"
+#include "container/loser_tree.h"
+#include "container/skip_index.h"
+#include "eval/experiment.h"
+#include "index/compressed_lists.h"
+#include "storage/posting_store.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+namespace {
+
+std::vector<float> SortedLengths(size_t n) {
+  Rng rng(1);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextDouble() * 100.0);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void BM_SkipIndexSeek(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> lens = SortedLengths(n);
+  SkipIndex skip(lens.data(), n, 64);
+  Rng rng(2);
+  for (auto _ : state) {
+    float target = static_cast<float>(rng.NextDouble() * 100.0);
+    benchmark::DoNotOptimize(skip.SeekFirstGE(target));
+  }
+}
+BENCHMARK(BM_SkipIndexSeek)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BinarySearchBaseline(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> lens = SortedLengths(n);
+  Rng rng(2);
+  for (auto _ : state) {
+    float target = static_cast<float>(rng.NextDouble() * 100.0);
+    benchmark::DoNotOptimize(
+        std::lower_bound(lens.begin(), lens.end(), target));
+  }
+}
+BENCHMARK(BM_BinarySearchBaseline)->Arg(1 << 16);
+
+void BM_ExtendibleHashLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  ExtendibleHash hash(1024);
+  for (size_t i = 0; i < n; ++i) {
+    hash.Insert(i * 7919, static_cast<float>(i));
+  }
+  Rng rng(3);
+  float v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.Lookup(rng.NextBounded(n) * 7919, &v));
+  }
+}
+BENCHMARK(BM_ExtendibleHashLookup)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ExtendibleHashInsert(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExtendibleHash hash(1024);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) hash.Insert(rng.NextU64(), 1.0f);
+  }
+}
+BENCHMARK(BM_ExtendibleHashInsert);
+
+void BM_BPlusTreeSeek(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  BPlusTree<uint64_t, float> tree;
+  std::vector<std::pair<uint64_t, float>> items;
+  for (size_t i = 0; i < n; ++i) items.push_back({i * 3, 0.0f});
+  tree.Build(items);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.SeekGE(rng.NextBounded(n * 3)).Valid());
+  }
+}
+BENCHMARK(BM_BPlusTreeSeek)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_BPlusTreeScan1K(benchmark::State& state) {
+  BPlusTree<uint64_t, float> tree;
+  std::vector<std::pair<uint64_t, float>> items;
+  for (size_t i = 0; i < (1 << 18); ++i) items.push_back({i, 0.0f});
+  tree.Build(items);
+  Rng rng(6);
+  for (auto _ : state) {
+    auto s = tree.SeekGE(rng.NextBounded(1 << 17));
+    uint64_t sum = 0;
+    for (int i = 0; i < 1000 && s.Valid(); ++i, s.Next()) sum += s.key();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BPlusTreeScan1K);
+
+void BM_LoserTreeMerge(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<uint32_t>> lists(k);
+  for (auto& list : lists) {
+    for (int i = 0; i < 2000; ++i) {
+      list.push_back(static_cast<uint32_t>(rng.NextBounded(1u << 30)));
+    }
+    std::sort(list.begin(), list.end());
+  }
+  for (auto _ : state) {
+    LoserTree<uint32_t> tree(k);
+    std::vector<size_t> pos(k, 0);
+    for (size_t i = 0; i < k; ++i) tree.SetInitial(i, lists[i][0], true);
+    tree.Build();
+    uint64_t sum = 0;
+    while (!tree.empty()) {
+      size_t i = tree.top_source();
+      sum += tree.top_key();
+      ++pos[i];
+      bool valid = pos[i] < lists[i].size();
+      tree.Replace(valid ? lists[i][pos[i]] : 0, valid);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LoserTreeMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CompressedDecode(benchmark::State& state) {
+  BenchEnvOptions opts;
+  opts.num_words = 20000;
+  static BenchEnv* env = new BenchEnv(MakeBenchEnv(opts));
+  static CompressedIdLists* lists =
+      new CompressedIdLists(CompressedIdLists::Build(env->selector->index()));
+  // Longest list.
+  static TokenId token = [] {
+    TokenId best = 0;
+    const InvertedIndex& idx = env->selector->index();
+    for (TokenId t = 0; t < idx.num_tokens(); ++t) {
+      if (idx.ListSize(t) > idx.ListSize(best)) best = t;
+    }
+    return best;
+  }();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto c = lists->OpenList(token); c.Valid(); c.Next()) sum += c.id();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          env->selector->index().ListSize(token));
+}
+BENCHMARK(BM_CompressedDecode);
+
+void BM_PostingStoreRead(benchmark::State& state) {
+  BenchEnvOptions opts;
+  opts.num_words = 20000;
+  static BenchEnv* env = new BenchEnv(MakeBenchEnv(opts));
+  static PostingStore* store =
+      new PostingStore(PostingStore::Build(env->selector->index()));
+  static TokenId token = [] {
+    TokenId best = 0;
+    const InvertedIndex& idx = env->selector->index();
+    for (TokenId t = 0; t < idx.num_tokens(); ++t) {
+      if (idx.ListSize(t) > idx.ListSize(best)) best = t;
+    }
+    return best;
+  }();
+  std::vector<uint32_t> ids(512);
+  std::vector<float> lens(512);
+  for (auto _ : state) {
+    size_t n = store->ListSize(token);
+    uint64_t sum = 0;
+    for (size_t first = 0; first < n; first += 512) {
+      size_t got = store->ReadBlock(token, first, 512, ids.data(),
+                                    lens.data());
+      for (size_t i = 0; i < got; ++i) sum += ids[i];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PostingStoreRead);
+
+void BM_QGramTokenize(benchmark::State& state) {
+  Tokenizer tok;
+  std::string text = "similarity selection queries on string collections";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.TokenizeCounted(text));
+  }
+}
+BENCHMARK(BM_QGramTokenize);
+
+// End-to-end single-query latency per algorithm on a small environment.
+struct QueryEnv {
+  QueryEnv() {
+    BenchEnvOptions opts;
+    opts.num_words = 20000;
+    opts.with_sql_baseline = true;
+    env = MakeBenchEnv(opts);
+    query = env.selector->Prepare(env.words[123]);
+  }
+  BenchEnv env;
+  PreparedQuery query;
+};
+
+QueryEnv& GetQueryEnv() {
+  static QueryEnv* env = new QueryEnv();
+  return *env;
+}
+
+void BM_Query(benchmark::State& state, AlgorithmKind kind) {
+  QueryEnv& qe = GetQueryEnv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qe.env.selector->SelectPrepared(qe.query, 0.8, kind, {}));
+  }
+}
+BENCHMARK_CAPTURE(BM_Query, SF, AlgorithmKind::kSf);
+BENCHMARK_CAPTURE(BM_Query, Hybrid, AlgorithmKind::kHybrid);
+BENCHMARK_CAPTURE(BM_Query, iNRA, AlgorithmKind::kInra);
+BENCHMARK_CAPTURE(BM_Query, iTA, AlgorithmKind::kIta);
+BENCHMARK_CAPTURE(BM_Query, SQL, AlgorithmKind::kSql);
+BENCHMARK_CAPTURE(BM_Query, SortById, AlgorithmKind::kSortById);
+
+}  // namespace
+}  // namespace simsel
+
+BENCHMARK_MAIN();

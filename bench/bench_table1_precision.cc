@@ -1,0 +1,95 @@
+// Reproduces Table I: average precision of TFIDF vs IDF vs BM25 vs BM25'
+// on eight datasets of graded error (cu1 = heaviest errors .. cu8 =
+// lightest), showing that dropping the tf component does not hurt retrieval
+// quality. Datasets are synthesized by the error-model factory since the
+// original cu benchmark data is not distributed (see DESIGN.md §2).
+//
+// Usage: bench_table1_precision [--clean=N] [--dups=N] [--queries=N]
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/precision.h"
+#include "gen/corpus.h"
+#include "gen/error_model.h"
+#include "sim/measure.h"
+#include "sim/setops.h"
+
+namespace simsel {
+namespace {
+
+int Main(int argc, char** argv) {
+  const size_t num_clean = FlagValue(argc, argv, "clean", 1500);
+  const size_t dups = FlagValue(argc, argv, "dups", 4);
+  const size_t queries = FlagValue(argc, argv, "queries", 60);
+
+  CorpusOptions co;
+  co.num_records = num_clean;
+  co.vocab_size = std::max<size_t>(500, num_clean * 2);
+  co.min_words = 2;
+  co.max_words = 4;
+  co.seed = 7;
+  Corpus corpus = GenerateCorpus(co);
+  Tokenizer tokenizer(TokenizerOptions{.q = 3});
+
+  std::printf("Table I reproduction: %zu clean records, %zu duplicates each, "
+              "%zu queries per cell\n",
+              num_clean, dups, queries);
+
+  const MeasureKind kinds[] = {MeasureKind::kTfIdf, MeasureKind::kIdf,
+                               MeasureKind::kBm25, MeasureKind::kBm25Prime};
+  const SetOverlapKind overlap_kinds[] = {
+      SetOverlapKind::kJaccard, SetOverlapKind::kDice, SetOverlapKind::kCosine};
+  std::vector<std::vector<std::string>> rows, overlap_rows;
+  for (int level = 1; level <= 8; ++level) {
+    DirtyDatasetOptions dso;
+    dso.level = level;
+    dso.num_clean = num_clean;
+    dso.duplicates_per_record = static_cast<int>(dups);
+    dso.seed = 100 + level;
+    LabeledDataset ds = MakeDirtyDataset(corpus.records, dso);
+    Collection coll = Collection::Build(ds.records, tokenizer);
+
+    PrecisionExperimentOptions opts;
+    opts.num_queries = queries;
+    opts.seed = 900 + level;
+    std::vector<std::string> row = {"cu" + std::to_string(level)};
+    for (MeasureKind kind : kinds) {
+      auto measure = MakeMeasure(kind, coll);
+      double map =
+          MeanAveragePrecision(ds, level, coll, *measure, tokenizer, opts);
+      row.push_back(bench::Fmt(map));
+    }
+    rows.push_back(std::move(row));
+
+    // Companion table: the unweighted coefficients the paper's Section II
+    // argues against ("not all tokens are equally important").
+    std::vector<std::string> orow = {"cu" + std::to_string(level)};
+    for (SetOverlapKind kind : overlap_kinds) {
+      SetOverlapMeasure measure(coll, kind);
+      double map =
+          MeanAveragePrecision(ds, level, coll, measure, tokenizer, opts);
+      orow.push_back(bench::Fmt(map));
+    }
+    overlap_rows.push_back(std::move(orow));
+  }
+  bench::PrintTable("Table I: average precision",
+                    {"Dataset", "TFIDF", "IDF", "BM25", "BM25'"}, rows);
+  bench::PrintTable(
+      "Table I companion: unweighted coefficients (not in the paper)",
+      {"Dataset", "Jaccard", "Dice", "Cosine"}, overlap_rows);
+  std::printf(
+      "\nExpected shape (paper): IDF within ~0.005 of TFIDF and BM25' within "
+      "~0.005 of BM25 on every row; precision rises from cu1 to cu8.\n"
+      "Companion table caveat: weighting by token rarity (Section II's "
+      "motivation) pays off most when records share frequent low-information "
+      "tokens ('Main', 'St.'); the synthetic vocabulary underrepresents that "
+      "structure, so unweighted coefficients look closer here than they "
+      "would on real address/title data.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

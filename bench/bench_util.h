@@ -1,0 +1,107 @@
+#ifndef SIMSEL_BENCH_BENCH_UTIL_H_
+#define SIMSEL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace simsel::bench {
+
+/// Prints a row-major table: header then one row per entry, with the first
+/// column left-aligned and numeric columns right-aligned. Also emits a
+/// machine-readable TSV block (prefixed with '#tsv') for plotting.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::string>& columns,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        std::printf("%-*s", static_cast<int>(widths[c] + 2), row[c].c_str());
+      } else {
+        std::printf("%*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(columns);
+  for (const auto& row : rows) print_row(row);
+  // TSV for plotting.
+  std::printf("#tsv\t%s", title.c_str());
+  for (const auto& col : columns) std::printf("\t%s", col.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("#tsv\t%s", title.c_str());
+    for (const auto& cell : row) std::printf("\t%s", cell.c_str());
+    std::printf("\n");
+  }
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtMb(size_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+/// An algorithm configuration evaluated by the figure benches.
+struct AlgoSpec {
+  AlgorithmKind kind;
+  SelectOptions options;
+  std::string label;
+};
+
+/// The algorithm set of Figures 6 and 7 (Section VIII-B/C).
+inline std::vector<AlgoSpec> PaperAlgorithms(bool include_sql) {
+  std::vector<AlgoSpec> algos;
+  algos.push_back({AlgorithmKind::kSortById, {}, "sort-by-id"});
+  if (include_sql) algos.push_back({AlgorithmKind::kSql, {}, "SQL"});
+  algos.push_back({AlgorithmKind::kTa, {}, "TA"});
+  algos.push_back({AlgorithmKind::kNra, {}, "NRA"});
+  algos.push_back({AlgorithmKind::kInra, {}, "iNRA"});
+  algos.push_back({AlgorithmKind::kIta, {}, "iTA"});
+  algos.push_back({AlgorithmKind::kSf, {}, "SF"});
+  algos.push_back({AlgorithmKind::kHybrid, {}, "Hybrid"});
+  return algos;
+}
+
+/// Runs every algorithm over one workload at one threshold.
+inline std::vector<WorkloadStats> RunSweep(const SimilaritySelector& selector,
+                                           const Workload& workload,
+                                           double tau,
+                                           const std::vector<AlgoSpec>& algos) {
+  std::vector<WorkloadStats> stats;
+  stats.reserve(algos.size());
+  for (const AlgoSpec& algo : algos) {
+    stats.push_back(RunWorkload(selector, workload, tau, algo.kind,
+                                algo.options, algo.label));
+  }
+  return stats;
+}
+
+/// The paper's query-size buckets (Section VIII-A), in 3-grams per word.
+struct Bucket {
+  const char* label;
+  int min_tokens;
+  int max_tokens;
+};
+inline const Bucket kBuckets[] = {
+    {"1-5", 1, 5}, {"6-10", 6, 10}, {"11-15", 11, 15}, {"16-20", 16, 20}};
+
+}  // namespace simsel::bench
+
+#endif  // SIMSEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,192 @@
+// simsel_cli — command-line front end for building, persisting and querying
+// set similarity indexes over plain text files (one record per line).
+//
+//   simsel_cli build <records.txt> <index.simsel>
+//       Tokenizes the file (3-grams), builds the inverted index and writes
+//       it next to the records for later use.
+//
+//   simsel_cli query <records.txt> <index.simsel> <text> [--tau=75]
+//              [--algo=sf|inra|hybrid|ita|sortbyid|pf] [--k=N]
+//       Loads the saved index (verifying it matches the records) and runs
+//       one selection (or top-k when --k is given).
+//
+//   simsel_cli repl <records.txt> <index.simsel>
+//       Interactive loop: one query per stdin line.
+//
+//   simsel_cli stats <records.txt> <index.simsel>
+//       Prints the Figure 5-style size breakdown of the loaded index.
+//
+//   simsel_cli join <records.txt> <index.simsel> [--tau=75]
+//       Self-join: lists duplicate clusters among the records.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/timer.h"
+#include "core/selector.h"
+#include "core/self_join.h"
+#include "eval/experiment.h"
+#include "gen/corpus.h"
+
+namespace {
+
+using namespace simsel;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: simsel_cli build <records.txt> <index.simsel>\n"
+               "       simsel_cli query <records.txt> <index.simsel> <text> "
+               "[--tau=75] [--algo=sf] [--k=N]\n"
+               "       simsel_cli repl  <records.txt> <index.simsel>\n"
+               "       simsel_cli stats <records.txt> <index.simsel>\n");
+  return 2;
+}
+
+AlgorithmKind ParseAlgo(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      std::string a = argv[i] + 7;
+      if (a == "sf") return AlgorithmKind::kSf;
+      if (a == "inra") return AlgorithmKind::kInra;
+      if (a == "hybrid") return AlgorithmKind::kHybrid;
+      if (a == "ita") return AlgorithmKind::kIta;
+      if (a == "ta") return AlgorithmKind::kTa;
+      if (a == "nra") return AlgorithmKind::kNra;
+      if (a == "sortbyid") return AlgorithmKind::kSortById;
+      if (a == "pf") return AlgorithmKind::kPrefixFilter;
+      if (a == "scan") return AlgorithmKind::kLinearScan;
+      std::fprintf(stderr, "unknown --algo=%s, using sf\n", a.c_str());
+    }
+  }
+  return AlgorithmKind::kSf;
+}
+
+Result<SimilaritySelector> LoadSelector(const std::string& records_path,
+                                        const std::string& index_path) {
+  Result<Corpus> corpus = LoadCorpusFromFile(records_path);
+  if (!corpus.ok()) return corpus.status();
+  return SimilaritySelector::BuildWithSavedIndex(corpus->records, index_path);
+}
+
+void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
+                  double elapsed_ms) {
+  std::printf("%zu matches in %.2f ms (read %llu/%llu postings)\n",
+              r.matches.size(), elapsed_ms,
+              (unsigned long long)r.counters.elements_read,
+              (unsigned long long)r.counters.elements_total);
+  size_t shown = 0;
+  for (const Match& m : r.matches) {
+    if (shown++ >= 20) {
+      std::printf("  ... and %zu more\n", r.matches.size() - shown + 1);
+      break;
+    }
+    std::printf("  [%u] %-40s %.3f\n", m.id, sel.collection().text(m.id).c_str(),
+                m.score);
+  }
+}
+
+int RunQuery(const SimilaritySelector& sel, const std::string& text,
+             double tau, AlgorithmKind kind, size_t k) {
+  WallTimer timer;
+  QueryResult r = (k > 0) ? sel.SelectTopK(text, k)
+                          : sel.Select(text, tau, kind);
+  PrintMatches(sel, r, timer.ElapsedMillis());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+
+  if (cmd == "build") {
+    if (argc < 4) return Usage();
+    Result<Corpus> corpus = LoadCorpusFromFile(argv[2]);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    WallTimer timer;
+    SimilaritySelector sel = SimilaritySelector::Build(corpus->records);
+    Status st = sel.SaveIndex(argv[3]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("indexed %zu records (%zu tokens, %llu postings) in %.2fs "
+                "-> %s\n",
+                corpus->records.size(), sel.index().num_tokens(),
+                (unsigned long long)sel.index().total_postings(),
+                timer.ElapsedSeconds(), argv[3]);
+    return 0;
+  }
+
+  if (cmd == "query" || cmd == "repl" || cmd == "stats" || cmd == "join") {
+    if (argc < 4) return Usage();
+    Result<SimilaritySelector> sel = LoadSelector(argv[2], argv[3]);
+    if (!sel.ok()) {
+      std::fprintf(stderr, "%s\n", sel.status().ToString().c_str());
+      return 1;
+    }
+    if (cmd == "stats") {
+      IndexSizeReport sizes = sel->Sizes();
+      std::printf("base table        %10zu bytes\n", sizes.base_table);
+      std::printf("inverted lists    %10zu bytes\n", sizes.inverted_lists);
+      std::printf("skip lists        %10zu bytes\n", sizes.skip_lists);
+      std::printf("extendible hash   %10zu bytes\n", sizes.extendible_hash);
+      return 0;
+    }
+    double tau = FlagValue(argc, argv, "tau", 75) / 100.0;
+    size_t k = FlagValue(argc, argv, "k", 0);
+    AlgorithmKind kind = ParseAlgo(argc, argv);
+    if (cmd == "join") {
+      WallTimer timer;
+      SelfJoinResult joined = SelfJoin(*sel, tau);
+      auto clusters = ClusterPairs(sel->collection().size(), joined.pairs);
+      std::printf("%zu duplicate pairs, %zu clusters in %.2fs (tau=%.2f)\n",
+                  joined.pairs.size(), clusters.size(),
+                  timer.ElapsedSeconds(), tau);
+      size_t shown = 0;
+      for (const auto& cluster : clusters) {
+        if (shown++ >= 15) {
+          std::printf("  ... and %zu more clusters\n",
+                      clusters.size() - shown + 1);
+          break;
+        }
+        std::printf("  cluster of %zu:\n", cluster.size());
+        for (SetId id : cluster) {
+          std::printf("    [%u] %s\n", id, sel->collection().text(id).c_str());
+        }
+      }
+      return 0;
+    }
+    if (cmd == "query") {
+      if (argc < 5) return Usage();
+      // First non-flag argument after the index path is the query text.
+      std::string text;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--", 2) != 0) {
+          if (!text.empty()) text += ' ';
+          text += argv[i];
+        }
+      }
+      if (text.empty()) return Usage();
+      return RunQuery(*sel, text, tau, kind, k);
+    }
+    // repl
+    std::printf("tau=%.2f algo=%s%s — one query per line, ctrl-d to exit\n",
+                tau, AlgorithmKindName(kind),
+                k > 0 ? (" k=" + std::to_string(k)).c_str() : "");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      RunQuery(*sel, line, tau, kind, k);
+    }
+    return 0;
+  }
+
+  return Usage();
+}

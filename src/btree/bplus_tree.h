@@ -1,0 +1,413 @@
+#ifndef SIMSEL_BTREE_BPLUS_TREE_H_
+#define SIMSEL_BTREE_BPLUS_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace simsel {
+
+/// Paged B+-tree with leaf chaining, bulk load, and page-read accounting.
+///
+/// This is the clustered composite index of the paper's relational baseline:
+/// MS SQL Server's clustered B-tree on (3-gram, length, id, weight) is
+/// modeled as a B+-tree whose node capacities derive from a page size, whose
+/// seeks charge `height` random page reads, and whose leaf-chain scans charge
+/// one sequential page read per visited leaf. It is deliberately general
+/// (template on Key/Value) so the container is reusable and testable on its
+/// own.
+///
+/// Supported operations: Insert (with node splits), bulk Build from sorted
+/// data, point/range reads via SeekGE + Scanner. The workload is build-once
+/// read-many (index construction happens at preprocessing time, as in the
+/// paper), so deletion is intentionally not provided.
+template <typename Key, typename Value, typename Less = std::less<Key>>
+class BPlusTree {
+ public:
+  struct Options {
+    /// Modeled disk page size; node capacities are derived from it.
+    size_t page_bytes = 4096;
+    /// Fill factor for bulk loading (leaves are packed to this fraction).
+    double bulk_fill = 0.9;
+  };
+
+ private:
+  struct Node;  // declared below; Scanner holds a pointer to it
+
+ public:
+
+  explicit BPlusTree(Options options = Options(), Less less = Less())
+      : options_(options), less_(less) {
+    constexpr size_t kHeader = 32;  // node header: type, count, sibling ptr
+    leaf_capacity_ =
+        (options_.page_bytes - kHeader) / (sizeof(Key) + sizeof(Value));
+    internal_capacity_ =
+        (options_.page_bytes - kHeader) / (sizeof(Key) + sizeof(void*));
+    SIMSEL_CHECK_MSG(leaf_capacity_ >= 4 && internal_capacity_ >= 4,
+                     "page too small for this key/value size");
+    root_ = std::make_unique<Node>(/*is_leaf=*/true);
+    first_leaf_ = root_.get();
+    num_leaves_ = 1;
+  }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  size_t num_leaves() const { return num_leaves_; }
+  size_t num_internal() const { return num_internal_; }
+  size_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// Modeled disk footprint: one page per node.
+  size_t SizeBytes() const {
+    return (num_leaves_ + num_internal_) * options_.page_bytes;
+  }
+
+  /// Inserts (key, value). Duplicate keys are allowed and kept in insertion
+  /// order among equals.
+  void Insert(const Key& key, const Value& value) {
+    SplitResult split = InsertRec(root_.get(), key, value);
+    if (split.happened) {
+      auto new_root = std::make_unique<Node>(/*is_leaf=*/false);
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(split.right));
+      root_ = std::move(new_root);
+      ++num_internal_;
+      ++height_;
+    }
+    ++size_;
+  }
+
+  /// Replaces the tree contents with `items`, which must be sorted by key.
+  /// Much faster and better-packed than repeated Insert.
+  void Build(const std::vector<std::pair<Key, Value>>& items) {
+    for (size_t i = 1; i < items.size(); ++i) {
+      SIMSEL_DCHECK(!less_(items[i].first, items[i - 1].first));
+    }
+    root_.reset();
+    first_leaf_ = nullptr;
+    num_leaves_ = num_internal_ = 0;
+    height_ = 0;
+    size_ = items.size();
+
+    size_t per_leaf = std::max<size_t>(
+        1, static_cast<size_t>(leaf_capacity_ * options_.bulk_fill));
+    std::vector<std::unique_ptr<Node>> level;
+    std::vector<Key> level_min;  // smallest key in each node of `level`
+    if (items.empty()) {
+      root_ = std::make_unique<Node>(true);
+      first_leaf_ = root_.get();
+      num_leaves_ = 1;
+      return;
+    }
+    Node* prev = nullptr;
+    for (size_t i = 0; i < items.size(); i += per_leaf) {
+      size_t end = std::min(items.size(), i + per_leaf);
+      auto leaf = std::make_unique<Node>(true);
+      for (size_t j = i; j < end; ++j) {
+        leaf->keys.push_back(items[j].first);
+        leaf->values.push_back(items[j].second);
+      }
+      if (prev != nullptr) prev->next_leaf = leaf.get();
+      prev = leaf.get();
+      level_min.push_back(items[i].first);
+      level.push_back(std::move(leaf));
+    }
+    first_leaf_ = level.front().get();
+    num_leaves_ = level.size();
+
+    size_t per_node = std::max<size_t>(
+        2, static_cast<size_t>(internal_capacity_ * options_.bulk_fill));
+    while (level.size() > 1) {
+      std::vector<std::unique_ptr<Node>> up;
+      std::vector<Key> up_min;
+      for (size_t i = 0; i < level.size(); i += per_node) {
+        size_t end = std::min(level.size(), i + per_node);
+        auto node = std::make_unique<Node>(false);
+        up_min.push_back(level_min[i]);
+        for (size_t j = i; j < end; ++j) {
+          if (j > i) node->keys.push_back(level_min[j]);
+          node->children.push_back(std::move(level[j]));
+        }
+        up.push_back(std::move(node));
+        ++num_internal_;
+      }
+      level = std::move(up);
+      level_min = std::move(up_min);
+      ++height_;
+    }
+    root_ = std::move(level.front());
+  }
+
+  /// Forward scanner over the leaf chain.
+  class Scanner {
+   public:
+    Scanner() = default;
+
+    bool Valid() const { return leaf_ != nullptr; }
+    const Key& key() const { return leaf_->keys[idx_]; }
+    const Value& value() const { return leaf_->values[idx_]; }
+
+    /// Advances one entry; charges a sequential page read when crossing to
+    /// the next leaf.
+    void Next() {
+      SIMSEL_DCHECK(Valid());
+      ++idx_;
+      if (idx_ >= leaf_->keys.size()) {
+        leaf_ = leaf_->next_leaf;
+        idx_ = 0;
+        if (leaf_ != nullptr && counters_ != nullptr) {
+          counters_->seq_page_reads += 1;
+        }
+        // Skip empty leaves (only possible for an empty tree's root).
+        while (leaf_ != nullptr && leaf_->keys.empty()) leaf_ = leaf_->next_leaf;
+      }
+    }
+
+   private:
+    friend class BPlusTree;
+    const Node* leaf_ = nullptr;
+    size_t idx_ = 0;
+    AccessCounters* counters_ = nullptr;
+  };
+
+  /// Positions a scanner at the first entry with key >= `key` (end-of-tree
+  /// scanner if none). Charges `height_ + 1` random page reads (root to
+  /// leaf) to `counters` if non-null.
+  Scanner SeekGE(const Key& key, AccessCounters* counters = nullptr) const {
+    if (counters != nullptr) counters->rand_page_reads += height_ + 1;
+    const Node* node = root_.get();
+    while (!node->is_leaf) {
+      // Descend via lower bound: keys equal to a separator may live in the
+      // left child too (duplicates), and the leaf chain continues rightward.
+      size_t i = LowerBound(node->keys, key);
+      node = node->children[i].get();
+    }
+    size_t i = LowerBound(node->keys, key);
+    Scanner s;
+    s.counters_ = counters;
+    if (i < node->keys.size()) {
+      s.leaf_ = node;
+      s.idx_ = i;
+    } else {
+      // First match may be in the next non-empty leaf.
+      const Node* next = node->next_leaf;
+      while (next != nullptr && next->keys.empty()) next = next->next_leaf;
+      s.leaf_ = next;
+      s.idx_ = 0;
+      if (next != nullptr && counters != nullptr) counters->seq_page_reads += 1;
+    }
+    return s;
+  }
+
+  /// Scanner at the smallest key (for full scans).
+  Scanner Begin(AccessCounters* counters = nullptr) const {
+    Scanner s;
+    s.counters_ = counters;
+    const Node* leaf = first_leaf_;
+    while (leaf != nullptr && leaf->keys.empty()) leaf = leaf->next_leaf;
+    s.leaf_ = leaf;
+    s.idx_ = 0;
+    if (counters != nullptr && leaf != nullptr) counters->seq_page_reads += 1;
+    return s;
+  }
+
+  /// Point lookup: first value with key equivalent to `key`.
+  bool Lookup(const Key& key, Value* value = nullptr,
+              AccessCounters* counters = nullptr) const {
+    Scanner s = SeekGE(key, counters);
+    if (!s.Valid()) return false;
+    if (less_(key, s.key())) return false;  // s.key() > key
+    if (value != nullptr) *value = s.value();
+    return true;
+  }
+
+  /// Structural invariant check for tests: returns false (and a reason via
+  /// stderr) if any B+-tree invariant is violated.
+  bool Validate() const {
+    size_t count = 0;
+    bool ok = ValidateRec(root_.get(), nullptr, nullptr, height_, &count);
+    if (count != size_) {
+      std::fprintf(stderr, "BPlusTree: size mismatch %zu vs %zu\n", count,
+                   size_);
+      return false;
+    }
+    // The leaf chain must enumerate all entries in sorted order.
+    size_t chained = 0;
+    const Key* prev = nullptr;
+    for (const Node* leaf = first_leaf_; leaf != nullptr;
+         leaf = leaf->next_leaf) {
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (prev != nullptr && less_(leaf->keys[i], *prev)) {
+          std::fprintf(stderr, "BPlusTree: leaf chain out of order\n");
+          return false;
+        }
+        prev = &leaf->keys[i];
+        ++chained;
+      }
+    }
+    if (chained != size_) {
+      std::fprintf(stderr, "BPlusTree: leaf chain count %zu vs %zu\n", chained,
+                   size_);
+      return false;
+    }
+    return ok;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    std::vector<Key> keys;
+    // Leaf payloads (is_leaf only).
+    std::vector<Value> values;
+    // Children (internal only); children.size() == keys.size() + 1.
+    std::vector<std::unique_ptr<Node>> children;
+    Node* next_leaf = nullptr;
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    Key separator{};
+    std::unique_ptr<Node> right;
+  };
+
+  size_t LowerBound(const std::vector<Key>& keys, const Key& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (less_(keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t UpperBound(const std::vector<Key>& keys, const Key& key) const {
+    size_t lo = 0, hi = keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (less_(key, keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  SplitResult InsertRec(Node* node, const Key& key, const Value& value) {
+    SplitResult result;
+    if (node->is_leaf) {
+      size_t i = UpperBound(node->keys, key);  // stable among duplicates
+      node->keys.insert(node->keys.begin() + i, key);
+      node->values.insert(node->values.begin() + i, value);
+      if (node->keys.size() > leaf_capacity_) {
+        size_t mid = node->keys.size() / 2;
+        auto right = std::make_unique<Node>(true);
+        right->keys.assign(node->keys.begin() + mid, node->keys.end());
+        right->values.assign(node->values.begin() + mid, node->values.end());
+        node->keys.resize(mid);
+        node->values.resize(mid);
+        right->next_leaf = node->next_leaf;
+        node->next_leaf = right.get();
+        ++num_leaves_;
+        result.happened = true;
+        result.separator = right->keys.front();
+        result.right = std::move(right);
+      }
+      return result;
+    }
+    size_t i = UpperBound(node->keys, key);
+    SplitResult child_split = InsertRec(node->children[i].get(), key, value);
+    if (child_split.happened) {
+      node->keys.insert(node->keys.begin() + i, child_split.separator);
+      node->children.insert(node->children.begin() + i + 1,
+                            std::move(child_split.right));
+      if (node->keys.size() > internal_capacity_) {
+        size_t mid = node->keys.size() / 2;
+        auto right = std::make_unique<Node>(false);
+        result.separator = node->keys[mid];
+        right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+        for (size_t j = mid + 1; j < node->children.size(); ++j) {
+          right->children.push_back(std::move(node->children[j]));
+        }
+        node->keys.resize(mid);
+        node->children.resize(mid + 1);
+        ++num_internal_;
+        result.happened = true;
+        result.right = std::move(right);
+      }
+    }
+    return result;
+  }
+
+  bool ValidateRec(const Node* node, const Key* lo, const Key* hi,
+                   size_t depth_remaining, size_t* count) const {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (i > 0 && less_(node->keys[i], node->keys[i - 1])) {
+        std::fprintf(stderr, "BPlusTree: unsorted keys in node\n");
+        return false;
+      }
+      if (lo != nullptr && less_(node->keys[i], *lo)) {
+        std::fprintf(stderr, "BPlusTree: key below subtree lower bound\n");
+        return false;
+      }
+      // Upper bound is inclusive: duplicates of a separator key may sit in
+      // the left subtree.
+      if (hi != nullptr && less_(*hi, node->keys[i])) {
+        std::fprintf(stderr, "BPlusTree: key above subtree upper bound\n");
+        return false;
+      }
+    }
+    if (node->is_leaf) {
+      if (depth_remaining != 0) {
+        std::fprintf(stderr, "BPlusTree: leaves at non-uniform depth\n");
+        return false;
+      }
+      *count += node->keys.size();
+      return true;
+    }
+    if (node->children.size() != node->keys.size() + 1) {
+      std::fprintf(stderr, "BPlusTree: child/key count mismatch\n");
+      return false;
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const Key* child_lo = (i == 0) ? lo : &node->keys[i - 1];
+      const Key* child_hi = (i == node->keys.size()) ? hi : &node->keys[i];
+      if (!ValidateRec(node->children[i].get(), child_lo, child_hi,
+                       depth_remaining - 1, count)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Options options_;
+  Less less_;
+  size_t leaf_capacity_ = 0;
+  size_t internal_capacity_ = 0;
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;
+  size_t size_ = 0;
+  size_t height_ = 0;  // number of internal levels (0 == root is a leaf)
+  size_t num_leaves_ = 0;
+  size_t num_internal_ = 0;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_BTREE_BPLUS_TREE_H_

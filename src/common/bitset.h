@@ -1,0 +1,53 @@
+#ifndef SIMSEL_COMMON_BITSET_H_
+#define SIMSEL_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+/// Fixed-width bitset sized at runtime; the candidate bookkeeping bit vector
+/// b[1,n] of the NRA/TA family (one bit per query list). Queries rarely have
+/// more than a few dozen tokens, so this is one or two words in practice.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) {
+    SIMSEL_DCHECK(i < n_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    SIMSEL_DCHECK(i < n_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    SIMSEL_DCHECK(i < n_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  bool All() const { return Count() == n_; }
+  bool None() const { return Count() == 0; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_COMMON_BITSET_H_

@@ -1,0 +1,38 @@
+#ifndef SIMSEL_COMMON_LOGGING_H_
+#define SIMSEL_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Minimal assertion macros. The library reports recoverable errors through
+/// simsel::Status; these macros guard internal invariants whose violation
+/// indicates a programming bug, and abort with a source location.
+
+#define SIMSEL_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SIMSEL_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define SIMSEL_CHECK_MSG(cond, msg)                                           \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SIMSEL_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                         \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define SIMSEL_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define SIMSEL_DCHECK(cond) SIMSEL_CHECK(cond)
+#endif
+
+#endif  // SIMSEL_COMMON_LOGGING_H_

@@ -1,0 +1,50 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace simsel {
+
+void AccessCounters::Merge(const AccessCounters& other) {
+  elements_read += other.elements_read;
+  elements_skipped += other.elements_skipped;
+  elements_total += other.elements_total;
+  seq_page_reads += other.seq_page_reads;
+  rand_page_reads += other.rand_page_reads;
+  hash_probes += other.hash_probes;
+  candidate_inserts += other.candidate_inserts;
+  candidate_prunes += other.candidate_prunes;
+  candidate_scan_steps += other.candidate_scan_steps;
+  rows_scanned += other.rows_scanned;
+  pool_hits += other.pool_hits;
+  pool_misses += other.pool_misses;
+  results += other.results;
+}
+
+double AccessCounters::PruningPower() const {
+  if (elements_total == 0) return 0.0;
+  uint64_t read = elements_read;
+  if (read > elements_total) read = elements_total;
+  return 1.0 - static_cast<double>(read) / static_cast<double>(elements_total);
+}
+
+std::string AccessCounters::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "read=%llu skipped=%llu total=%llu seq_pages=%llu "
+                "rand_pages=%llu probes=%llu cand_ins=%llu cand_prune=%llu "
+                "cand_scan=%llu rows=%llu results=%llu pruning=%.3f",
+                (unsigned long long)elements_read,
+                (unsigned long long)elements_skipped,
+                (unsigned long long)elements_total,
+                (unsigned long long)seq_page_reads,
+                (unsigned long long)rand_page_reads,
+                (unsigned long long)hash_probes,
+                (unsigned long long)candidate_inserts,
+                (unsigned long long)candidate_prunes,
+                (unsigned long long)candidate_scan_steps,
+                (unsigned long long)rows_scanned, (unsigned long long)results,
+                PruningPower());
+  return buf;
+}
+
+}  // namespace simsel

@@ -1,0 +1,123 @@
+#ifndef SIMSEL_COMMON_STATUS_H_
+#define SIMSEL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight result of an operation that can fail. The library does not
+/// throw exceptions; fallible public entry points return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    SIMSEL_CHECK_MSG(!std::get<Status>(data_).ok(),
+                     "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    SIMSEL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    SIMSEL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SIMSEL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SIMSEL_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::simsel::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace simsel
+
+#endif  // SIMSEL_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#ifndef SIMSEL_COMMON_THREAD_POOL_H_
+#define SIMSEL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simsel {
+
+/// Fixed-size worker pool used by the parallel query executors (the paper's
+/// future-work item "devise parallel versions of all algorithms").
+///
+/// Tasks are plain std::function<void()>; Submit never blocks (unbounded
+/// queue) and Wait blocks until every submitted task has finished. The pool
+/// joins its workers on destruction.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// Indices are handed out in contiguous chunks for cache friendliness.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_COMMON_THREAD_POOL_H_

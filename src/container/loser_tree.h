@@ -1,0 +1,109 @@
+#ifndef SIMSEL_CONTAINER_LOSER_TREE_H_
+#define SIMSEL_CONTAINER_LOSER_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+/// Tournament tree of losers for k-way merging of sorted streams.
+///
+/// The sort-by-id baseline (Section III-B) merges the query's inverted lists
+/// in increasing set-id order through "an in memory heap"; a loser tree is
+/// the classic database implementation, replacing the winner with its
+/// successor in O(log k) comparisons. Keys must arrive in non-decreasing
+/// order per source. Ties are broken by source index, so merge output is
+/// fully deterministic.
+///
+/// Usage:
+///   LoserTree<uint32_t> lt(k);
+///   for (i in 0..k) lt.SetInitial(i, first_key_i, has_key_i);
+///   lt.Build();
+///   while (!lt.empty()) {
+///     use(lt.top_source(), lt.top_key());
+///     lt.Replace(next_key, has_next);
+///   }
+template <typename Key>
+class LoserTree {
+ public:
+  explicit LoserTree(size_t k)
+      : k_(k), tree_(k, 0), keys_(k), valid_(k, 0) {
+    SIMSEL_CHECK_MSG(k >= 1, "loser tree needs at least one source");
+  }
+
+  /// Sets source `i`'s first key before Build(). `valid` false marks the
+  /// source as exhausted from the start.
+  void SetInitial(size_t i, Key key, bool valid) {
+    SIMSEL_DCHECK(i < k_);
+    keys_[i] = key;
+    valid_[i] = valid ? 1 : 0;
+  }
+
+  /// Plays the initial tournament. Must be called once after SetInitial.
+  void Build() {
+    if (k_ == 1) {
+      winner_ = 0;
+      return;
+    }
+    winner_ = Play(1);
+  }
+
+  /// True when every source is exhausted.
+  bool empty() const { return valid_[winner_] == 0; }
+
+  /// Source index holding the current minimum key.
+  size_t top_source() const { return winner_; }
+  const Key& top_key() const { return keys_[winner_]; }
+
+  /// Replaces the winner's key with its successor (`valid` false when that
+  /// source is exhausted) and replays its path to the root.
+  void Replace(Key key, bool valid) {
+    size_t s = winner_;
+    keys_[s] = key;
+    valid_[s] = valid ? 1 : 0;
+    if (k_ == 1) return;
+    size_t cur = s;
+    for (size_t node = (k_ + s) >> 1; node >= 1; node >>= 1) {
+      size_t loser = tree_[node];
+      if (Beats(loser, cur)) {
+        tree_[node] = cur;
+        cur = loser;
+      }
+    }
+    winner_ = cur;
+  }
+
+ private:
+  /// True when source `a` should win against source `b`.
+  bool Beats(size_t a, size_t b) const {
+    if (!valid_[a]) return false;
+    if (!valid_[b]) return true;
+    if (keys_[a] < keys_[b]) return true;
+    if (keys_[b] < keys_[a]) return false;
+    return a < b;
+  }
+
+  /// Recursively plays the subtree rooted at internal `node`; stores the
+  /// loser at the node and returns the winner. Nodes 1..k-1 are internal,
+  /// k..2k-1 are the leaves (sources).
+  size_t Play(size_t node) {
+    if (node >= k_) return node - k_;
+    size_t l = Play(2 * node);
+    size_t r = Play(2 * node + 1);
+    size_t w = Beats(l, r) ? l : r;
+    tree_[node] = (w == l) ? r : l;
+    return w;
+  }
+
+  size_t k_;
+  size_t winner_ = 0;
+  std::vector<size_t> tree_;  // tree_[1..k-1]: loser at each internal node
+  std::vector<Key> keys_;
+  std::vector<char> valid_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CONTAINER_LOSER_TREE_H_

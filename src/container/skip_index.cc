@@ -1,0 +1,65 @@
+#include "container/skip_index.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+SkipIndex::SkipIndex(const float* lengths, size_t n, size_t fanout)
+    : lengths_(lengths), n_(n), fanout_(fanout) {
+  SIMSEL_CHECK_MSG(fanout_ >= 2, "skip index fanout must be >= 2");
+  // Level 0 samples every fanout-th base entry; each higher level samples
+  // every fanout-th node of the level below, until a level is small.
+  if (n_ > fanout_) {
+    std::vector<Node> level;
+    for (size_t i = 0; i < n_; i += fanout_) {
+      level.push_back(Node{lengths_[i], static_cast<uint32_t>(i)});
+    }
+    levels_.push_back(std::move(level));
+    while (levels_.back().size() > fanout_) {
+      const std::vector<Node>& below = levels_.back();
+      std::vector<Node> up;
+      for (size_t i = 0; i < below.size(); i += fanout_) {
+        up.push_back(Node{below[i].len, static_cast<uint32_t>(i)});
+      }
+      levels_.push_back(std::move(up));
+    }
+  }
+}
+
+size_t SkipIndex::num_nodes() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+size_t SkipIndex::SeekFirstGE(float target, uint64_t* nodes_visited) const {
+  uint64_t visits = 0;
+  // Invariant while descending: every node/base entry before index `lo` of
+  // the current level has len < target.
+  size_t lo = 0;
+  for (size_t l = levels_.size(); l-- > 0;) {
+    const std::vector<Node>& level = levels_[l];
+    size_t i = lo;
+    while (i < level.size() && (++visits, level[i].len < target)) ++i;
+    // Nodes with index < i have len < target. Enter the level below at the
+    // position of the last such node (or 0 if none).
+    lo = (i == 0) ? 0 : level[i - 1].pos;
+  }
+  // Final bounded scan of the base array (at most ~fanout entries).
+  size_t i = lo;
+  while (i < n_ && (++visits, lengths_[i] < target)) ++i;
+  if (nodes_visited != nullptr) *nodes_visited += visits;
+  return i;
+}
+
+size_t SkipIndex::SeekLastLE(float target, uint64_t* nodes_visited) const {
+  // First index strictly greater than target == first index >= nextafter.
+  size_t first_gt =
+      SeekFirstGE(std::nextafter(target, HUGE_VALF), nodes_visited);
+  if (first_gt == 0) return n_;  // nothing <= target
+  return first_gt - 1;
+}
+
+}  // namespace simsel

@@ -1,0 +1,59 @@
+#ifndef SIMSEL_CONTAINER_SKIP_INDEX_H_
+#define SIMSEL_CONTAINER_SKIP_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simsel {
+
+/// Multi-level skip structure over a length-sorted inverted list.
+///
+/// Inverted lists are sorted by increasing set length (Section III-B), and
+/// the Length Boundedness theorem restricts a query to the window
+/// [τ·len(q), len(q)/τ]. The paper attaches a skip list to each inverted
+/// list "for efficiently identifying an entry with a specific weight"; this
+/// class is that structure, built deterministically (every `fanout`-th entry
+/// is promoted a level, like a perfectly balanced skip list) so lookups and
+/// sizes are reproducible.
+///
+/// The base array is borrowed, not owned: the caller must keep the lengths
+/// array alive and unchanged for the lifetime of the SkipIndex.
+class SkipIndex {
+ public:
+  /// Builds over `lengths[0, n)`, which must be sorted ascending.
+  /// `fanout` >= 2 controls the promotion rate and node budget.
+  SkipIndex(const float* lengths, size_t n, size_t fanout = 16);
+
+  /// Returns the smallest index i with lengths[i] >= target, or n if none.
+  /// `nodes_visited`, if non-null, is incremented by the number of skip
+  /// nodes touched (each node touch models one random page access amortized
+  /// across a page worth of nodes; callers convert to page counts).
+  size_t SeekFirstGE(float target, uint64_t* nodes_visited = nullptr) const;
+
+  /// Returns the largest index i with lengths[i] <= target, or n if all
+  /// entries exceed target (i.e. no valid index). Note the sentinel is n,
+  /// not -1, so callers can compare against size_t bounds directly.
+  size_t SeekLastLE(float target, uint64_t* nodes_visited = nullptr) const;
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t num_nodes() const;
+  /// Approximate serialized footprint: 8 bytes per node (float + uint32).
+  size_t SizeBytes() const { return num_nodes() * 8; }
+
+ private:
+  struct Node {
+    float len;
+    uint32_t pos;  // index into the level below (or the base array)
+  };
+
+  const float* lengths_;
+  size_t n_;
+  size_t fanout_;
+  // levels_[0] samples the base array; levels_[l] samples levels_[l-1].
+  std::vector<std::vector<Node>> levels_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CONTAINER_SKIP_INDEX_H_

@@ -1,0 +1,61 @@
+#include "core/adaptive.h"
+
+#include "core/internal.h"
+
+namespace simsel {
+
+PlanDecision ChooseAlgorithm(const InvertedIndex& index,
+                             const IdfMeasure& measure,
+                             const PreparedQuery& q, double tau) {
+  (void)measure;
+  PlanDecision decision;
+  const internal::LengthWindow window =
+      internal::ComputeLengthWindow(q, tau, /*enabled=*/true);
+
+  for (TokenId t : q.tokens) {
+    size_t n = index.ListSize(t);
+    decision.total_postings += n;
+    const SkipIndex* skip = index.skip(t);
+    if (skip != nullptr) {
+      size_t lo_pos = skip->SeekFirstGE(window.lo);
+      size_t hi_pos = skip->SeekFirstGE(window.hi);
+      decision.window_postings += (hi_pos > lo_pos) ? hi_pos - lo_pos : 0;
+    } else {
+      // Short list: count exactly.
+      const float* lens = index.LenLens(t);
+      for (size_t i = 0; i < n; ++i) {
+        if (window.Contains(lens[i])) ++decision.window_postings;
+      }
+    }
+  }
+
+  if (q.tokens.empty()) {
+    decision.kind = AlgorithmKind::kSf;
+    decision.reason = "empty query";
+    return decision;
+  }
+  // Flat-cost merge only pays off when pruning has no room: the window
+  // covers nearly everything AND the threshold is too low for the F-bound
+  // to converge early.
+  bool window_useless =
+      decision.total_postings > 0 &&
+      decision.window_postings * 10 >= decision.total_postings * 9;
+  if (tau < 0.35 && window_useless && index.options().build_id_lists) {
+    decision.kind = AlgorithmKind::kSortById;
+    decision.reason = "low threshold, window covers the lists";
+    return decision;
+  }
+  decision.kind = AlgorithmKind::kSf;
+  decision.reason = "pruning available: Shortest-First";
+  return decision;
+}
+
+QueryResult AdaptiveSelect(const SimilaritySelector& selector,
+                           const PreparedQuery& q, double tau,
+                           const SelectOptions& options) {
+  PlanDecision decision =
+      ChooseAlgorithm(selector.index(), selector.measure(), q, tau);
+  return selector.SelectPrepared(q, tau, decision.kind, options);
+}
+
+}  // namespace simsel

@@ -1,0 +1,103 @@
+#include "core/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/internal.h"
+
+namespace simsel {
+
+DynamicSelector::DynamicSelector(const std::vector<std::string>& initial,
+                                 const BuildOptions& options)
+    : options_(options),
+      main_(std::make_unique<SimilaritySelector>(
+          SimilaritySelector::Build(initial, options))),
+      main_size_(initial.size()),
+      all_texts_(initial) {}
+
+DynamicSelector::DeltaRecord DynamicSelector::Analyze(
+    const std::string& text) const {
+  const IdfMeasure& measure = main_->measure();
+  const Dictionary& dict = main_->collection().dictionary();
+  DeltaRecord rec;
+  double len_sq = 0.0;
+  for (const TokenCount& tc : main_->tokenizer().TokenizeCounted(text)) {
+    auto id = dict.Find(tc.token);
+    if (id.has_value()) {
+      rec.tokens.push_back(*id);
+      double idf = measure.idf(*id);
+      len_sq += idf * idf;
+    } else {
+      // Unknown under the frozen statistics: rarest possible weight, no
+      // list to match through, but it still normalizes the length.
+      len_sq += measure.default_idf() * measure.default_idf();
+    }
+  }
+  std::sort(rec.tokens.begin(), rec.tokens.end());
+  rec.frozen_length = static_cast<float>(std::sqrt(len_sq));
+  return rec;
+}
+
+SetId DynamicSelector::AddRecord(std::string text) {
+  SetId id = static_cast<SetId>(all_texts_.size());
+  // Analyze before appending: `text` is our own copy, and the appends must
+  // not be interleaved with anything reading container internals.
+  DeltaRecord rec = Analyze(text);
+  all_texts_.push_back(text);
+  delta_texts_.push_back(std::move(text));
+  delta_records_.push_back(std::move(rec));
+  return id;
+}
+
+const std::string& DynamicSelector::text(SetId id) const {
+  SIMSEL_CHECK(id < all_texts_.size());
+  return all_texts_[id];
+}
+
+QueryResult DynamicSelector::Select(std::string_view query, double tau,
+                                    AlgorithmKind kind,
+                                    const SelectOptions& options) const {
+  PreparedQuery q = main_->Prepare(query);
+  QueryResult result = main_->SelectPrepared(q, tau, kind, options);
+
+  // Exhaustive pass over the delta segment with the frozen weights; the
+  // canonical ascending-token summation keeps scores comparable with the
+  // main segment's.
+  for (size_t d = 0; d < delta_records_.size(); ++d) {
+    ++result.counters.rows_scanned;
+    const DeltaRecord& rec = delta_records_[d];
+    double sum = 0.0;
+    size_t i = 0, j = 0;
+    while (i < q.tokens.size() && j < rec.tokens.size()) {
+      if (q.tokens[i] < rec.tokens[j]) {
+        ++i;
+      } else if (rec.tokens[j] < q.tokens[i]) {
+        ++j;
+      } else {
+        sum += q.weights[i];
+        ++i;
+        ++j;
+      }
+    }
+    double denom = static_cast<double>(rec.frozen_length) * q.length;
+    double score = denom > 0.0 ? sum / denom : 0.0;
+    if (score >= tau) {
+      result.matches.push_back(
+          Match{static_cast<SetId>(main_size_ + d), score});
+    }
+  }
+  result.counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+void DynamicSelector::Rebuild() {
+  main_ = std::make_unique<SimilaritySelector>(
+      SimilaritySelector::Build(all_texts_, options_));
+  main_size_ = all_texts_.size();
+  delta_texts_.clear();
+  delta_records_.clear();
+}
+
+}  // namespace simsel

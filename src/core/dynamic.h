@@ -1,0 +1,81 @@
+#ifndef SIMSEL_CORE_DYNAMIC_H_
+#define SIMSEL_CORE_DYNAMIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+
+namespace simsel {
+
+/// Growable set-similarity service: a main + delta architecture.
+///
+/// The paper's indexes are built offline over a frozen collection (idf
+/// weights and normalized lengths depend on global statistics, so a single
+/// insert would invalidate every posting). Real deployments solve this the
+/// way column stores and search engines do: an immutable *main* segment
+/// carrying the statistics, plus a small *delta* of recent inserts that is
+/// scanned exhaustively, merged into the main on demand.
+///
+/// Semantics: token statistics (df, idf, N) are **frozen at the last
+/// Rebuild**. New records are tokenized against the frozen dictionary
+/// (tokens never seen by the main segment cannot match queries — they
+/// contribute to the record's length only) and scored with frozen weights,
+/// so main and delta scores are mutually comparable and results merge
+/// cleanly. Rebuild() folds the delta in and refreshes all statistics.
+///
+/// Ids are stable: record i (in insertion order across segments) is SetId i
+/// before and after Rebuild.
+class DynamicSelector {
+ public:
+  explicit DynamicSelector(
+      const std::vector<std::string>& initial_records,
+      const BuildOptions& options = BuildOptions());
+
+  /// Appends a record to the delta segment; returns its id. O(|tokens|).
+  /// Takes the text by value: callers may pass references into the
+  /// selector's own storage (e.g. text(i)), which appending could otherwise
+  /// invalidate mid-call.
+  SetId AddRecord(std::string text);
+
+  /// Total records across both segments.
+  size_t size() const { return main_size_ + delta_texts_.size(); }
+  /// Records awaiting a Rebuild.
+  size_t delta_size() const { return delta_texts_.size(); }
+
+  /// Record text by id (either segment).
+  const std::string& text(SetId id) const;
+
+  /// Selection over both segments with frozen statistics. The main segment
+  /// uses `kind`; the delta is scanned exhaustively (it is small by
+  /// design — its size is charged to rows_scanned).
+  QueryResult Select(std::string_view query, double tau,
+                     AlgorithmKind kind = AlgorithmKind::kSf,
+                     const SelectOptions& options = SelectOptions()) const;
+
+  /// Folds the delta into the main segment and recomputes df/idf/lengths.
+  /// Afterwards results are identical to a fresh Build over all records.
+  void Rebuild();
+
+  const SimilaritySelector& main() const { return *main_; }
+
+ private:
+  struct DeltaRecord {
+    std::vector<TokenId> tokens;  // known tokens, sorted ascending
+    float frozen_length = 0.0f;   // with unknown-token mass included
+  };
+
+  DeltaRecord Analyze(const std::string& text) const;
+
+  BuildOptions options_;
+  std::unique_ptr<SimilaritySelector> main_;
+  size_t main_size_ = 0;
+  std::vector<std::string> all_texts_;       // every record, id order
+  std::vector<std::string> delta_texts_;     // tail of all_texts_
+  std::vector<DeltaRecord> delta_records_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_DYNAMIC_H_

@@ -1,0 +1,14 @@
+#include "core/hybrid.h"
+
+#include "core/inra.h"
+
+namespace simsel {
+
+QueryResult HybridSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                         const PreparedQuery& q, double tau,
+                         const SelectOptions& options) {
+  return internal::NraFamilySelect(index, measure, q, tau, options,
+                                   /*hybrid=*/true);
+}
+
+}  // namespace simsel

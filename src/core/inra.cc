@@ -1,0 +1,228 @@
+#include "core/inra.h"
+
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/bitset.h"
+#include "core/internal.h"
+#include "index/list_cursor.h"
+
+namespace simsel {
+
+namespace {
+
+struct Candidate {
+  DynamicBitset present;  // lists the set has been seen in
+  DynamicBitset absent;   // lists the set provably does not appear in
+  float len = 0.0f;
+  double lb_num = 0.0;       // Σ weights[i] over present bits
+  double missing_num = 0.0;  // Σ weights[i] over unresolved bits
+};
+
+}  // namespace
+
+namespace internal {
+
+// Shared engine for iNRA (Algorithm 2) and Hybrid (Algorithm 4). Hybrid
+// adds the max_len(C) early-stop per list, implemented with the paper's
+// partitioned candidate organization (one length-ordered queue per origin
+// list + the candidate hash table) so max_len(C) costs O(n) per check.
+//
+// Deviation from the paper, documented in DESIGN.md: the stop fires only
+// when the frontier also exceeds λ₁ = Σ_j idf(q^j)² / (τ·len(q)) — the
+// deepest length at which ANY set could still be admitted as a new
+// candidate (Equation 2 with i = 1). Without this guard a list abandoned at
+// a shallow frontier could not resolve candidates admitted later from other
+// lists, breaking exactness. λ₁-capped stops keep Hybrid never reading more
+// than iNRA while preserving correct results.
+QueryResult NraFamilySelect(const InvertedIndex& index,
+                            const IdfMeasure& measure, const PreparedQuery& q,
+                            double tau, const SelectOptions& options,
+                            bool hybrid) {
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+  const double prune_at = PruneThreshold(tau);
+  const LengthWindow window =
+      ComputeLengthWindow(q, tau, options.length_bounding);
+  const double total_weight = TotalWeight(q);
+  const double lambda1 =
+      prune_at > 0.0 ? total_weight / (prune_at * q.length)
+                     : std::numeric_limits<double>::infinity();
+
+  std::vector<ListCursor> cursors;
+  std::vector<char> done(n, 0);
+  cursors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors.emplace_back(index, q.tokens[i], options.use_skip_index,
+                         &counters, options.buffer_pool,
+                      options.posting_store);
+    if (options.length_bounding) {
+      cursors.back().SeekLengthGE(window.lo);
+    } else {
+      cursors.back().Next();
+    }
+  }
+
+  auto check_done = [&](size_t i) {
+    if (done[i]) return true;
+    if (cursors[i].AtEnd() ||
+        (options.length_bounding && cursors[i].len() > window.hi)) {
+      cursors[i].MarkComplete();
+      done[i] = 1;
+      return true;
+    }
+    return false;
+  };
+
+  std::unordered_map<uint32_t, Candidate> cands;
+  // Hybrid's partitioned candidate set: ids in insertion (== ascending
+  // length) order per origin list; stale entries removed lazily.
+  std::vector<std::deque<uint32_t>> origin(hybrid ? n : 0);
+
+  auto max_len_c = [&]() {
+    double max_len = -std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < n; ++j) {
+      std::deque<uint32_t>& dq = origin[j];
+      while (!dq.empty() && cands.find(dq.back()) == cands.end()) {
+        dq.pop_back();
+      }
+      if (!dq.empty()) {
+        max_len = std::max(max_len,
+                           static_cast<double>(cands.at(dq.back()).len));
+      }
+    }
+    return max_len;
+  };
+
+  auto frontier_w = [&](size_t i) {
+    if (done[i] || cursors[i].AtEnd()) return 0.0;
+    return q.weights[i] / (static_cast<double>(cursors[i].len()) * q.length);
+  };
+
+  double f = 0.0;
+  auto recompute_f = [&]() {
+    f = 0.0;
+    for (size_t i = 0; i < n; ++i) f += frontier_w(i);
+  };
+  recompute_f();
+
+  for (;;) {
+    bool all_done = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (check_done(i)) continue;
+      all_done = false;
+      uint32_t id = cursors[i].id();
+      float len = cursors[i].len();
+      cursors[i].Next();
+      check_done(i);
+      auto it = cands.find(id);
+      if (it == cands.end()) {
+        bool admit = !(options.f_cutoff && f < prune_at);
+        if (admit && options.magnitude_bound) {
+          // Property 2: best case assumes the set appears in every list.
+          double best = total_weight / (static_cast<double>(len) * q.length);
+          if (best < prune_at) {
+            ++counters.candidate_prunes;
+            admit = false;
+          }
+        }
+        if (admit) {
+          Candidate cand;
+          cand.present = DynamicBitset(n);
+          cand.absent = DynamicBitset(n);
+          cand.len = len;
+          cand.missing_num = total_weight;
+          it = cands.emplace(id, std::move(cand)).first;
+          ++counters.candidate_inserts;
+          if (hybrid) origin[i].push_back(id);
+        }
+      }
+      if (it != cands.end()) {
+        Candidate& cand = it->second;
+        if (!cand.present.Test(i) && !cand.absent.Test(i)) {
+          cand.present.Set(i);
+          cand.lb_num += q.weights[i];
+          cand.missing_num -= q.weights[i];
+        }
+      }
+      if (hybrid && !done[i] && !cursors[i].AtEnd()) {
+        // Algorithm 4: abandon the list once its frontier is past every
+        // candidate that could need resolution here and past the deepest
+        // admissible new candidate (the λ₁ guard).
+        double frontier = cursors[i].len();
+        if (frontier > lambda1 && frontier > max_len_c()) {
+          cursors[i].MarkComplete();
+          done[i] = 1;
+        }
+      }
+    }
+    recompute_f();
+
+    const bool do_scan =
+        !options.lazy_candidate_scan || f < prune_at || all_done;
+    if (do_scan) {
+      for (auto it = cands.begin(); it != cands.end();) {
+        ++counters.candidate_scan_steps;
+        Candidate& cand = it->second;
+        // Resolve absences: exhausted/abandoned lists, and Order
+        // Preservation against each frontier.
+        double frontier_extra = 0.0;  // only used without magnitude bound
+        bool complete = true;
+        for (size_t i = 0; i < n; ++i) {
+          if (cand.present.Test(i) || cand.absent.Test(i)) continue;
+          bool is_absent = done[i];
+          if (!is_absent && options.order_preservation &&
+              cand.len < cursors[i].len()) {
+            is_absent = true;  // Property 1: it would have appeared already
+          }
+          if (is_absent) {
+            cand.absent.Set(i);
+            cand.missing_num -= q.weights[i];
+            continue;
+          }
+          complete = false;
+          frontier_extra += frontier_w(i);
+        }
+        double denom = static_cast<double>(cand.len) * q.length;
+        double ub = options.magnitude_bound
+                        ? (cand.lb_num + cand.missing_num) / denom
+                        : cand.lb_num / denom + frontier_extra;
+        if (complete) {
+          double score = measure.ScoreFromBits(q, cand.present, cand.len);
+          if (score >= tau) result.matches.push_back(Match{it->first, score});
+          it = cands.erase(it);
+          continue;
+        }
+        if (ub < prune_at) {
+          ++counters.candidate_prunes;
+          it = cands.erase(it);
+          continue;
+        }
+        if (options.lazy_candidate_scan && !all_done) break;
+        ++it;
+      }
+    }
+
+    if (all_done && cands.empty()) break;
+    if (!all_done && f < prune_at && cands.empty()) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+}  // namespace internal
+
+QueryResult InraSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                       const PreparedQuery& q, double tau,
+                       const SelectOptions& options) {
+  return internal::NraFamilySelect(index, measure, q, tau, options,
+                                   /*hybrid=*/false);
+}
+
+}  // namespace simsel

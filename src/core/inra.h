@@ -1,0 +1,41 @@
+#ifndef SIMSEL_CORE_INRA_H_
+#define SIMSEL_CORE_INRA_H_
+
+#include "core/types.h"
+#include "index/inverted_index.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Improved NRA (Algorithm 2, Section V). On top of the classic round-robin
+/// NRA it applies every semantic property of the IDF measure:
+///
+///  - Length Boundedness: each list is entered at the first entry with
+///    len >= τ·len(q) (via the skip index when enabled) and abandoned once
+///    the frontier passes len(q)/τ;
+///  - Order Preservation: a candidate shorter than a list's frontier that
+///    has not appeared in that list never will — its upper bound tightens
+///    without reading anything;
+///  - Magnitude Boundedness: a candidate's best-case score is known from its
+///    first encounter; hopeless sets are never inserted;
+///  - the F < τ cutoff for admitting new candidates, and lazy candidate
+///    scans with early termination (bookkeeping reductions).
+///
+/// Each feature is individually toggleable through `options` for the
+/// Figure 8/9 ablations.
+QueryResult InraSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                       const PreparedQuery& q, double tau,
+                       const SelectOptions& options);
+
+namespace internal {
+/// Shared iNRA/Hybrid engine; `hybrid` enables Algorithm 4's max_len(C)
+/// list-abandonment rule and the partitioned candidate organization.
+QueryResult NraFamilySelect(const InvertedIndex& index,
+                            const IdfMeasure& measure, const PreparedQuery& q,
+                            double tau, const SelectOptions& options,
+                            bool hybrid);
+}  // namespace internal
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_INRA_H_

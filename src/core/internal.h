@@ -1,0 +1,56 @@
+#ifndef SIMSEL_CORE_INTERNAL_H_
+#define SIMSEL_CORE_INTERNAL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/types.h"
+#include "sim/idf.h"
+
+namespace simsel::internal {
+
+/// Relative slack applied to prune/stop decisions so floating-point rounding
+/// can never discard a set whose true score equals the threshold. Looser
+/// pruning only costs a few extra element reads; the final report decision
+/// always uses the canonical exact score.
+constexpr double kPruneSlack = 1e-9;
+
+/// Threshold used for discarding by upper bound: prune only when
+/// upper < tau * (1 - slack).
+inline double PruneThreshold(double tau) { return tau * (1.0 - kPruneSlack); }
+
+/// The Theorem 1 length window, slightly widened by the same slack.
+struct LengthWindow {
+  float lo = 0.0f;
+  float hi = std::numeric_limits<float>::infinity();
+
+  bool Contains(float len) const { return len >= lo && len <= hi; }
+};
+
+inline LengthWindow ComputeLengthWindow(const PreparedQuery& q, double tau,
+                                        bool enabled) {
+  LengthWindow w;
+  if (!enabled || tau <= 0.0) return w;
+  w.lo = static_cast<float>(tau * q.length * (1.0 - kPruneSlack));
+  w.hi = static_cast<float>(q.length / tau * (1.0 + kPruneSlack));
+  return w;
+}
+
+/// Σ_j q.weights[j] — the numerator of a full match; len(q)² when every
+/// query token is in the dictionary.
+inline double TotalWeight(const PreparedQuery& q) {
+  double sum = 0.0;
+  for (double w : q.weights) sum += w;
+  return sum;
+}
+
+/// Sorts matches by ascending id (the canonical result order).
+inline void SortMatches(std::vector<Match>* matches) {
+  std::sort(matches->begin(), matches->end(),
+            [](const Match& a, const Match& b) { return a.id < b.id; });
+}
+
+}  // namespace simsel::internal
+
+#endif  // SIMSEL_CORE_INTERNAL_H_

@@ -1,0 +1,18 @@
+#include "core/linear_scan.h"
+
+namespace simsel {
+
+QueryResult LinearScanSelect(const SimilarityMeasure& measure,
+                             const Collection& collection,
+                             const PreparedQuery& q, double tau) {
+  QueryResult result;
+  for (SetId s = 0; s < collection.size(); ++s) {
+    ++result.counters.rows_scanned;
+    double score = measure.Score(q, s);
+    if (score >= tau) result.matches.push_back(Match{s, score});
+  }
+  result.counters.results = result.matches.size();
+  return result;
+}
+
+}  // namespace simsel

@@ -1,0 +1,19 @@
+#ifndef SIMSEL_CORE_LINEAR_SCAN_H_
+#define SIMSEL_CORE_LINEAR_SCAN_H_
+
+#include "core/types.h"
+#include "sim/measure.h"
+
+namespace simsel {
+
+/// Exhaustive baseline: scores every database set against the query and
+/// reports those with score >= tau. No index is used; this is the ground
+/// truth the property tests compare every other algorithm against, and the
+/// scorer behind the Table I precision experiment.
+QueryResult LinearScanSelect(const SimilarityMeasure& measure,
+                             const Collection& collection,
+                             const PreparedQuery& q, double tau);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_LINEAR_SCAN_H_

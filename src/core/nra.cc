@@ -1,0 +1,122 @@
+#include "core/nra.h"
+
+#include <unordered_map>
+
+#include "common/bitset.h"
+#include "core/internal.h"
+#include "index/list_cursor.h"
+
+namespace simsel {
+
+namespace {
+
+struct Candidate {
+  DynamicBitset bits;
+  float len = 0.0f;
+  double lb_num = 0.0;  // Σ weights[i] over set bits (unnormalized)
+};
+
+}  // namespace
+
+QueryResult NraSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                      const PreparedQuery& q, double tau,
+                      const SelectOptions& options) {
+  using internal::PruneThreshold;
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+  const double prune_at = PruneThreshold(tau);
+
+  std::vector<ListCursor> cursors;
+  cursors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors.emplace_back(index, q.tokens[i], /*use_skip=*/false, &counters,
+                         options.buffer_pool,
+                      options.posting_store);
+    cursors.back().Next();
+  }
+
+  std::unordered_map<uint32_t, Candidate> cands;
+
+  // Frontier contribution of list i (0 when exhausted).
+  auto frontier_w = [&](size_t i) {
+    if (cursors[i].AtEnd()) return 0.0;
+    return q.weights[i] / (static_cast<double>(cursors[i].len()) * q.length);
+  };
+
+  double f = 0.0;
+  auto recompute_f = [&]() {
+    f = 0.0;
+    for (size_t i = 0; i < n; ++i) f += frontier_w(i);
+  };
+  recompute_f();
+
+  for (;;) {
+    bool all_done = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (cursors[i].AtEnd()) continue;
+      all_done = false;
+      uint32_t id = cursors[i].id();
+      float len = cursors[i].len();
+      cursors[i].Next();
+      auto it = cands.find(id);
+      if (it == cands.end()) {
+        if (options.f_cutoff && f < prune_at) continue;
+        Candidate cand;
+        cand.bits = DynamicBitset(n);
+        cand.len = len;
+        it = cands.emplace(id, std::move(cand)).first;
+        ++counters.candidate_inserts;
+      }
+      if (!it->second.bits.Test(i)) {
+        it->second.bits.Set(i);
+        it->second.lb_num += q.weights[i];
+      }
+    }
+    recompute_f();
+
+    const bool do_scan = !options.lazy_candidate_scan || f < prune_at ||
+                         all_done;
+    if (do_scan) {
+      for (auto it = cands.begin(); it != cands.end();) {
+        ++counters.candidate_scan_steps;
+        Candidate& cand = it->second;
+        // Upper bound: known contributions plus each missing list's
+        // frontier contribution w_i(f_i) (0 once the list is exhausted).
+        double ub_extra = 0.0;
+        bool complete = true;
+        for (size_t i = 0; i < n; ++i) {
+          if (cand.bits.Test(i) || cursors[i].AtEnd()) continue;
+          complete = false;
+          ub_extra += frontier_w(i);
+        }
+        double denom = static_cast<double>(cand.len) * q.length;
+        double ub = cand.lb_num / denom + ub_extra;
+        if (complete) {
+          double score = measure.ScoreFromBits(q, cand.bits, cand.len);
+          if (score >= tau) result.matches.push_back(Match{it->first, score});
+          it = cands.erase(it);
+          continue;
+        }
+        if (ub < prune_at) {
+          ++counters.candidate_prunes;
+          it = cands.erase(it);
+          continue;
+        }
+        if (options.lazy_candidate_scan && !all_done) break;
+        ++it;
+      }
+    }
+
+    if (all_done) break;
+    if (f < prune_at && cands.empty()) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+}  // namespace simsel

@@ -1,0 +1,156 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "container/loser_tree.h"
+#include "core/internal.h"
+
+namespace simsel {
+
+std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
+                                     const std::vector<std::string>& queries,
+                                     double tau, AlgorithmKind kind,
+                                     const SelectOptions& options,
+                                     ThreadPool* pool) {
+  std::vector<QueryResult> results(queries.size());
+  ParallelFor(pool, queries.size(), [&](size_t i) {
+    results[i] = selector.Select(queries[i], tau, kind, options);
+  });
+  return results;
+}
+
+QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
+                                     const Collection& collection,
+                                     const PreparedQuery& q, double tau,
+                                     ThreadPool* pool) {
+  const size_t num_shards = std::max<size_t>(1, pool->num_threads());
+  const size_t n = collection.size();
+  const size_t shard_size = (n + num_shards - 1) / num_shards;
+  std::vector<QueryResult> shards(num_shards);
+
+  ParallelFor(pool, num_shards, [&](size_t shard) {
+    SetId begin = static_cast<SetId>(std::min(n, shard * shard_size));
+    SetId end = static_cast<SetId>(std::min(n, (shard + 1) * shard_size));
+    QueryResult& out = shards[shard];
+    for (SetId s = begin; s < end; ++s) {
+      ++out.counters.rows_scanned;
+      double score = measure.Score(q, s);
+      if (score >= tau) out.matches.push_back(Match{s, score});
+    }
+  });
+
+  QueryResult result;
+  for (QueryResult& shard : shards) {
+    result.counters.Merge(shard.counters);
+    result.matches.insert(result.matches.end(), shard.matches.begin(),
+                          shard.matches.end());
+  }
+  // Shards are id-disjoint and internally sorted; a merge by id suffices,
+  // and shard order is already ascending-id order.
+  result.counters.results = result.matches.size();
+  return result;
+}
+
+namespace {
+
+// Merges one id range [lo_id, hi_id) of the query's id-sorted lists.
+void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
+                  const PreparedQuery& q, double tau, uint32_t lo_id,
+                  uint32_t hi_id, QueryResult* out) {
+  const size_t n = q.tokens.size();
+  struct ListSlice {
+    const uint32_t* ids;
+    const float* lens;
+    size_t pos;
+    size_t end;
+  };
+  std::vector<ListSlice> lists(n);
+  LoserTree<uint32_t> tree(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* ids = index.IdIds(q.tokens[i]);
+    size_t size = index.ListSize(q.tokens[i]);
+    // Binary search the shard boundaries in this list.
+    size_t begin = std::lower_bound(ids, ids + size, lo_id) - ids;
+    size_t end = std::lower_bound(ids, ids + size, hi_id) - ids;
+    lists[i] = ListSlice{ids, index.IdLens(q.tokens[i]), begin, end};
+    out->counters.elements_total += end - begin;
+    bool valid = begin < end;
+    tree.SetInitial(i, valid ? ids[begin] : 0, valid);
+    if (valid) ++out->counters.elements_read;
+  }
+  tree.Build();
+
+  DynamicBitset bits(n);
+  uint32_t current = 0;
+  float current_len = 0.0f;
+  bool have_current = false;
+  auto flush = [&]() {
+    if (!have_current) return;
+    double score = measure.ScoreFromBits(q, bits, current_len);
+    if (score >= tau) out->matches.push_back(Match{current, score});
+    bits = DynamicBitset(n);
+  };
+  while (!tree.empty()) {
+    size_t i = tree.top_source();
+    uint32_t id = tree.top_key();
+    if (!have_current || id != current) {
+      flush();
+      current = id;
+      current_len = lists[i].lens[lists[i].pos];
+      have_current = true;
+    }
+    bits.Set(i);
+    ListSlice& ls = lists[i];
+    ++ls.pos;
+    bool valid = ls.pos < ls.end;
+    if (valid) ++out->counters.elements_read;
+    tree.Replace(valid ? ls.ids[ls.pos] : 0, valid);
+  }
+  flush();
+}
+
+}  // namespace
+
+QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
+                                   const IdfMeasure& measure,
+                                   const PreparedQuery& q, double tau,
+                                   ThreadPool* pool) {
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  SIMSEL_CHECK_MSG(index.options().build_id_lists,
+                   "parallel sort-by-id needs an index built with "
+                   "build_id_lists");
+  // Partition the id space by the largest id present in any query list.
+  uint32_t max_id = 0;
+  bool any = false;
+  for (TokenId t : q.tokens) {
+    size_t size = index.ListSize(t);
+    if (size > 0) {
+      any = true;
+      max_id = std::max(max_id, index.IdIds(t)[size - 1]);
+    }
+  }
+  if (!any) return result;
+
+  const size_t shards = std::max<size_t>(1, pool->num_threads());
+  const uint32_t span = max_id / static_cast<uint32_t>(shards) + 1;
+  std::vector<QueryResult> partial(shards);
+  ParallelFor(pool, shards, [&](size_t s) {
+    uint32_t lo = static_cast<uint32_t>(s) * span;
+    uint32_t hi = (s + 1 == shards) ? max_id + 1
+                                    : static_cast<uint32_t>(s + 1) * span;
+    MergeIdRange(index, measure, q, tau, lo, hi, &partial[s]);
+  });
+  for (QueryResult& p : partial) {
+    result.counters.Merge(p.counters);
+    result.matches.insert(result.matches.end(), p.matches.begin(),
+                          p.matches.end());
+  }
+  result.counters.results = result.matches.size();
+  return result;
+}
+
+}  // namespace simsel

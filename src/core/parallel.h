@@ -1,0 +1,50 @@
+#ifndef SIMSEL_CORE_PARALLEL_H_
+#define SIMSEL_CORE_PARALLEL_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/selector.h"
+
+namespace simsel {
+
+/// Parallel execution of set similarity selections — the paper's future-work
+/// item ("we plan to ... devise parallel versions of all algorithms").
+///
+/// Two complementary strategies are provided:
+///  - inter-query: BatchSelect runs a workload of independent queries across
+///    a thread pool (SimilaritySelector is const-thread-compatible), the
+///    bread-and-butter parallelism of a similarity-search service;
+///  - intra-query: ParallelLinearScanSelect shards the collection across
+///    workers for one query, the pattern a partitioned deployment would use
+///    per partition.
+
+/// Runs one selection per query string concurrently on `pool`. Results are
+/// positionally aligned with `queries`.
+std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
+                                     const std::vector<std::string>& queries,
+                                     double tau, AlgorithmKind kind,
+                                     const SelectOptions& options,
+                                     ThreadPool* pool);
+
+/// Exhaustive scan sharded over the pool; exact same result (ids, canonical
+/// scores, ascending id order) as LinearScanSelect. Counters are pooled.
+QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
+                                     const Collection& collection,
+                                     const PreparedQuery& q, double tau,
+                                     ThreadPool* pool);
+
+/// Intra-query parallel sort-by-id merge: the id space is partitioned into
+/// one contiguous range per worker, each worker binary-searches its range's
+/// start in every id-sorted list and runs the standard loser-tree merge
+/// over its slice. Ranges are disjoint, so results concatenate in id order
+/// with no cross-thread coordination — the "parallel version" of the
+/// paper's Section III-B baseline. Exact same matches as SortByIdSelect.
+QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
+                                   const IdfMeasure& measure,
+                                   const PreparedQuery& q, double tau,
+                                   ThreadPool* pool);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_PARALLEL_H_

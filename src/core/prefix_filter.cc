@@ -1,0 +1,88 @@
+#include "core/prefix_filter.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/internal.h"
+#include "index/list_cursor.h"
+
+namespace simsel {
+
+QueryResult PrefixFilterSelect(const InvertedIndex& index,
+                               const IdfMeasure& measure,
+                               const PreparedQuery& q, double tau,
+                               const SelectOptions& options) {
+  using internal::ComputeLengthWindow;
+  using internal::kPruneSlack;
+  using internal::LengthWindow;
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+  const LengthWindow window =
+      ComputeLengthWindow(q, tau, options.length_bounding);
+
+  // Token order: decreasing weight, the classic prefix-filter ordering
+  // (rare tokens first keeps the prefix lists short).
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    return q.weights[a] > q.weights[b];
+  });
+
+  // Prefix length: minimal p with suffix weight < τ²·len(q)² (slacked down
+  // so floating point can never shrink the prefix too far). Without length
+  // bounding there is no usable bound: the prefix is the whole query.
+  size_t prefix = n;
+  if (options.length_bounding && tau > 0.0) {
+    double budget =
+        tau * (tau * (1.0 - kPruneSlack)) * q.length * q.length;
+    double suffix_weight = 0.0;
+    for (double w : q.weights) suffix_weight += w;
+    prefix = 0;
+    while (prefix < n && suffix_weight >= budget) {
+      suffix_weight -= q.weights[perm[prefix]];
+      ++prefix;
+    }
+  }
+
+  // Candidate generation: union of the prefix lists inside the window.
+  std::unordered_set<uint32_t> candidates;
+  for (size_t k = 0; k < prefix; ++k) {
+    ListCursor cursor(index, q.tokens[perm[k]], options.use_skip_index,
+                      &counters, options.buffer_pool,
+                      options.posting_store);
+    cursor.SeekLengthGE(window.lo);
+    while (cursor.positioned() && cursor.len() <= window.hi) {
+      if (candidates.insert(cursor.id()).second) {
+        ++counters.candidate_inserts;
+      }
+      cursor.Next();
+    }
+    cursor.MarkComplete();
+  }
+  // Count the unopened suffix lists toward the pruning denominator, like
+  // every other algorithm (their elements are never touched).
+  for (size_t k = prefix; k < n; ++k) {
+    counters.elements_total += index.ListSize(q.tokens[perm[k]]);
+    counters.elements_skipped += index.ListSize(q.tokens[perm[k]]);
+  }
+
+  // Verification: exact canonical score per candidate (a record fetch).
+  std::vector<uint32_t> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (uint32_t id : ordered) {
+    ++counters.rows_scanned;
+    double score = measure.Score(q, id);
+    if (score >= tau) {
+      result.matches.push_back(Match{id, score});
+    } else {
+      ++counters.candidate_prunes;
+    }
+  }
+  counters.results = result.matches.size();
+  return result;
+}
+
+}  // namespace simsel

@@ -1,0 +1,37 @@
+#ifndef SIMSEL_CORE_PREFIX_FILTER_H_
+#define SIMSEL_CORE_PREFIX_FILTER_H_
+
+#include "core/types.h"
+#include "index/inverted_index.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Prefix-filter baseline (Chaudhuri et al., ICDE 2006 — the paper's
+/// Related Work [2]) adapted to the weighted, length-normalized IDF measure
+/// for selection queries.
+///
+/// Query tokens are ordered by decreasing idf²; the *prefix* is the shortest
+/// head of that order such that a set sharing only suffix tokens cannot
+/// reach τ. With Length Boundedness (len(s) ≥ τ·len(q) for any answer), the
+/// prefix is minimal p with
+///
+///   Σ_{j>p} idf(q^j)²  <  τ²·len(q)².
+///
+/// Candidates are the union of the prefix tokens' lists (restricted to the
+/// Theorem 1 length window); each candidate is verified against the base
+/// table with an exact score computation (one `rows_scanned` charge per
+/// verification — the record fetch a relational implementation would pay).
+///
+/// Without `options.length_bounding` no lower bound on len(s) exists for a
+/// normalized measure, the prefix degenerates to the whole query, and the
+/// method reduces to merge-all-lists + verify — which is precisely why the
+/// paper notes the technique is subsumed by its own approaches here.
+QueryResult PrefixFilterSelect(const InvertedIndex& index,
+                               const IdfMeasure& measure,
+                               const PreparedQuery& q, double tau,
+                               const SelectOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_PREFIX_FILTER_H_

@@ -1,0 +1,127 @@
+#include "core/selector.h"
+
+#include "common/logging.h"
+#include "core/hybrid.h"
+#include "core/inra.h"
+#include "core/linear_scan.h"
+#include "core/nra.h"
+#include "core/prefix_filter.h"
+#include "core/sf.h"
+#include "core/sort_by_id.h"
+#include "core/sql_baseline.h"
+#include "core/ta.h"
+#include "core/topk.h"
+
+namespace simsel {
+
+SimilaritySelector SimilaritySelector::Build(
+    const std::vector<std::string>& records, const BuildOptions& options) {
+  SimilaritySelector sel;
+  sel.tokenizer_ = Tokenizer(options.tokenizer);
+  sel.collection_ =
+      std::make_unique<Collection>(Collection::Build(records, sel.tokenizer_));
+  sel.measure_ = std::make_unique<IdfMeasure>(*sel.collection_);
+  sel.index_ = std::make_unique<InvertedIndex>(
+      InvertedIndex::Build(*sel.collection_, *sel.measure_, options.index));
+  if (options.build_sql_baseline) {
+    GramTable::Tree::Options tree_options;
+    tree_options.page_bytes = options.btree_page_bytes;
+    sel.gram_table_ = std::make_unique<GramTable>(
+        GramTable::Build(*sel.collection_, *sel.measure_, tree_options));
+  }
+  return sel;
+}
+
+Result<SimilaritySelector> SimilaritySelector::BuildWithSavedIndex(
+    const std::vector<std::string>& records, const std::string& index_path,
+    const BuildOptions& options) {
+  Result<InvertedIndex> loaded = InvertedIndex::Load(index_path);
+  if (!loaded.ok()) return loaded.status();
+  SimilaritySelector sel;
+  sel.tokenizer_ = Tokenizer(options.tokenizer);
+  sel.collection_ =
+      std::make_unique<Collection>(Collection::Build(records, sel.tokenizer_));
+  sel.measure_ = std::make_unique<IdfMeasure>(*sel.collection_);
+  sel.index_ =
+      std::make_unique<InvertedIndex>(std::move(loaded).value());
+  uint64_t expected = 0;
+  for (SetId s = 0; s < sel.collection_->size(); ++s) {
+    expected += sel.collection_->set(s).tokens.size();
+  }
+  if (sel.index_->total_postings() != expected ||
+      sel.index_->num_tokens() != sel.collection_->dictionary().size()) {
+    return Status::Corruption(
+        "index at " + index_path + " does not match the supplied records");
+  }
+  if (options.build_sql_baseline) {
+    GramTable::Tree::Options tree_options;
+    tree_options.page_bytes = options.btree_page_bytes;
+    sel.gram_table_ = std::make_unique<GramTable>(
+        GramTable::Build(*sel.collection_, *sel.measure_, tree_options));
+  }
+  return sel;
+}
+
+PreparedQuery SimilaritySelector::Prepare(std::string_view query) const {
+  return measure_->PrepareQuery(tokenizer_.TokenizeCounted(query));
+}
+
+QueryResult SimilaritySelector::SelectPrepared(
+    const PreparedQuery& q, double tau, AlgorithmKind kind,
+    const SelectOptions& options) const {
+  switch (kind) {
+    case AlgorithmKind::kLinearScan:
+      return LinearScanSelect(*measure_, *collection_, q, tau);
+    case AlgorithmKind::kSql:
+      SIMSEL_CHECK_MSG(gram_table_ != nullptr,
+                       "SQL baseline requires build_sql_baseline");
+      return SqlBaselineSelect(*gram_table_, *measure_, q, tau, options);
+    case AlgorithmKind::kSortById:
+      return SortByIdSelect(*index_, *measure_, q, tau);
+    case AlgorithmKind::kTa:
+      // Classic TA: semantic-property flags forced off, but environment
+      // options (buffer pool, posting store) still apply.
+      return internal::TaEngineSelect(*index_, *measure_, q, tau, options,
+                                      /*improved=*/false);
+    case AlgorithmKind::kNra:
+      return NraSelect(*index_, *measure_, q, tau, options);
+    case AlgorithmKind::kIta:
+      return ItaSelect(*index_, *measure_, q, tau, options);
+    case AlgorithmKind::kInra:
+      return InraSelect(*index_, *measure_, q, tau, options);
+    case AlgorithmKind::kSf:
+      return SfSelect(*index_, *measure_, q, tau, options);
+    case AlgorithmKind::kHybrid:
+      return HybridSelect(*index_, *measure_, q, tau, options);
+    case AlgorithmKind::kPrefixFilter:
+      return PrefixFilterSelect(*index_, *measure_, q, tau, options);
+  }
+  SIMSEL_CHECK_MSG(false, "unknown algorithm kind");
+  return QueryResult{};
+}
+
+QueryResult SimilaritySelector::Select(std::string_view query, double tau,
+                                       AlgorithmKind kind,
+                                       const SelectOptions& options) const {
+  return SelectPrepared(Prepare(query), tau, kind, options);
+}
+
+QueryResult SimilaritySelector::SelectTopK(std::string_view query, size_t k,
+                                           const SelectOptions& options) const {
+  return TopKSelect(*index_, *measure_, Prepare(query), k, options);
+}
+
+IndexSizeReport SimilaritySelector::Sizes() const {
+  IndexSizeReport report;
+  report.base_table = collection_->BaseTableBytes();
+  report.inverted_lists = index_->ListBytesTotal();
+  report.skip_lists = index_->SkipBytes();
+  report.extendible_hash = index_->HashBytes();
+  if (gram_table_ != nullptr) {
+    report.gram_table = gram_table_->RowBytes();
+    report.btree = gram_table_->BTreeBytes();
+  }
+  return report;
+}
+
+}  // namespace simsel

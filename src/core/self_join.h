@@ -1,0 +1,50 @@
+#ifndef SIMSEL_CORE_SELF_JOIN_H_
+#define SIMSEL_CORE_SELF_JOIN_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/selector.h"
+
+namespace simsel {
+
+/// One pair of a similarity self-join: a < b and I(set_a, set_b) >= tau.
+struct JoinPair {
+  SetId a;
+  SetId b;
+  double score;
+};
+
+/// Result of a self-join: the matching pairs (sorted by (a, b)) plus the
+/// pooled access counters of the underlying selection queries.
+struct SelfJoinResult {
+  std::vector<JoinPair> pairs;
+  AccessCounters counters;
+};
+
+/// Options for SelfJoin.
+struct SelfJoinOptions {
+  AlgorithmKind algorithm = AlgorithmKind::kSf;
+  SelectOptions select;
+  /// Optional pool for inter-record parallelism (null = sequential).
+  ThreadPool* pool = nullptr;
+};
+
+/// Set similarity self-join, the data-cleaning operation the paper's
+/// introduction motivates ("various set similarity join operators have been
+/// proposed..."), built from selection queries: each record is probed
+/// against the index and pairs are emitted once (a < b). For the selection
+/// algorithms the probe set is a prepared query of the record itself, so
+/// every emitted score is the exact canonical IDF similarity.
+SelfJoinResult SelfJoin(const SimilaritySelector& selector, double tau,
+                        const SelfJoinOptions& options = SelfJoinOptions());
+
+/// Groups join pairs into connected components (duplicate clusters) by
+/// union-find. Returns one sorted member list per cluster with >= 2 members,
+/// clusters ordered by their smallest member.
+std::vector<std::vector<SetId>> ClusterPairs(size_t num_records,
+                                             const std::vector<JoinPair>& pairs);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_SELF_JOIN_H_

@@ -1,0 +1,148 @@
+#include "core/sf.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/bitset.h"
+#include "core/internal.h"
+#include "index/list_cursor.h"
+
+namespace simsel {
+
+namespace {
+
+struct Candidate {
+  uint32_t id;
+  float len;
+  DynamicBitset present;
+  // Optimistic numerator: Σ weights over present lists plus every list not
+  // yet proven absent. Divided by len·len(q) it is the candidate's best
+  // possible score (Magnitude Boundedness applied incrementally).
+  double potential_num;
+};
+
+// Candidates and by-length postings share the (len, id) sort order.
+bool CandBefore(const Candidate& c, float len, uint32_t id) {
+  if (c.len != len) return c.len < len;
+  return c.id < id;
+}
+
+}  // namespace
+
+QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                     const PreparedQuery& q, double tau,
+                     const SelectOptions& options) {
+  using internal::ComputeLengthWindow;
+  using internal::kPruneSlack;
+  using internal::LengthWindow;
+  using internal::PruneThreshold;
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+  const double prune_at = PruneThreshold(tau);
+  const LengthWindow window =
+      ComputeLengthWindow(q, tau, options.length_bounding);
+
+  // Decreasing idf order == decreasing weight order (weights are idf²).
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    return q.weights[a] > q.weights[b];
+  });
+  // suffix[k] = Σ_{j >= k} weights[perm[j]].
+  std::vector<double> suffix(n + 1, 0.0);
+  for (size_t k = n; k-- > 0;) suffix[k] = suffix[k + 1] + q.weights[perm[k]];
+
+  std::vector<Candidate> cands;  // sorted by (len, id)
+  std::vector<Candidate> next;
+
+  auto viable = [&](const Candidate& c) {
+    return c.potential_num / (static_cast<double>(c.len) * q.length) >=
+           prune_at;
+  };
+
+  for (size_t k = 0; k < n; ++k) {
+    const size_t list = perm[k];
+    ListCursor cursor(index, q.tokens[list], options.use_skip_index,
+                      &counters, options.buffer_pool,
+                      options.posting_store);
+    {
+      // λ_k: the deepest length at which a set first seen here could still
+      // reach τ, assuming it appears in this and every later list
+      // (Equation 2). Unbounded when τ = 0: everything matches. Uses the
+      // same slacked threshold as viable() so admission and scan depth
+      // agree exactly across lists.
+      double lambda = prune_at > 0.0
+                          ? suffix[k] / (prune_at * q.length)
+                          : std::numeric_limits<double>::infinity();
+      // All depth arithmetic in double so no float rounding can cut the
+      // scan short of the admission bound.
+      double mu = std::min<double>(lambda, window.hi);
+      double pending_max = cands.empty()
+                               ? -std::numeric_limits<double>::infinity()
+                               : cands.back().len;
+      double stop = std::max(pending_max, mu);
+
+      cursor.SeekLengthGE(window.lo);
+      next.clear();
+      size_t ci = 0;
+      for (;;) {
+        bool have_p = cursor.positioned() &&
+                      static_cast<double>(cursor.len()) <= stop;
+        bool have_c = ci < cands.size();
+        if (!have_p && !have_c) break;
+        if (have_c &&
+            (!have_p || CandBefore(cands[ci], cursor.len(), cursor.id()))) {
+          // The list moved past this candidate without containing it:
+          // absent by Order Preservation; its potential drops.
+          ++counters.candidate_scan_steps;
+          Candidate& c = cands[ci];
+          c.potential_num -= q.weights[list];
+          if (viable(c)) {
+            next.push_back(std::move(c));
+          } else {
+            ++counters.candidate_prunes;
+          }
+          ++ci;
+        } else if (have_p && have_c && cands[ci].id == cursor.id() &&
+                   cands[ci].len == cursor.len()) {
+          ++counters.candidate_scan_steps;
+          Candidate& c = cands[ci];
+          c.present.Set(list);
+          next.push_back(std::move(c));
+          ++ci;
+          cursor.Next();
+        } else {
+          // New set, first seen in this list.
+          Candidate c;
+          c.id = cursor.id();
+          c.len = cursor.len();
+          c.present = DynamicBitset(n);
+          c.present.Set(list);
+          c.potential_num = suffix[k];
+          if (viable(c)) {
+            next.push_back(std::move(c));
+            ++counters.candidate_inserts;
+          } else {
+            ++counters.candidate_prunes;
+          }
+          cursor.Next();
+        }
+      }
+      cands.swap(next);
+    }
+    cursor.MarkComplete();
+  }
+
+  for (const Candidate& c : cands) {
+    double score = measure.ScoreFromBits(q, c.present, c.len);
+    if (score >= tau) result.matches.push_back(Match{c.id, score});
+  }
+  counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+}  // namespace simsel

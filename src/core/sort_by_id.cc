@@ -1,0 +1,140 @@
+#include "core/sort_by_id.h"
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "container/loser_tree.h"
+#include "core/internal.h"
+
+namespace simsel {
+
+QueryResult SortByIdSelect(const InvertedIndex& index,
+                           const IdfMeasure& measure, const PreparedQuery& q,
+                           double tau) {
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  SIMSEL_CHECK_MSG(index.options().build_id_lists,
+                   "sort-by-id needs an index built with build_id_lists");
+
+  struct ListState {
+    const uint32_t* ids;
+    const float* lens;
+    size_t size;
+    size_t pos = 0;
+    int64_t last_page = -1;
+  };
+  std::vector<ListState> lists(n);
+  const size_t per_page = index.entries_per_page();
+  AccessCounters& counters = result.counters;
+
+  LoserTree<uint32_t> tree(n);
+  for (size_t i = 0; i < n; ++i) {
+    lists[i] = ListState{index.IdIds(q.tokens[i]), index.IdLens(q.tokens[i]),
+                         index.ListSize(q.tokens[i])};
+    counters.elements_total += lists[i].size;
+    tree.SetInitial(i, lists[i].size > 0 ? lists[i].ids[0] : 0,
+                    lists[i].size > 0);
+    if (lists[i].size > 0) {
+      ++counters.elements_read;
+      ++counters.seq_page_reads;
+      lists[i].last_page = 0;
+    }
+  }
+  tree.Build();
+
+  // Drain the merge; the smallest id's score is complete when the merge
+  // moves past it (it cannot appear later in any list).
+  DynamicBitset bits(n);
+  uint32_t current = 0;
+  float current_len = 0.0f;
+  bool have_current = false;
+
+  auto flush = [&]() {
+    if (!have_current) return;
+    double score = measure.ScoreFromBits(q, bits, current_len);
+    if (score >= tau) result.matches.push_back(Match{current, score});
+    bits = DynamicBitset(n);
+  };
+
+  while (!tree.empty()) {
+    size_t i = tree.top_source();
+    uint32_t id = tree.top_key();
+    if (!have_current || id != current) {
+      flush();
+      current = id;
+      current_len = lists[i].lens[lists[i].pos];
+      have_current = true;
+    }
+    bits.Set(i);
+    // Advance list i.
+    ListState& ls = lists[i];
+    ++ls.pos;
+    bool valid = ls.pos < ls.size;
+    if (valid) {
+      ++counters.elements_read;
+      int64_t page = static_cast<int64_t>(ls.pos / per_page);
+      if (page != ls.last_page) {
+        ++counters.seq_page_reads;
+        ls.last_page = page;
+      }
+    }
+    tree.Replace(valid ? ls.ids[ls.pos] : 0, valid);
+  }
+  flush();
+
+  counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+QueryResult SortByIdCompressedSelect(const CompressedIdLists& lists,
+                                     const IdfMeasure& measure,
+                                     const PreparedQuery& q, double tau) {
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+
+  std::vector<CompressedIdLists::Cursor> cursors;
+  cursors.reserve(n);
+  LoserTree<uint32_t> tree(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors.push_back(lists.OpenList(q.tokens[i], &counters));
+    tree.SetInitial(i, cursors[i].Valid() ? cursors[i].id() : 0,
+                    cursors[i].Valid());
+  }
+  tree.Build();
+
+  DynamicBitset bits(n);
+  uint32_t current = 0;
+  bool have_current = false;
+
+  auto flush = [&]() {
+    if (!have_current) return;
+    double score =
+        measure.ScoreFromBits(q, bits, lists.set_length(current));
+    if (score >= tau) result.matches.push_back(Match{current, score});
+    bits = DynamicBitset(n);
+  };
+
+  while (!tree.empty()) {
+    size_t i = tree.top_source();
+    uint32_t id = tree.top_key();
+    if (!have_current || id != current) {
+      flush();
+      current = id;
+      have_current = true;
+    }
+    bits.Set(i);
+    cursors[i].Next();
+    tree.Replace(cursors[i].Valid() ? cursors[i].id() : 0,
+                 cursors[i].Valid());
+  }
+  flush();
+
+  counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  return result;
+}
+
+}  // namespace simsel

@@ -1,0 +1,14 @@
+#include "core/sql_baseline.h"
+
+#include "rel/sql_baseline_plan.h"
+
+namespace simsel {
+
+QueryResult SqlBaselineSelect(const GramTable& table,
+                              const IdfMeasure& measure,
+                              const PreparedQuery& q, double tau,
+                              const SelectOptions& options) {
+  return ExecuteSqlPlan(table, measure, q, tau, options);
+}
+
+}  // namespace simsel

@@ -1,0 +1,22 @@
+#ifndef SIMSEL_CORE_SQL_BASELINE_H_
+#define SIMSEL_CORE_SQL_BASELINE_H_
+
+#include "core/types.h"
+#include "rel/gram_table.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// The "SQL" algorithm of the evaluation: executes the relational plan of
+/// Section III-A over the q-gram table's clustered B-tree. See
+/// rel/sql_baseline_plan.h for the plan shape; this wrapper exists so the
+/// relational baseline is dispatched uniformly with the inverted-list
+/// algorithms.
+QueryResult SqlBaselineSelect(const GramTable& table,
+                              const IdfMeasure& measure,
+                              const PreparedQuery& q, double tau,
+                              const SelectOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_SQL_BASELINE_H_

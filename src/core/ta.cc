@@ -1,0 +1,129 @@
+#include "core/ta.h"
+
+#include <unordered_set>
+
+#include "common/bitset.h"
+#include "common/logging.h"
+#include "core/internal.h"
+#include "index/list_cursor.h"
+#include "storage/buffer_pool.h"
+
+namespace simsel {
+
+namespace internal {
+
+QueryResult TaEngineSelect(const InvertedIndex& index,
+                           const IdfMeasure& measure, const PreparedQuery& q,
+                           double tau, const SelectOptions& options,
+                           bool improved) {
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  SIMSEL_CHECK_MSG(index.options().build_hash,
+                   "TA needs an index built with build_hash");
+  AccessCounters& counters = result.counters;
+
+  const bool use_lb = improved && options.length_bounding;
+  const bool use_skip = improved && options.use_skip_index;
+  const bool use_mb = improved && options.magnitude_bound;
+  const LengthWindow window = ComputeLengthWindow(q, tau, use_lb);
+  const double prune_at = PruneThreshold(tau);
+  const double total_weight = TotalWeight(q);
+
+  std::vector<ListCursor> cursors;
+  cursors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors.emplace_back(index, q.tokens[i], use_skip, &counters,
+                         options.buffer_pool,
+                      options.posting_store);
+    if (use_lb) {
+      cursors.back().SeekLengthGE(window.lo);
+    } else {
+      cursors.back().Next();
+    }
+  }
+
+  std::unordered_set<uint32_t> seen;
+  std::vector<char> done(n, 0);
+
+  auto list_done = [&](size_t i) {
+    if (done[i]) return true;
+    if (cursors[i].AtEnd() || (use_lb && cursors[i].len() > window.hi)) {
+      cursors[i].MarkComplete();
+      done[i] = 1;
+      return true;
+    }
+    return false;
+  };
+
+  for (;;) {
+    bool all_done = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (list_done(i)) continue;
+      all_done = false;
+      uint32_t id = cursors[i].id();
+      float len = cursors[i].len();
+      cursors[i].Next();
+      if (!seen.insert(id).second) continue;
+      if (use_mb) {
+        // Property 2: best case assumes membership in every list.
+        double best = total_weight / (static_cast<double>(len) * q.length);
+        if (best < prune_at) {
+          ++counters.candidate_prunes;
+          continue;
+        }
+      }
+      // Complete the score with one random-access probe per other list.
+      DynamicBitset bits(n);
+      bits.Set(i);
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        ++counters.hash_probes;
+        const ExtendibleHash* hash = index.hash(q.tokens[j]);
+        SIMSEL_DCHECK(hash != nullptr);
+        if (options.buffer_pool != nullptr) {
+          bool hit = options.buffer_pool->Touch(
+              reinterpret_cast<uint64_t>(hash->ProbePageId(id)));
+          if (hit) {
+            ++counters.pool_hits;
+          } else {
+            ++counters.pool_misses;
+          }
+        }
+        if (hash->Lookup(id, nullptr, &counters.rand_page_reads)) bits.Set(j);
+      }
+      double score = measure.ScoreFromBits(q, bits, len);
+      if (score >= tau) result.matches.push_back(Match{id, score});
+    }
+    if (all_done) break;
+    // Frontier bound: the best score any unseen set could still achieve.
+    double f = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] || cursors[i].AtEnd()) continue;
+      f += q.weights[i] / (static_cast<double>(cursors[i].len()) * q.length);
+    }
+    if (f < prune_at) break;
+  }
+
+  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  counters.results = result.matches.size();
+  SortMatches(&result.matches);
+  return result;
+}
+
+}  // namespace internal
+
+QueryResult TaSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                     const PreparedQuery& q, double tau) {
+  return internal::TaEngineSelect(index, measure, q, tau, SelectOptions{},
+                                  /*improved=*/false);
+}
+
+QueryResult ItaSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                      const PreparedQuery& q, double tau,
+                      const SelectOptions& options) {
+  return internal::TaEngineSelect(index, measure, q, tau, options,
+                                  /*improved=*/true);
+}
+
+}  // namespace simsel

@@ -1,0 +1,35 @@
+#ifndef SIMSEL_CORE_TA_H_
+#define SIMSEL_CORE_TA_H_
+
+#include "core/types.h"
+#include "index/inverted_index.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Classic Threshold Algorithm (Fagin et al.): round-robin sequential access
+/// over the weight-sorted lists; every newly seen set id is completed
+/// immediately by probing the other lists' extendible hashes (one random
+/// page I/O each). Terminates when the frontier bound F drops below tau.
+/// Requires an index built with `build_hash`.
+QueryResult TaSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                     const PreparedQuery& q, double tau);
+
+/// iTA (Section V remark): TA plus Length Boundedness (skip to τ·len(q),
+/// stop past len(q)/τ) and Magnitude Boundedness (a set whose best-case
+/// score is below tau is discarded before any hash probe is issued).
+QueryResult ItaSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                      const PreparedQuery& q, double tau,
+                      const SelectOptions& options);
+
+namespace internal {
+/// Shared engine; `improved` selects iTA behaviour.
+QueryResult TaEngineSelect(const InvertedIndex& index,
+                           const IdfMeasure& measure, const PreparedQuery& q,
+                           double tau, const SelectOptions& options,
+                           bool improved);
+}  // namespace internal
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_TA_H_

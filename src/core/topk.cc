@@ -1,0 +1,261 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "common/bitset.h"
+#include "core/internal.h"
+#include "index/list_cursor.h"
+
+namespace simsel {
+
+namespace {
+
+struct Candidate {
+  DynamicBitset present;
+  DynamicBitset absent;
+  float len = 0.0f;
+  double lb_num = 0.0;       // Σ weights over present bits
+  double missing_num = 0.0;  // Σ weights over unresolved bits
+};
+
+// (score, id) ordered so that *begin() is the weakest entry of the pool:
+// lowest score first and, among equal scores, the largest id first.
+struct PoolLess {
+  bool operator()(const Match& a, const Match& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id > b.id;
+  }
+};
+
+// Keeps the k largest values pushed into it (values only; used for the
+// dynamic threshold, which needs no identities).
+class TopKValues {
+ public:
+  explicit TopKValues(size_t k) : k_(k) {}
+
+  void Push(double v) {
+    if (values_.size() < k_) {
+      values_.insert(v);
+    } else if (!values_.empty() && *values_.begin() < v) {
+      values_.erase(values_.begin());
+      values_.insert(v);
+    }
+  }
+
+  /// The k-th largest value seen, or 0 until k values were pushed.
+  double KthBest() const { return values_.size() == k_ ? *values_.begin() : 0.0; }
+
+ private:
+  size_t k_;
+  std::multiset<double> values_;
+};
+
+}  // namespace
+
+QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                       const PreparedQuery& q, size_t k,
+                       const SelectOptions& options) {
+  using internal::kPruneSlack;
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0 || k == 0) return result;
+  AccessCounters& counters = result.counters;
+  const double total_weight = internal::TotalWeight(q);
+
+  std::vector<ListCursor> cursors;
+  std::vector<char> done(n, 0);
+  cursors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cursors.emplace_back(index, q.tokens[i], options.use_skip_index,
+                         &counters, options.buffer_pool,
+                      options.posting_store);
+    cursors.back().Next();
+  }
+
+  std::set<Match, PoolLess> pool;  // best <= k completed sets
+  std::unordered_map<uint32_t, Candidate> cands;
+
+  // Dynamic threshold: the k-th best *lower bound* over completed scores
+  // and incomplete candidates. Every top-k answer's final score is >= this,
+  // so it can drive pruning and the adaptive Theorem 1 window. It only
+  // grows, so using last round's value is always sound.
+  double threshold = 0.0;
+  auto prune_at = [&]() { return threshold * (1.0 - kPruneSlack); };
+
+  auto offer = [&](uint32_t id, double score) {
+    Match m{id, score};
+    if (pool.size() < k) {
+      pool.insert(m);
+      return;
+    }
+    if (PoolLess()(*pool.begin(), m)) {
+      pool.erase(pool.begin());
+      pool.insert(m);
+    }
+  };
+
+  auto check_done = [&](size_t i) {
+    if (done[i]) return true;
+    bool past_window =
+        options.length_bounding && threshold > 0.0 &&
+        static_cast<double>(cursors[i].len()) >
+            q.length / threshold * (1.0 + kPruneSlack);
+    if (cursors[i].AtEnd() || past_window) {
+      cursors[i].MarkComplete();
+      done[i] = 1;
+      return true;
+    }
+    return false;
+  };
+
+  auto frontier_w = [&](size_t i) {
+    if (done[i] || cursors[i].AtEnd()) return 0.0;
+    return q.weights[i] / (static_cast<double>(cursors[i].len()) * q.length);
+  };
+
+  // Candidate maintenance is a full map sweep; amortize it over a few
+  // rounds once the map is large (the threshold then grows in steps, which
+  // is sound — it is a lower bound either way).
+  size_t round = 0;
+  for (;;) {
+    ++round;
+    // Adaptive Length Boundedness: skip every list forward to the lower
+    // bound implied by the current threshold.
+    if (options.length_bounding && threshold > 0.0) {
+      float lo =
+          static_cast<float>(threshold * q.length * (1.0 - kPruneSlack));
+      for (size_t i = 0; i < n; ++i) {
+        if (done[i] || cursors[i].AtEnd()) continue;
+        if (cursors[i].len() < lo) cursors[i].SeekLengthGE(lo);
+      }
+    }
+
+    bool all_done = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (check_done(i)) continue;
+      all_done = false;
+      uint32_t id = cursors[i].id();
+      float len = cursors[i].len();
+      cursors[i].Next();
+      check_done(i);
+      auto it = cands.find(id);
+      if (it == cands.end()) {
+        if (options.magnitude_bound && threshold > 0.0) {
+          double best = total_weight / (static_cast<double>(len) * q.length);
+          if (best < prune_at()) {
+            ++counters.candidate_prunes;
+            continue;
+          }
+        }
+        Candidate cand;
+        cand.present = DynamicBitset(n);
+        cand.absent = DynamicBitset(n);
+        cand.len = len;
+        cand.missing_num = total_weight;
+        it = cands.emplace(id, std::move(cand)).first;
+        ++counters.candidate_inserts;
+      }
+      Candidate& cand = it->second;
+      if (!cand.present.Test(i) && !cand.absent.Test(i)) {
+        cand.present.Set(i);
+        cand.lb_num += q.weights[i];
+        cand.missing_num -= q.weights[i];
+      }
+    }
+
+    // Candidate maintenance: complete, prune against the threshold, and
+    // grow the threshold from the current lower bounds.
+    const bool sweep_now =
+        all_done || cands.size() < 64 || (round % 4 == 0);
+    if (!sweep_now) continue;
+    TopKValues lbs(k);
+    for (const Match& m : pool) lbs.Push(m.score);
+    for (auto it = cands.begin(); it != cands.end();) {
+      ++counters.candidate_scan_steps;
+      Candidate& cand = it->second;
+      bool complete = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (cand.present.Test(i) || cand.absent.Test(i)) continue;
+        bool is_absent = done[i];
+        if (!is_absent && options.order_preservation &&
+            cand.len < cursors[i].len()) {
+          is_absent = true;
+        }
+        if (is_absent) {
+          cand.absent.Set(i);
+          cand.missing_num -= q.weights[i];
+          continue;
+        }
+        complete = false;
+      }
+      double denom = static_cast<double>(cand.len) * q.length;
+      if (complete) {
+        double score = measure.ScoreFromBits(q, cand.present, cand.len);
+        offer(it->first, score);
+        lbs.Push(score);
+        it = cands.erase(it);
+        continue;
+      }
+      if (threshold > 0.0) {
+        double ub = (cand.lb_num + cand.missing_num) / denom;
+        if (ub < prune_at()) {
+          ++counters.candidate_prunes;
+          it = cands.erase(it);
+          continue;
+        }
+      }
+      lbs.Push(cand.lb_num / denom);
+      ++it;
+    }
+    threshold = std::max(threshold, lbs.KthBest());
+
+    if (all_done && cands.empty()) break;
+    if (!all_done && pool.size() == k && cands.empty()) {
+      // No unseen set can beat the k-th best: F bound against it.
+      double f = 0.0;
+      for (size_t i = 0; i < n; ++i) f += frontier_w(i);
+      if (f < prune_at()) break;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  result.matches.assign(pool.begin(), pool.end());
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const Match& a, const Match& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  counters.results = result.matches.size();
+  return result;
+}
+
+QueryResult LinearScanTopK(const SimilarityMeasure& measure,
+                           const Collection& collection,
+                           const PreparedQuery& q, size_t k) {
+  QueryResult result;
+  if (k == 0) return result;
+  std::set<Match, PoolLess> pool;
+  for (SetId s = 0; s < collection.size(); ++s) {
+    ++result.counters.rows_scanned;
+    Match m{s, measure.Score(q, s)};
+    if (pool.size() < k) {
+      pool.insert(m);
+    } else if (PoolLess()(*pool.begin(), m)) {
+      pool.erase(pool.begin());
+      pool.insert(m);
+    }
+  }
+  result.matches.assign(pool.begin(), pool.end());
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const Match& a, const Match& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  result.counters.results = result.matches.size();
+  return result;
+}
+
+}  // namespace simsel

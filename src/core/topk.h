@@ -1,0 +1,36 @@
+#ifndef SIMSEL_CORE_TOPK_H_
+#define SIMSEL_CORE_TOPK_H_
+
+#include "core/types.h"
+#include "index/inverted_index.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Top-k set similarity selection — the extension the paper lists as future
+/// work ("we plan to extend our techniques for top-k processing").
+///
+/// TopKSelect runs an iNRA-style round-robin with a *dynamic* threshold:
+/// τ_dyn is the k-th best completed score so far (0 until k sets complete).
+/// All three semantic properties transfer:
+///  - Length Boundedness becomes adaptive: as τ_dyn rises, every list skips
+///    forward to τ_dyn·len(q) and is abandoned past len(q)/τ_dyn;
+///  - Magnitude and Order bounds prune candidates against τ_dyn.
+/// Ties at the k-th score are broken toward smaller set ids.
+///
+/// Results are sorted by (score desc, id asc) — rank order, unlike the
+/// threshold algorithms which sort by id. Only sets sharing at least one
+/// token with the query can be returned (an inverted index never sees the
+/// rest); fewer than k matches are returned when fewer such sets exist.
+QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
+                       const PreparedQuery& q, size_t k,
+                       const SelectOptions& options);
+
+/// Exhaustive top-k baseline for verification, same tie-breaking and order.
+QueryResult LinearScanTopK(const SimilarityMeasure& measure,
+                           const Collection& collection,
+                           const PreparedQuery& q, size_t k);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_TOPK_H_

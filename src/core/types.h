@@ -1,0 +1,104 @@
+#ifndef SIMSEL_CORE_TYPES_H_
+#define SIMSEL_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+#include "index/collection.h"
+
+namespace simsel {
+
+class BufferPool;
+class PostingStore;
+
+/// One reported set: its id and exact IDF similarity (>= the threshold).
+struct Match {
+  SetId id;
+  double score;
+};
+
+/// Output of one selection query: matches sorted by ascending id, plus the
+/// access accounting the benchmarks aggregate.
+struct QueryResult {
+  std::vector<Match> matches;
+  AccessCounters counters;
+};
+
+/// Feature toggles of the selection algorithms. Defaults enable everything
+/// (the paper's configuration); the Figure 8/9 ablations switch individual
+/// properties off. Algorithms ignore toggles that do not apply to them
+/// (e.g. classic NRA never length-bounds regardless of the flag).
+struct SelectOptions {
+  /// Theorem 1: restrict every list to lengths in [τ·len(q), len(q)/τ].
+  bool length_bounding = true;
+  /// Use per-list skip indexes for the initial seek (Figure 9's "NSL"
+  /// ablation disables this: the prefix is scanned and discarded).
+  bool use_skip_index = true;
+  /// Property 1: deduce absence from the list frontiers (iNRA/Hybrid/SF).
+  bool order_preservation = true;
+  /// Property 2: tight best-case upper bounds from the set length.
+  bool magnitude_bound = true;
+  /// Stop admitting new candidates once F < τ (Section V). Also applied to
+  /// the classic NRA baseline, as in the paper's experimental setup.
+  bool f_cutoff = true;
+  /// Scan the candidate set only while F < τ and stop at the first viable
+  /// candidate (Section V's bookkeeping reductions).
+  bool lazy_candidate_scan = true;
+  /// Optional cache simulator: when set, every list page and hash bucket
+  /// the inverted-list algorithms touch goes through this LRU and the
+  /// hit/miss counts land in QueryResult counters (see
+  /// storage/buffer_pool.h). Borrowed, not owned; not thread-safe — use one
+  /// pool per query stream.
+  BufferPool* buffer_pool = nullptr;
+  /// Optional disk mode: when set, cursors fetch postings block-by-block
+  /// out of this page-aligned store (real byte copies, page-granular I/O
+  /// accounting) instead of the in-memory arrays (see
+  /// storage/posting_store.h). Must have been built from the same index.
+  const PostingStore* posting_store = nullptr;
+};
+
+/// The algorithms of the paper's evaluation (Section VIII).
+enum class AlgorithmKind {
+  kLinearScan,  ///< no index; exact scores for every set (testing baseline)
+  kSql,         ///< relational plan on the q-gram table's clustered B-tree
+  kSortById,    ///< multiway merge of id-sorted lists (no pruning)
+  kTa,          ///< classic Threshold Algorithm (random access via hashes)
+  kNra,         ///< classic No-Random-Access algorithm
+  kIta,         ///< TA + semantic properties (Section V remark)
+  kInra,        ///< improved NRA (Section V)
+  kSf,          ///< Shortest-First (Section VI)
+  kHybrid,      ///< Hybrid (Section VII)
+  kPrefixFilter,  ///< prefix filter of [2] adapted to IDF (Related Work)
+};
+
+inline const char* AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kLinearScan:
+      return "scan";
+    case AlgorithmKind::kSql:
+      return "SQL";
+    case AlgorithmKind::kSortById:
+      return "sort-by-id";
+    case AlgorithmKind::kTa:
+      return "TA";
+    case AlgorithmKind::kNra:
+      return "NRA";
+    case AlgorithmKind::kIta:
+      return "iTA";
+    case AlgorithmKind::kInra:
+      return "iNRA";
+    case AlgorithmKind::kSf:
+      return "SF";
+    case AlgorithmKind::kHybrid:
+      return "Hybrid";
+    case AlgorithmKind::kPrefixFilter:
+      return "PrefixFilter";
+  }
+  return "unknown";
+}
+
+}  // namespace simsel
+
+#endif  // SIMSEL_CORE_TYPES_H_

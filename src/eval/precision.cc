@@ -1,0 +1,75 @@
+#include "eval/precision.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace simsel {
+
+double AveragePrecision(const std::vector<uint32_t>& ranked,
+                        const std::unordered_set<uint32_t>& relevant) {
+  if (relevant.empty()) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t r = 0; r < ranked.size(); ++r) {
+    if (relevant.count(ranked[r]) > 0) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(r + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double MeanAveragePrecision(const LabeledDataset& dataset, int error_level,
+                            const Collection& collection,
+                            const SimilarityMeasure& measure,
+                            const Tokenizer& tokenizer,
+                            const PrecisionExperimentOptions& options) {
+  SIMSEL_CHECK(collection.size() == dataset.records.size());
+  // relevant[c] = ids of all records derived from clean record c.
+  std::vector<std::vector<uint32_t>> by_source(dataset.num_clean);
+  for (uint32_t i = 0; i < dataset.records.size(); ++i) {
+    by_source[dataset.source[i]].push_back(i);
+  }
+
+  Rng rng(options.seed);
+  const double rate = ErrorRateForLevel(error_level);
+  double total_ap = 0.0;
+  std::vector<std::pair<double, uint32_t>> scored;
+  for (size_t qi = 0; qi < options.num_queries; ++qi) {
+    uint32_t clean =
+        static_cast<uint32_t>(rng.NextBounded(dataset.num_clean));
+    // Fresh corruption at the dataset's own error level.
+    const std::string& base = dataset.records[clean];
+    int edits = 0;
+    for (size_t c = 0; c < base.size(); ++c) {
+      if (rng.NextBernoulli(rate)) ++edits;
+    }
+    std::string query = base;
+    for (int e = 0; e < edits; ++e) {
+      query = ApplyEdit(query, static_cast<EditKind>(rng.NextBounded(4)), &rng);
+    }
+
+    PreparedQuery pq = measure.PrepareQuery(tokenizer.TokenizeCounted(query));
+    scored.clear();
+    scored.reserve(collection.size());
+    for (SetId s = 0; s < collection.size(); ++s) {
+      scored.push_back({measure.Score(pq, s), s});
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<uint32_t> ranked;
+    ranked.reserve(scored.size());
+    for (const auto& [score, id] : scored) ranked.push_back(id);
+    std::unordered_set<uint32_t> relevant(by_source[clean].begin(),
+                                          by_source[clean].end());
+    total_ap += AveragePrecision(ranked, relevant);
+  }
+  return total_ap / static_cast<double>(options.num_queries);
+}
+
+}  // namespace simsel

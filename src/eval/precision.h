@@ -1,0 +1,40 @@
+#ifndef SIMSEL_EVAL_PRECISION_H_
+#define SIMSEL_EVAL_PRECISION_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/error_model.h"
+#include "sim/measure.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+
+/// Non-interpolated average precision of a ranking: the mean, over the
+/// relevant items, of precision at each relevant item's rank; relevant items
+/// never retrieved contribute 0. This is the standard IR metric behind the
+/// paper's Table I ("average precision experiments for random set selection
+/// queries").
+double AveragePrecision(const std::vector<uint32_t>& ranked,
+                        const std::unordered_set<uint32_t>& relevant);
+
+/// Configuration of one Table I cell.
+struct PrecisionExperimentOptions {
+  size_t num_queries = 100;
+  uint64_t seed = 99;
+};
+
+/// Runs the Table I experiment for one measure on one labeled dataset:
+/// queries are freshly corrupted copies of random clean records (same error
+/// level as the dataset); the relevant set of a query is every record
+/// derived from the same clean original. Returns mean average precision.
+double MeanAveragePrecision(const LabeledDataset& dataset, int error_level,
+                            const Collection& collection,
+                            const SimilarityMeasure& measure,
+                            const Tokenizer& tokenizer,
+                            const PrecisionExperimentOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_EVAL_PRECISION_H_

@@ -1,0 +1,98 @@
+#include "gen/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "gen/zipf.h"
+
+namespace simsel {
+
+namespace {
+
+// Letter frequencies of English text, used so generated words share 3-grams
+// at realistic rates instead of being uniformly random strings.
+constexpr const char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+constexpr double kLetterWeights[26] = {
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4,
+    6.7, 7.5, 1.9, 0.1, 6.0,  6.3, 9.1, 2.8, 1.0, 2.4,  0.15, 2.0, 0.07};
+
+char SampleLetter(Rng* rng, const double* cdf) {
+  double u = rng->NextDouble();
+  for (int i = 0; i < 26; ++i) {
+    if (u <= cdf[i]) return kLetters[i];
+  }
+  return 'e';
+}
+
+std::string MakeWord(Rng* rng, const CorpusOptions& opt, const double* cdf) {
+  double len_f =
+      std::exp(opt.word_len_log_mu + opt.word_len_log_sigma * rng->NextGaussian());
+  int len = static_cast<int>(std::lround(len_f));
+  len = std::clamp(len, opt.min_word_len, opt.max_word_len);
+  std::string w;
+  w.reserve(len);
+  for (int i = 0; i < len; ++i) w.push_back(SampleLetter(rng, cdf));
+  return w;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const CorpusOptions& options) {
+  SIMSEL_CHECK(options.vocab_size >= 1);
+  SIMSEL_CHECK(options.min_words >= 1 &&
+               options.min_words <= options.max_words);
+  Rng rng(options.seed);
+
+  double letter_cdf[26];
+  double total = 0;
+  for (double w : kLetterWeights) total += w;
+  double acc = 0;
+  for (int i = 0; i < 26; ++i) {
+    acc += kLetterWeights[i] / total;
+    letter_cdf[i] = acc;
+  }
+  letter_cdf[25] = 1.0;
+
+  Corpus corpus;
+  corpus.vocabulary.reserve(options.vocab_size);
+  std::unordered_set<std::string> seen;
+  seen.reserve(options.vocab_size * 2);
+  while (corpus.vocabulary.size() < options.vocab_size) {
+    std::string w = MakeWord(&rng, options, letter_cdf);
+    if (seen.insert(w).second) corpus.vocabulary.push_back(std::move(w));
+  }
+
+  ZipfSampler zipf(options.vocab_size, options.zipf_s);
+  corpus.records.reserve(options.num_records);
+  for (size_t r = 0; r < options.num_records; ++r) {
+    int nwords = static_cast<int>(
+        rng.NextInt(options.min_words, options.max_words));
+    std::string rec;
+    for (int w = 0; w < nwords; ++w) {
+      if (w > 0) rec.push_back(' ');
+      rec += corpus.vocabulary[zipf.Sample(&rng)];
+    }
+    corpus.records.push_back(std::move(rec));
+  }
+  return corpus;
+}
+
+Result<Corpus> LoadCorpusFromFile(const std::string& path,
+                                  size_t max_records) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open corpus file: " + path);
+  Corpus corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    corpus.records.push_back(line);
+    if (max_records != 0 && corpus.records.size() >= max_records) break;
+  }
+  return corpus;
+}
+
+}  // namespace simsel

@@ -1,0 +1,53 @@
+#ifndef SIMSEL_GEN_CORPUS_H_
+#define SIMSEL_GEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace simsel {
+
+/// Parameters of the synthetic text corpus.
+///
+/// The paper evaluates on the IMDB actor/movie table (7M rows) and DBLP.
+/// Neither is available offline, so we generate a corpus with the same
+/// statistical shape: a Zipf-distributed vocabulary of letter strings with a
+/// realistic word-length distribution, combined into short multi-word records
+/// (names/titles). See DESIGN.md section 2 for the substitution argument.
+struct CorpusOptions {
+  size_t num_records = 100000;
+  size_t vocab_size = 20000;
+  /// Zipf skew of word frequencies (≈1.0 matches natural text).
+  double zipf_s = 1.0;
+  /// Records contain between min_words and max_words words, uniform.
+  int min_words = 1;
+  int max_words = 4;
+  /// Word lengths are drawn from round(exp(N(mu, sigma))) clamped to
+  /// [min_word_len, max_word_len]; defaults give a mode around 6 chars.
+  double word_len_log_mu = 1.8;
+  double word_len_log_sigma = 0.35;
+  int min_word_len = 2;
+  int max_word_len = 20;
+  uint64_t seed = 42;
+};
+
+/// A generated (or loaded) collection of record strings.
+struct Corpus {
+  std::vector<std::string> records;
+  /// The vocabulary the records were drawn from (empty for loaded corpora).
+  std::vector<std::string> vocabulary;
+};
+
+/// Generates a deterministic synthetic corpus from `options`.
+Corpus GenerateCorpus(const CorpusOptions& options);
+
+/// Loads a corpus from a text file, one record per line. Blank lines are
+/// skipped. Returns NotFound if the file cannot be opened.
+Result<Corpus> LoadCorpusFromFile(const std::string& path,
+                                  size_t max_records = 0);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_GEN_CORPUS_H_

@@ -1,0 +1,99 @@
+#include "gen/error_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+namespace {
+
+char RandomLetter(Rng* rng) {
+  return static_cast<char>('a' + rng->NextBounded(26));
+}
+
+}  // namespace
+
+std::string ApplyEdit(const std::string& text, EditKind kind, Rng* rng) {
+  std::string out = text;
+  switch (kind) {
+    case EditKind::kInsert: {
+      size_t pos = static_cast<size_t>(rng->NextBounded(out.size() + 1));
+      out.insert(out.begin() + pos, RandomLetter(rng));
+      break;
+    }
+    case EditKind::kDelete: {
+      if (out.size() <= 1) break;  // never empty the string
+      size_t pos = static_cast<size_t>(rng->NextBounded(out.size()));
+      out.erase(out.begin() + pos);
+      break;
+    }
+    case EditKind::kSwap: {
+      if (out.size() < 2) break;
+      size_t pos = static_cast<size_t>(rng->NextBounded(out.size() - 1));
+      std::swap(out[pos], out[pos + 1]);
+      break;
+    }
+    case EditKind::kSubstitute: {
+      if (out.empty()) break;
+      size_t pos = static_cast<size_t>(rng->NextBounded(out.size()));
+      out[pos] = RandomLetter(rng);
+      break;
+    }
+  }
+  return out;
+}
+
+std::string ApplyModifications(const std::string& text, int k, Rng* rng) {
+  std::string out = text;
+  for (int i = 0; i < k; ++i) {
+    // The paper's workload modifications are insertions, deletions and swaps.
+    EditKind kind = static_cast<EditKind>(rng->NextBounded(3));
+    out = ApplyEdit(out, kind, rng);
+  }
+  return out;
+}
+
+double ErrorRateForLevel(int level) {
+  SIMSEL_CHECK_MSG(level >= 1 && level <= 8, "error level must be in [1,8]");
+  // cu1 (level 1): ~22% of characters perturbed; cu8 (level 8): ~1%.
+  return 0.22 - 0.03 * (level - 1);
+}
+
+LabeledDataset MakeDirtyDataset(const std::vector<std::string>& clean,
+                                const DirtyDatasetOptions& options) {
+  SIMSEL_CHECK(!clean.empty());
+  size_t num_clean = std::min(options.num_clean, clean.size());
+  double rate = ErrorRateForLevel(options.level);
+  Rng rng(options.seed);
+
+  LabeledDataset ds;
+  ds.num_clean = num_clean;
+  ds.records.reserve(num_clean * (1 + options.duplicates_per_record));
+  ds.source.reserve(ds.records.capacity());
+
+  for (size_t i = 0; i < num_clean; ++i) {
+    ds.records.push_back(clean[i]);
+    ds.source.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i = 0; i < num_clean; ++i) {
+    for (int d = 0; d < options.duplicates_per_record; ++d) {
+      const std::string& base = clean[i];
+      // Binomial(len, rate) edit count via per-character coin flips.
+      int edits = 0;
+      for (size_t c = 0; c < base.size(); ++c) {
+        if (rng.NextBernoulli(rate)) ++edits;
+      }
+      std::string dirty = base;
+      for (int e = 0; e < edits; ++e) {
+        EditKind kind = static_cast<EditKind>(rng.NextBounded(4));
+        dirty = ApplyEdit(dirty, kind, &rng);
+      }
+      ds.records.push_back(std::move(dirty));
+      ds.source.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return ds;
+}
+
+}  // namespace simsel

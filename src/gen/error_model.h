@@ -1,0 +1,66 @@
+#ifndef SIMSEL_GEN_ERROR_MODEL_H_
+#define SIMSEL_GEN_ERROR_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simsel {
+
+/// Character-level edit kinds used to synthesize dirty strings. These are the
+/// "random letter insertions, deletions and swaps (termed modifications)"
+/// the paper applies to query workloads; substitutions are additionally used
+/// by the Table I dataset factory.
+enum class EditKind {
+  kInsert,
+  kDelete,
+  kSwap,
+  kSubstitute,
+};
+
+/// Applies exactly `k` random modifications (insert/delete/swap, equal
+/// probability) to `text`, as in the paper's workload construction. Edits
+/// never delete the last remaining character.
+std::string ApplyModifications(const std::string& text, int k, Rng* rng);
+
+/// Applies one random edit of kind `kind` at a random position.
+std::string ApplyEdit(const std::string& text, EditKind kind, Rng* rng);
+
+/// A record collection with duplicate ground truth, mirroring the cu1..cu8
+/// benchmark datasets of Chandel et al. (SIGMOD 2007) used for Table I.
+struct LabeledDataset {
+  /// All records: the clean originals first, then the dirty duplicates.
+  std::vector<std::string> records;
+  /// source[i] is the id of the clean record that records[i] derives from
+  /// (source[i] == i for the clean originals themselves).
+  std::vector<uint32_t> source;
+  /// Number of clean originals (== the first `num_clean` records).
+  size_t num_clean = 0;
+};
+
+/// Parameters of the dirty-duplicate dataset factory.
+struct DirtyDatasetOptions {
+  /// Error level in [1, 8]: 1 reproduces cu1 (heavy errors), 8 reproduces
+  /// cu8 (light errors). Per-character error probability decays linearly
+  /// with the level.
+  int level = 8;
+  size_t num_clean = 2000;
+  /// Dirty duplicates generated per clean record.
+  int duplicates_per_record = 4;
+  uint64_t seed = 7;
+};
+
+/// Per-character edit probability for a cu`level` dataset.
+double ErrorRateForLevel(int level);
+
+/// Builds a labeled dataset by duplicating `clean` records with errors.
+/// Each duplicate applies Binomial(len, ErrorRateForLevel(level)) edits of
+/// uniformly random kind (including substitutions).
+LabeledDataset MakeDirtyDataset(const std::vector<std::string>& clean,
+                                const DirtyDatasetOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_GEN_ERROR_MODEL_H_

@@ -1,0 +1,42 @@
+#include "gen/workload.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "gen/error_model.h"
+
+namespace simsel {
+
+Workload GenerateWordWorkload(const std::vector<std::string>& records,
+                              const Tokenizer& tokenizer,
+                              const WorkloadOptions& options) {
+  // Pool: distinct words from the base table whose gram count is in-bucket.
+  Tokenizer word_tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> pool;
+  for (const std::string& rec : records) {
+    for (std::string& w : word_tok.Tokenize(rec)) {
+      size_t grams = tokenizer.CountTokens(w);
+      if (grams < static_cast<size_t>(options.min_tokens) ||
+          grams > static_cast<size_t>(options.max_tokens)) {
+        continue;
+      }
+      if (seen.insert(w).second) pool.push_back(std::move(w));
+    }
+  }
+
+  Workload wl;
+  if (pool.empty()) return wl;
+  Rng rng(options.seed);
+  wl.queries.reserve(options.num_queries);
+  wl.sources.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    const std::string& src =
+        pool[static_cast<size_t>(rng.NextBounded(pool.size()))];
+    wl.sources.push_back(src);
+    wl.queries.push_back(ApplyModifications(src, options.modifications, &rng));
+  }
+  return wl;
+}
+
+}  // namespace simsel

@@ -1,0 +1,45 @@
+#ifndef SIMSEL_GEN_WORKLOAD_H_
+#define SIMSEL_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace simsel {
+
+/// A set-similarity query workload: query strings drawn from the database
+/// (so each has at least one exact match before modification), bucketed by
+/// token count, with a fixed number of random modifications applied.
+/// Mirrors Section VIII-A of the paper: "query workloads of 100 words each,
+/// by randomly extracting words between lengths 1-5, 6-10, 11-15, and 16-20
+/// 3-grams ... apply a fixed number of random letter insertions, deletions
+/// and swaps".
+struct Workload {
+  std::vector<std::string> queries;
+  /// The unmodified source strings (queries[i] before edits).
+  std::vector<std::string> sources;
+};
+
+struct WorkloadOptions {
+  size_t num_queries = 100;
+  /// Inclusive token-count bucket, e.g. {11, 15} for "11-15 3-grams".
+  int min_tokens = 11;
+  int max_tokens = 15;
+  /// Number of random modifications per query (0 keeps exact matches).
+  int modifications = 0;
+  uint64_t seed = 1234;
+};
+
+/// Samples words from `records` (tokenized into words first) whose gram
+/// count under `tokenizer` falls in the requested bucket, then applies the
+/// modifications. Sampling is with replacement if the bucket is small;
+/// returns an empty workload if no word falls in the bucket.
+Workload GenerateWordWorkload(const std::vector<std::string>& records,
+                              const Tokenizer& tokenizer,
+                              const WorkloadOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_GEN_WORKLOAD_H_

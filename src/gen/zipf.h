@@ -1,0 +1,36 @@
+#ifndef SIMSEL_GEN_ZIPF_H_
+#define SIMSEL_GEN_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace simsel {
+
+/// Samples ranks in [0, n) with probability proportional to 1/(rank+1)^s.
+///
+/// Natural-language token frequencies are famously Zipfian; the synthetic
+/// corpus uses this sampler so that idf distributions (and therefore inverted
+/// list length distributions) match the shape of the paper's IMDB/DBLP data.
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the skew (s=0 is uniform, ~1.0 is classic Zipf).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_GEN_ZIPF_H_

@@ -1,0 +1,69 @@
+#include "index/collection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+Collection Collection::Build(const std::vector<std::string>& records,
+                             const Tokenizer& tokenizer) {
+  Collection c;
+  c.sets_.reserve(records.size());
+  c.texts_ = records;
+  uint64_t total_multiset = 0;
+  for (const std::string& rec : records) {
+    SetRecord set;
+    for (const TokenCount& tc : tokenizer.TokenizeCounted(rec)) {
+      TokenId id = c.dict_.Intern(tc.token);
+      set.tokens.push_back(id);
+      set.tfs.push_back(tc.count);
+      set.multiset_size += tc.count;
+    }
+    // TokenizeCounted returns tokens sorted by string; re-sort by TokenId so
+    // set membership tests can binary search on ids.
+    std::vector<size_t> order(set.tokens.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return set.tokens[a] < set.tokens[b];
+    });
+    SetRecord sorted;
+    sorted.multiset_size = set.multiset_size;
+    sorted.tokens.reserve(order.size());
+    sorted.tfs.reserve(order.size());
+    for (size_t i : order) {
+      sorted.tokens.push_back(set.tokens[i]);
+      sorted.tfs.push_back(set.tfs[i]);
+    }
+    for (TokenId t : sorted.tokens) c.dict_.AddSetOccurrence(t);
+    total_multiset += sorted.multiset_size;
+    c.sets_.push_back(std::move(sorted));
+  }
+  c.avg_set_size_ =
+      c.sets_.empty()
+          ? 0.0
+          : static_cast<double>(total_multiset) / static_cast<double>(c.sets_.size());
+  return c;
+}
+
+bool Collection::Contains(SetId id, TokenId token) const {
+  const std::vector<TokenId>& toks = sets_[id].tokens;
+  return std::binary_search(toks.begin(), toks.end(), token);
+}
+
+size_t Collection::BaseTableBytes() const {
+  size_t bytes = 0;
+  for (const std::string& t : texts_) bytes += t.size() + sizeof(SetId);
+  return bytes;
+}
+
+size_t Collection::TokenizedBytes() const {
+  size_t bytes = dict_.SizeBytes();
+  for (const SetRecord& s : sets_) {
+    bytes += s.tokens.size() * (sizeof(TokenId) + sizeof(uint32_t)) +
+             sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace simsel

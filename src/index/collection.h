@@ -1,0 +1,62 @@
+#ifndef SIMSEL_INDEX_COLLECTION_H_
+#define SIMSEL_INDEX_COLLECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/dictionary.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+
+/// Dense identifier of a database set (a row of the base table).
+using SetId = uint32_t;
+
+/// One database set: the token multiset of a record, stored as sorted
+/// distinct token ids with parallel term frequencies. The IDF measure uses
+/// only the distinct tokens; TF/IDF and BM25 additionally use the tfs.
+struct SetRecord {
+  std::vector<TokenId> tokens;  // sorted ascending, distinct
+  std::vector<uint32_t> tfs;    // parallel to tokens
+  uint32_t multiset_size = 0;   // Σ tfs (BM25 document length)
+};
+
+/// The base table: every record string tokenized into a set, plus the token
+/// dictionary with document frequencies. This is the paper's "Base Table"
+/// (Figure 1) in First Normal Form, before any index is built on it.
+class Collection {
+ public:
+  /// Tokenizes `records` with `tokenizer` and builds the dictionary and all
+  /// sets. Record i becomes SetId i.
+  static Collection Build(const std::vector<std::string>& records,
+                          const Tokenizer& tokenizer);
+
+  size_t size() const { return sets_.size(); }
+  const SetRecord& set(SetId id) const { return sets_[id]; }
+  const std::string& text(SetId id) const { return texts_[id]; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// True if set `id` contains `token` (binary search).
+  bool Contains(SetId id, TokenId token) const;
+
+  /// Mean multiset size across sets (BM25's avgdl).
+  double average_set_size() const { return avg_set_size_; }
+
+  /// Bytes of the raw data table (record texts + ids); the Figure 5
+  /// "Base table" bar.
+  size_t BaseTableBytes() const;
+
+  /// Bytes of the tokenized representation incl. dictionary.
+  size_t TokenizedBytes() const;
+
+ private:
+  Dictionary dict_;
+  std::vector<SetRecord> sets_;
+  std::vector<std::string> texts_;
+  double avg_set_size_ = 0.0;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_INDEX_COLLECTION_H_

@@ -1,0 +1,97 @@
+#include "index/compressed_lists.h"
+
+#include "common/logging.h"
+#include "storage/codec.h"
+
+namespace simsel {
+
+CompressedIdLists CompressedIdLists::Build(const InvertedIndex& index) {
+  SIMSEL_CHECK_MSG(index.options().build_id_lists,
+                   "compressed lists need build_id_lists");
+  CompressedIdLists out;
+  const size_t num_tokens = index.num_tokens();
+  out.offsets_.resize(num_tokens + 1, 0);
+  out.counts_.resize(num_tokens, 0);
+
+  uint32_t max_id = 0;
+  for (TokenId t = 0; t < num_tokens; ++t) {
+    const size_t n = index.ListSize(t);
+    out.counts_[t] = static_cast<uint32_t>(n);
+    out.offsets_[t] = out.blob_.size();
+    const uint32_t* ids = index.IdIds(t);
+    uint32_t prev = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // First gap is the id itself; ids strictly increase within a list.
+      uint32_t gap = (i == 0) ? ids[i] : ids[i] - prev;
+      PutVarint32(&out.blob_, gap);
+      prev = ids[i];
+      max_id = std::max(max_id, ids[i]);
+    }
+  }
+  out.offsets_[num_tokens] = out.blob_.size();
+
+  // Global id -> length table (lengths are per set, not per posting).
+  out.set_len_.assign(static_cast<size_t>(max_id) + 1, 0.0f);
+  for (TokenId t = 0; t < num_tokens; ++t) {
+    const uint32_t* ids = index.IdIds(t);
+    const float* lens = index.IdLens(t);
+    for (size_t i = 0; i < index.ListSize(t); ++i) {
+      out.set_len_[ids[i]] = lens[i];
+    }
+  }
+  return out;
+}
+
+uint64_t CompressedIdLists::total_postings() const {
+  uint64_t total = 0;
+  for (uint32_t c : counts_) total += c;
+  return total;
+}
+
+size_t CompressedIdLists::SizeBytes() const {
+  return blob_.size() + offsets_.size() * sizeof(uint64_t) +
+         counts_.size() * sizeof(uint32_t) + set_len_.size() * sizeof(float);
+}
+
+void CompressedIdLists::Cursor::Decode() {
+  // Bounded varint decode; encoding is internal so it cannot be malformed.
+  uint32_t gap = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t byte = *pos_++;
+    gap |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    SIMSEL_DCHECK(shift <= 28);
+  }
+  id_ += gap;
+  if (counters_ != nullptr) {
+    ++counters_->elements_read;
+    int64_t page =
+        static_cast<int64_t>((pos_ - blob_start_) / kPageBytes);
+    if (page != last_page_) {
+      ++counters_->seq_page_reads;
+      last_page_ = page;
+    }
+  }
+}
+
+void CompressedIdLists::Cursor::Next() {
+  SIMSEL_DCHECK(Valid());
+  --remaining_;
+  if (remaining_ > 0) Decode();
+}
+
+CompressedIdLists::Cursor CompressedIdLists::OpenList(
+    TokenId t, AccessCounters* counters) const {
+  Cursor cursor;
+  cursor.pos_ = blob_.data() + offsets_[t];
+  cursor.blob_start_ = blob_.data();
+  cursor.remaining_ = counts_[t];
+  cursor.counters_ = counters;
+  if (counters != nullptr) counters->elements_total += counts_[t];
+  if (cursor.remaining_ > 0) cursor.Decode();
+  return cursor;
+}
+
+}  // namespace simsel

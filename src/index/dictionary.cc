@@ -1,0 +1,34 @@
+#include "index/dictionary.h"
+
+#include "common/logging.h"
+
+namespace simsel {
+
+TokenId Dictionary::Intern(std::string_view token) {
+  auto it = map_.find(token);
+  if (it != map_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  dfs_.push_back(0);
+  map_.emplace(tokens_.back(), id);
+  return id;
+}
+
+std::optional<TokenId> Dictionary::Find(std::string_view token) const {
+  auto it = map_.find(token);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Dictionary::AddSetOccurrence(TokenId id) {
+  SIMSEL_DCHECK(id < dfs_.size());
+  ++dfs_[id];
+}
+
+size_t Dictionary::SizeBytes() const {
+  size_t bytes = dfs_.size() * sizeof(uint32_t);
+  for (const std::string& t : tokens_) bytes += t.size() + sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace simsel

@@ -1,0 +1,60 @@
+#ifndef SIMSEL_INDEX_DICTIONARY_H_
+#define SIMSEL_INDEX_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace simsel {
+
+/// Dense integer handle for a token of the universe U.
+using TokenId = uint32_t;
+
+/// Token universe: interns token strings to dense TokenIds and tracks
+/// document frequency N(t) — the number of *sets* containing each token,
+/// which is the denominator of idf(t) = log2(1 + N / N(t)).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of `token`, interning it if new.
+  TokenId Intern(std::string_view token);
+
+  /// Returns the id of `token` if present.
+  std::optional<TokenId> Find(std::string_view token) const;
+
+  /// Records that one more set contains `token` (call once per distinct
+  /// token per set, not per occurrence).
+  void AddSetOccurrence(TokenId id);
+
+  /// Document frequency N(t).
+  uint32_t df(TokenId id) const { return dfs_[id]; }
+
+  const std::string& token(TokenId id) const { return tokens_[id]; }
+
+  /// Number of distinct tokens.
+  size_t size() const { return tokens_.size(); }
+
+  /// Bytes of token text plus df table (Figure 5 accounting).
+  size_t SizeBytes() const;
+
+ private:
+  // Heterogeneous lookup so Find/Intern take string_view without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, TokenId, StringHash, std::equal_to<>> map_;
+  std::vector<std::string> tokens_;
+  std::vector<uint32_t> dfs_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_INDEX_DICTIONARY_H_

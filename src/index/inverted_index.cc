@@ -1,0 +1,292 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.h"
+
+#include "storage/codec.h"
+#include "storage/paged_file.h"
+
+namespace simsel {
+
+InvertedIndex InvertedIndex::Build(const Collection& collection,
+                                   const IdfMeasure& measure,
+                                   InvertedIndexOptions options) {
+  std::vector<float> lengths(collection.size());
+  for (SetId s = 0; s < collection.size(); ++s) {
+    lengths[s] = measure.set_length(s);
+  }
+  return BuildWithLengths(collection, lengths, options);
+}
+
+InvertedIndex InvertedIndex::BuildWithLengths(
+    const Collection& collection, const std::vector<float>& set_lengths,
+    InvertedIndexOptions options) {
+  SIMSEL_CHECK_MSG(set_lengths.size() == collection.size(),
+                   "one length per set required");
+  InvertedIndex index;
+  index.options_ = options;
+  const size_t num_tokens = collection.dictionary().size();
+
+  // Pass 1: list sizes -> CSR offsets.
+  index.offsets_.assign(num_tokens + 1, 0);
+  for (SetId s = 0; s < collection.size(); ++s) {
+    for (TokenId t : collection.set(s).tokens) ++index.offsets_[t + 1];
+  }
+  for (size_t t = 0; t < num_tokens; ++t) {
+    index.offsets_[t + 1] += index.offsets_[t];
+  }
+  const uint64_t total = index.offsets_[num_tokens];
+
+  // Pass 2: fill by-id lists (iterating sets in id order yields id order).
+  index.id_ids_.resize(total);
+  index.id_lens_.resize(total);
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (SetId s = 0; s < collection.size(); ++s) {
+    float len = set_lengths[s];
+    for (TokenId t : collection.set(s).tokens) {
+      uint64_t pos = cursor[t]++;
+      index.id_ids_[pos] = s;
+      index.id_lens_[pos] = len;
+    }
+  }
+
+  // Pass 3: by-length lists = per-token stable sort of the by-id lists by
+  // (len, id). Ids ascend within equal lengths because the sort is stable
+  // over an id-ascending input.
+  index.len_ids_.resize(total);
+  index.len_lens_.resize(total);
+  std::vector<uint32_t> order;
+  for (TokenId t = 0; t < num_tokens; ++t) {
+    const uint64_t begin = index.offsets_[t];
+    const size_t n = index.ListSize(t);
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    const float* lens = index.id_lens_.data() + begin;
+    std::stable_sort(order.begin(), order.end(),
+                     [lens](uint32_t a, uint32_t b) {
+                       return lens[a] < lens[b];
+                     });
+    for (size_t i = 0; i < n; ++i) {
+      index.len_ids_[begin + i] = index.id_ids_[begin + order[i]];
+      index.len_lens_[begin + i] = index.id_lens_[begin + order[i]];
+    }
+  }
+
+  if (!options.build_id_lists) {
+    index.id_ids_.clear();
+    index.id_ids_.shrink_to_fit();
+    index.id_lens_.clear();
+    index.id_lens_.shrink_to_fit();
+  }
+
+  index.BuildDerived();
+  return index;
+}
+
+void InvertedIndex::BuildDerived() {
+  const size_t num_tokens = offsets_.size() - 1;
+  skips_.clear();
+  hashes_.clear();
+  if (options_.build_skip) {
+    skips_.resize(num_tokens);
+    for (TokenId t = 0; t < num_tokens; ++t) {
+      size_t n = ListSize(t);
+      if (n > options_.skip_fanout) {
+        skips_[t] = std::make_unique<SkipIndex>(
+            len_lens_.data() + offsets_[t], n, options_.skip_fanout);
+      }
+    }
+  }
+  if (options_.build_hash) {
+    hashes_.resize(num_tokens);
+    for (TokenId t = 0; t < num_tokens; ++t) {
+      size_t n = ListSize(t);
+      if (n == 0) continue;
+      auto hash = std::make_unique<ExtendibleHash>(options_.hash_page_bytes);
+      const uint32_t* ids = LenIds(t);
+      const float* lens = LenLens(t);
+      for (size_t i = 0; i < n; ++i) hash->Insert(ids[i], lens[i]);
+      hashes_[t] = std::move(hash);
+    }
+  }
+}
+
+size_t InvertedIndex::ListBytesTotal() const {
+  size_t orders = id_ids_.empty() ? 1 : 2;
+  return orders * ListBytesOneOrder() + offsets_.size() * sizeof(uint64_t);
+}
+
+size_t InvertedIndex::SkipBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : skips_) {
+    if (s != nullptr) bytes += s->SizeBytes();
+  }
+  return bytes;
+}
+
+size_t InvertedIndex::HashBytes() const {
+  size_t bytes = 0;
+  for (const auto& h : hashes_) {
+    if (h != nullptr) bytes += h->SizeBytes();
+  }
+  return bytes;
+}
+
+bool InvertedIndex::Validate() const {
+  const size_t num_tokens = this->num_tokens();
+  for (TokenId t = 0; t < num_tokens; ++t) {
+    const size_t n = ListSize(t);
+    const uint32_t* lids = LenIds(t);
+    const float* llens = LenLens(t);
+    for (size_t i = 1; i < n; ++i) {
+      if (llens[i - 1] > llens[i] ||
+          (llens[i - 1] == llens[i] && lids[i - 1] >= lids[i])) {
+        std::fprintf(stderr, "InvertedIndex: by-length order violated "
+                             "(token %u pos %zu)\n", t, i);
+        return false;
+      }
+    }
+    if (!id_ids_.empty()) {
+      const uint32_t* iids = IdIds(t);
+      for (size_t i = 1; i < n; ++i) {
+        if (iids[i - 1] >= iids[i]) {
+          std::fprintf(stderr, "InvertedIndex: by-id order violated "
+                               "(token %u pos %zu)\n", t, i);
+          return false;
+        }
+      }
+    }
+    const ExtendibleHash* h = hash(t);
+    if (h != nullptr) {
+      if (h->size() != n) {
+        std::fprintf(stderr, "InvertedIndex: hash size mismatch (token %u)\n",
+                     t);
+        return false;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        float len = 0;
+        if (!h->Lookup(lids[i], &len) || len != llens[i]) {
+          std::fprintf(stderr,
+                       "InvertedIndex: hash entry mismatch (token %u id %u)\n",
+                       t, lids[i]);
+          return false;
+        }
+      }
+    }
+    const SkipIndex* s = skip(t);
+    if (s != nullptr && n > 0) {
+      // The skip index must locate the first entry for a handful of probes.
+      for (size_t i = 0; i < n; i += std::max<size_t>(1, n / 8)) {
+        size_t pos = s->SeekFirstGE(llens[i]);
+        if (pos > i || llens[pos] < llens[i]) {
+          std::fprintf(stderr, "InvertedIndex: skip seek wrong (token %u)\n",
+                       t);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x53494E56;  // "SINV"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status InvertedIndex::Save(const std::string& path) const {
+  PagedFile file(options_.page_bytes);
+  std::vector<uint8_t> buf;
+  PutFixed32(&buf, kMagic);
+  PutFixed32(&buf, kVersion);
+  PutFixed64(&buf, options_.page_bytes);
+  PutFixed64(&buf, options_.skip_fanout);
+  PutFixed64(&buf, options_.hash_page_bytes);
+  buf.push_back(options_.build_id_lists ? 1 : 0);
+  buf.push_back(options_.build_skip ? 1 : 0);
+  buf.push_back(options_.build_hash ? 1 : 0);
+  PutFixed64(&buf, offsets_.size());
+  for (uint64_t o : offsets_) PutVarint64(&buf, o);
+  // By-length lists: ids delta-coded within runs of equal length would be
+  // possible, but plain varints keep Load simple and already halve the size.
+  for (uint32_t id : len_ids_) PutVarint32(&buf, id);
+  for (float len : len_lens_) PutFloat(&buf, len);
+  buf.push_back(id_ids_.empty() ? 0 : 1);
+  for (uint32_t id : id_ids_) PutVarint32(&buf, id);
+  for (float len : id_lens_) PutFloat(&buf, len);
+  file.Append(buf.data(), buf.size());
+  return file.SaveToFile(path);
+}
+
+Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
+  Result<PagedFile> file = PagedFile::LoadFromFile(path);
+  if (!file.ok()) return file.status();
+  const std::vector<uint8_t>& buf = file->contents();
+  Decoder dec{buf.data(), buf.size(), 0};
+  uint32_t magic, version;
+  if (!GetFixed32(&dec, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in index file: " + path);
+  }
+  if (!GetFixed32(&dec, &version) || version != kVersion) {
+    return Status::Corruption("unsupported index version in: " + path);
+  }
+  InvertedIndex index;
+  uint64_t page_bytes, skip_fanout, hash_page_bytes;
+  if (!GetFixed64(&dec, &page_bytes) || !GetFixed64(&dec, &skip_fanout) ||
+      !GetFixed64(&dec, &hash_page_bytes) || dec.remaining() < 3) {
+    return Status::Corruption("truncated index options in: " + path);
+  }
+  index.options_.page_bytes = page_bytes;
+  index.options_.skip_fanout = skip_fanout;
+  index.options_.hash_page_bytes = hash_page_bytes;
+  index.options_.build_id_lists = dec.data[dec.pos++] != 0;
+  index.options_.build_skip = dec.data[dec.pos++] != 0;
+  index.options_.build_hash = dec.data[dec.pos++] != 0;
+  uint64_t num_offsets;
+  if (!GetFixed64(&dec, &num_offsets) || num_offsets == 0) {
+    return Status::Corruption("bad offset table in: " + path);
+  }
+  index.offsets_.resize(num_offsets);
+  for (uint64_t i = 0; i < num_offsets; ++i) {
+    if (!GetVarint64(&dec, &index.offsets_[i])) {
+      return Status::Corruption("truncated offsets in: " + path);
+    }
+  }
+  uint64_t total = index.offsets_.back();
+  index.len_ids_.resize(total);
+  index.len_lens_.resize(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    if (!GetVarint32(&dec, &index.len_ids_[i])) {
+      return Status::Corruption("truncated postings in: " + path);
+    }
+  }
+  for (uint64_t i = 0; i < total; ++i) {
+    if (!GetFloat(&dec, &index.len_lens_[i])) {
+      return Status::Corruption("truncated lengths in: " + path);
+    }
+  }
+  if (dec.exhausted()) return Status::Corruption("missing id lists flag");
+  bool has_id_lists = dec.data[dec.pos++] != 0;
+  if (has_id_lists) {
+    index.id_ids_.resize(total);
+    index.id_lens_.resize(total);
+    for (uint64_t i = 0; i < total; ++i) {
+      if (!GetVarint32(&dec, &index.id_ids_[i])) {
+        return Status::Corruption("truncated id postings in: " + path);
+      }
+    }
+    for (uint64_t i = 0; i < total; ++i) {
+      if (!GetFloat(&dec, &index.id_lens_[i])) {
+        return Status::Corruption("truncated id lengths in: " + path);
+      }
+    }
+  }
+  index.BuildDerived();
+  return index;
+}
+
+}  // namespace simsel

@@ -1,0 +1,127 @@
+#ifndef SIMSEL_INDEX_INVERTED_INDEX_H_
+#define SIMSEL_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "container/extendible_hash.h"
+#include "container/skip_index.h"
+#include "index/collection.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Construction knobs for the inverted index (Section VIII-A's setup).
+struct InvertedIndexOptions {
+  /// Modeled disk page size for list storage (drives page accounting).
+  size_t page_bytes = 4096;
+  /// Skip-index promotion stride (paper: skip lists capped at 10MB/list;
+  /// a fanout of 64 keeps ours well under 1% of list bytes).
+  size_t skip_fanout = 64;
+  /// Bucket page size of the per-list extendible hash (paper tuned 1 KiB).
+  size_t hash_page_bytes = 1024;
+  /// Build the by-id sorted lists (needed by the sort-by-id baseline).
+  bool build_id_lists = true;
+  /// Build per-list skip indexes (needed for skip-enabled length bounding).
+  bool build_skip = true;
+  /// Build per-list extendible hashes (needed by TA/iTA random access).
+  bool build_hash = true;
+};
+
+/// The paper's specialized index (Section III-B): one inverted list per
+/// token. Two sort orders are materialized:
+///
+///  - by increasing (len(s), id): since len(q) and idf(q^i) are constant per
+///    list, this is exactly decreasing per-list contribution w_i order — the
+///    order the TA/NRA-family algorithms consume (Figure 3);
+///  - by increasing id: consumed by the multiway sort-by-id merge (Figure 2).
+///
+/// Each by-length list optionally carries a SkipIndex (skip to the first
+/// entry inside the Length Boundedness window) and an ExtendibleHash mapping
+/// set id -> len for TA-style random-access probes.
+///
+/// Lists are stored struct-of-arrays in CSR layout: ids and lengths in two
+/// flat arrays with a shared per-token offset table.
+class InvertedIndex {
+ public:
+  /// Builds the index for `collection` with lengths from `measure`.
+  static InvertedIndex Build(const Collection& collection,
+                             const IdfMeasure& measure,
+                             InvertedIndexOptions options = {});
+
+  /// Builds with explicit per-set normalized lengths (`set_lengths[s]` for
+  /// set s). Used to index other measures of the family — e.g. TF/IDF
+  /// selection stores ||s|| with tf weighting (see core/tfidf_select.h).
+  static InvertedIndex BuildWithLengths(const Collection& collection,
+                                        const std::vector<float>& set_lengths,
+                                        InvertedIndexOptions options = {});
+
+  size_t num_tokens() const { return offsets_.size() - 1; }
+  uint64_t total_postings() const { return len_ids_.size(); }
+  const InvertedIndexOptions& options() const { return options_; }
+
+  /// Postings per modeled page (8 bytes per posting).
+  size_t entries_per_page() const { return options_.page_bytes / 8; }
+
+  size_t ListSize(TokenId t) const { return offsets_[t + 1] - offsets_[t]; }
+
+  /// By-length list of token `t` (parallel arrays, ListSize(t) entries).
+  const uint32_t* LenIds(TokenId t) const { return len_ids_.data() + offsets_[t]; }
+  const float* LenLens(TokenId t) const { return len_lens_.data() + offsets_[t]; }
+
+  /// By-id list of token `t`; null data if build_id_lists was false.
+  const uint32_t* IdIds(TokenId t) const {
+    return id_ids_.empty() ? nullptr : id_ids_.data() + offsets_[t];
+  }
+  const float* IdLens(TokenId t) const {
+    return id_lens_.empty() ? nullptr : id_lens_.data() + offsets_[t];
+  }
+
+  /// Skip index over the by-length list, or null if not built.
+  const SkipIndex* skip(TokenId t) const {
+    return skips_.empty() ? nullptr : skips_[t].get();
+  }
+
+  /// Extendible hash (set id -> len) over the list, or null if not built.
+  const ExtendibleHash* hash(TokenId t) const {
+    return hashes_.empty() ? nullptr : hashes_[t].get();
+  }
+
+  /// Figure 5 size accounting (bytes): the lists themselves (one sort order),
+  /// both sort orders, skip indexes, and extendible hashes.
+  size_t ListBytesOneOrder() const { return len_ids_.size() * 8; }
+  size_t ListBytesTotal() const;
+  size_t SkipBytes() const;
+  size_t HashBytes() const;
+
+  /// Serializes lists + options to `path` (skip/hash are derived structures
+  /// and are rebuilt on Load).
+  Status Save(const std::string& path) const;
+  static Result<InvertedIndex> Load(const std::string& path);
+
+  /// Structural invariant check (for tests and post-Load paranoia):
+  /// by-length lists sorted by (len, id), by-id lists strictly id-sorted,
+  /// equal per-token sizes across orders, hash entries matching postings.
+  /// Returns false and logs the first violation to stderr.
+  bool Validate() const;
+
+ private:
+  InvertedIndex() = default;
+  void BuildDerived();
+
+  InvertedIndexOptions options_;
+  std::vector<uint64_t> offsets_;  // size num_tokens + 1
+  std::vector<uint32_t> len_ids_;  // by (len asc, id asc)
+  std::vector<float> len_lens_;
+  std::vector<uint32_t> id_ids_;   // by id asc
+  std::vector<float> id_lens_;
+  std::vector<std::unique_ptr<SkipIndex>> skips_;
+  std::vector<std::unique_ptr<ExtendibleHash>> hashes_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,125 @@
+#include "index/list_cursor.h"
+
+#include "common/logging.h"
+
+namespace simsel {
+
+ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
+                       bool use_skip, AccessCounters* counters,
+                       BufferPool* pool, const PostingStore* store)
+    : ids_(index.LenIds(token)),
+      lens_(index.LenLens(token)),
+      size_(index.ListSize(token)),
+      skip_(use_skip ? index.skip(token) : nullptr),
+      counters_(counters),
+      pool_(pool),
+      store_(store),
+      token_(token),
+      entries_per_page_(index.entries_per_page()),
+      page_bytes_(index.options().page_bytes) {
+  if (counters_ != nullptr) counters_->elements_total += size_;
+  if (store_ != nullptr) {
+    SIMSEL_DCHECK(store_->ListSize(token) == size_);
+    size_t block = store_->page_bytes() / 8;
+    blk_ids_.resize(block);
+    blk_lens_.resize(block);
+  }
+}
+
+void ListCursor::EnsureBlock(bool random) {
+  if (store_ == nullptr) return;
+  size_t pos = static_cast<size_t>(pos_);
+  if (blk_count_ > 0 && pos >= blk_first_ && pos < blk_first_ + blk_count_) {
+    return;
+  }
+  size_t block = blk_ids_.size();
+  blk_first_ = pos - pos % block;
+  blk_count_ = store_->ReadBlock(token_, blk_first_, block, blk_ids_.data(),
+                                 blk_lens_.data(), random);
+  SIMSEL_DCHECK(blk_count_ > 0);
+}
+
+void ListCursor::TouchPool(int64_t page) {
+  if (pool_ == nullptr) return;
+  bool hit = pool_->Touch(
+      BufferPool::PageKey(token_, static_cast<uint64_t>(page)));
+  if (counters_ != nullptr) {
+    if (hit) {
+      ++counters_->pool_hits;
+    } else {
+      ++counters_->pool_misses;
+    }
+  }
+}
+
+void ListCursor::ChargeRead() {
+  if (counters_ == nullptr && pool_ == nullptr) return;
+  if (counters_ != nullptr) ++counters_->elements_read;
+  int64_t page = pos_ / static_cast<int64_t>(entries_per_page_);
+  if (page != last_page_) {
+    if (counters_ != nullptr) ++counters_->seq_page_reads;
+    TouchPool(page);
+    last_page_ = page;
+  }
+}
+
+void ListCursor::Next() {
+  if (AtEnd()) return;
+  ++pos_;
+  if (!AtEnd()) {
+    EnsureBlock(/*random=*/false);
+    ChargeRead();
+  }
+}
+
+void ListCursor::SeekLengthGE(float target) {
+  if (AtEnd()) return;
+  if (pos_ >= 0 && len() >= target) return;  // already positioned past
+  size_t start = static_cast<size_t>(pos_ + 1);
+  if (skip_ != nullptr) {
+    uint64_t nodes = 0;
+    size_t dest = skip_->SeekFirstGE(target, &nodes);
+    if (dest < start) dest = start;  // forward only
+    if (counters_ != nullptr) {
+      counters_->elements_skipped += dest - start;
+      // Skip nodes are 8 bytes; charge the pages the descent touched, at
+      // least one per seek that actually consulted the structure.
+      if (nodes > 0) {
+        counters_->rand_page_reads += 1 + (nodes * 8) / page_bytes_;
+      }
+    }
+    pos_ = static_cast<int64_t>(dest);
+    if (!AtEnd()) {
+      // Landing after a random jump repositions the sequential window.
+      EnsureBlock(/*random=*/true);
+      last_page_ = pos_ / static_cast<int64_t>(entries_per_page_);
+      TouchPool(last_page_);
+      if (counters_ != nullptr) {
+        ++counters_->elements_read;
+        ++counters_->rand_page_reads;
+      }
+    }
+    return;
+  }
+  // No skip index: read-and-discard sequentially (the NSL ablation).
+  do {
+    ++pos_;
+    if (AtEnd()) return;
+    EnsureBlock(/*random=*/false);
+    ChargeRead();
+  } while (len() < target);
+}
+
+void ListCursor::MarkComplete() {
+  if (completed_) return;
+  completed_ = true;
+  if (counters_ != nullptr && !AtEnd()) {
+    size_t next_unread = static_cast<size_t>(pos_ + 1);
+    if (next_unread < size_) {
+      counters_->elements_skipped += size_ - next_unread;
+    }
+  }
+  pos_ = static_cast<int64_t>(size_);
+}
+
+}  // namespace simsel

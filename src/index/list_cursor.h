@@ -1,0 +1,99 @@
+#ifndef SIMSEL_INDEX_LIST_CURSOR_H_
+#define SIMSEL_INDEX_LIST_CURSOR_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "common/metrics.h"
+#include "index/inverted_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/posting_store.h"
+
+namespace simsel {
+
+/// Forward cursor over one by-length inverted list with access accounting.
+///
+/// The cursor models the disk behaviour of the paper's algorithms:
+///  - Next() reads (decodes) the next posting: one element read, and a
+///    sequential page read whenever a page boundary is crossed;
+///  - SeekLengthGE() advances to the first posting with len >= target.
+///    With the skip index enabled the jumped-over postings are *skipped*
+///    (counted but never read) at the cost of a few random page reads; with
+///    it disabled (the paper's "NSL" ablation) the prefix is read
+///    sequentially and discarded.
+///
+/// A new cursor is positioned before the first posting; call Next() or
+/// SeekLengthGE() to load one. The constructor charges the list's size to
+/// counters->elements_total (the pruning-power denominator of Figure 7).
+class ListCursor {
+ public:
+  /// `use_skip` enables the skip index if the index built one for `token`.
+  /// `pool`, if non-null, receives a Touch per distinct page access and the
+  /// hit/miss tallies are charged to `counters` (cold-cache simulation).
+  /// `store`, if non-null, switches the cursor to disk mode: postings are
+  /// fetched page-by-page out of the store's byte image instead of the
+  /// index's arrays (the skip index stays in memory, as in the paper).
+  ListCursor(const InvertedIndex& index, TokenId token, bool use_skip,
+             AccessCounters* counters, BufferPool* pool = nullptr,
+             const PostingStore* store = nullptr);
+
+  size_t size() const { return size_; }
+  /// Position of the current posting (valid when positioned).
+  size_t pos() const { return static_cast<size_t>(pos_); }
+  /// True once the cursor has moved past the last posting (or the list is
+  /// empty). A cursor that was never advanced is not AtEnd unless empty.
+  bool AtEnd() const { return pos_ >= static_cast<int64_t>(size_); }
+  /// True when id()/len() are valid.
+  bool positioned() const { return pos_ >= 0 && !AtEnd(); }
+
+  uint32_t id() const {
+    return store_ != nullptr ? blk_ids_[pos_ - blk_first_]
+                             : ids_[pos_];
+  }
+  float len() const {
+    return store_ != nullptr ? blk_lens_[pos_ - blk_first_]
+                             : lens_[pos_];
+  }
+
+  /// Advances to (and reads) the next posting. No-op when AtEnd.
+  void Next();
+
+  /// Advances to the first posting with len >= target (forward only; no-op
+  /// if the current posting already qualifies). The landing posting is read.
+  void SeekLengthGE(float target);
+
+  /// Stops consuming this list: the remaining unread suffix is charged to
+  /// elements_skipped so pruning-power accounting sees it as pruned.
+  void MarkComplete();
+
+ private:
+  void ChargeRead();
+  void TouchPool(int64_t page);
+  /// Disk mode: ensures the block holding `pos_` is buffered. `random`
+  /// marks the fetch as a seek landing rather than a sequential refill.
+  void EnsureBlock(bool random);
+
+  const uint32_t* ids_;
+  const float* lens_;
+  size_t size_;
+  const SkipIndex* skip_;
+  AccessCounters* counters_;
+  BufferPool* pool_;
+  const PostingStore* store_;
+  TokenId token_;
+  size_t entries_per_page_;
+  size_t page_bytes_;
+  int64_t pos_ = -1;
+  int64_t last_page_ = -1;
+  bool completed_ = false;
+  // Disk-mode block buffer (one modeled page of postings).
+  std::vector<uint32_t> blk_ids_;
+  std::vector<float> blk_lens_;
+  size_t blk_first_ = 0;
+  size_t blk_count_ = 0;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_INDEX_LIST_CURSOR_H_

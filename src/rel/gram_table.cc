@@ -1,0 +1,35 @@
+#include "rel/gram_table.h"
+
+#include <algorithm>
+
+namespace simsel {
+
+GramTable GramTable::Build(const Collection& collection,
+                           const IdfMeasure& measure,
+                           Tree::Options tree_options) {
+  std::vector<std::pair<GramKey, float>> rows;
+  size_t total = 0;
+  for (SetId s = 0; s < collection.size(); ++s) {
+    total += collection.set(s).tokens.size();
+  }
+  rows.reserve(total);
+  for (SetId s = 0; s < collection.size(); ++s) {
+    float len = measure.set_length(s);
+    for (TokenId t : collection.set(s).tokens) {
+      double idf = measure.idf(t);
+      float w = len > 0.0f ? static_cast<float>(idf * idf / len) : 0.0f;
+      rows.push_back({GramKey{t, len, s}, w});
+    }
+  }
+  GramKeyLess less;
+  std::sort(rows.begin(), rows.end(),
+            [&less](const auto& a, const auto& b) {
+              return less(a.first, b.first);
+            });
+  GramTable table;
+  table.tree_ = Tree(tree_options);
+  table.tree_.Build(rows);
+  return table;
+}
+
+}  // namespace simsel

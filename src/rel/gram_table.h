@@ -1,0 +1,61 @@
+#ifndef SIMSEL_REL_GRAM_TABLE_H_
+#define SIMSEL_REL_GRAM_TABLE_H_
+
+#include <cstdint>
+
+#include "btree/bplus_tree.h"
+#include "index/collection.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Composite key of the clustered index on the q-gram table:
+/// (3-gram, word length, word id) — the order the paper builds its
+/// composite B-tree in ("3-gram/length/id/weight ... as a clustered index").
+struct GramKey {
+  TokenId gram = 0;
+  float len = 0.0f;
+  SetId id = 0;
+};
+
+/// Lexicographic ordering over (gram, len, id).
+struct GramKeyLess {
+  bool operator()(const GramKey& a, const GramKey& b) const {
+    if (a.gram != b.gram) return a.gram < b.gram;
+    if (a.len != b.len) return a.len < b.len;
+    return a.id < b.id;
+  }
+};
+
+/// The relational representation (Section III-A): one row per (set, token)
+/// pair holding the set length and the query-independent part of the
+/// partial weight, w'(t, s) = idf(t)² / len(s) — at query time the plan
+/// divides by len(q) to obtain w_i(s). Rows live in a clustered B+-tree on
+/// (gram, len, id), which supports the Length Boundedness pushdown as a key
+/// range per query gram.
+class GramTable {
+ public:
+  using Tree = BPlusTree<GramKey, float, GramKeyLess>;
+
+  /// Builds the table and its clustered index by bulk load.
+  static GramTable Build(const Collection& collection,
+                         const IdfMeasure& measure,
+                         Tree::Options tree_options = Tree::Options());
+
+  const Tree& index() const { return tree_; }
+  size_t num_rows() const { return tree_.size(); }
+
+  /// Heap bytes of the bare q-gram table: 16 bytes per row (Figure 5's
+  /// "Q-gram table" bar).
+  size_t RowBytes() const { return num_rows() * 16; }
+
+  /// Bytes of the clustered B-tree (Figure 5's "B-tree" bar).
+  size_t BTreeBytes() const { return tree_.SizeBytes(); }
+
+ private:
+  Tree tree_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_REL_GRAM_TABLE_H_

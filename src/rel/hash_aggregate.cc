@@ -1,0 +1,30 @@
+#include "rel/hash_aggregate.h"
+
+#include "core/internal.h"
+
+namespace simsel {
+
+void HashAggregate::Add(uint32_t id, size_t list_idx, float len) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) {
+    Group g;
+    g.bits = DynamicBitset(num_lists_);
+    g.len = len;
+    it = groups_.emplace(id, std::move(g)).first;
+  }
+  it->second.bits.Set(list_idx);
+}
+
+std::vector<Match> HashAggregate::Finalize(const IdfMeasure& measure,
+                                           const PreparedQuery& q,
+                                           double tau) const {
+  std::vector<Match> matches;
+  for (const auto& [id, group] : groups_) {
+    double score = measure.ScoreFromBits(q, group.bits, group.len);
+    if (score >= tau) matches.push_back(Match{id, score});
+  }
+  internal::SortMatches(&matches);
+  return matches;
+}
+
+}  // namespace simsel

@@ -1,0 +1,47 @@
+#ifndef SIMSEL_REL_HASH_AGGREGATE_H_
+#define SIMSEL_REL_HASH_AGGREGATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "core/types.h"
+#include "sim/idf.h"
+
+namespace simsel {
+
+/// Hash GROUP BY operator of the SQL plan: groups the (id, query-gram) pairs
+/// streaming out of the index range scans by set id, remembering which query
+/// lists matched and the set's length. Finalize computes the canonical IDF
+/// score per group and applies the HAVING score >= tau filter, so the SQL
+/// baseline returns bit-identical scores to every other algorithm.
+class HashAggregate {
+ public:
+  explicit HashAggregate(size_t num_lists) : num_lists_(num_lists) {}
+
+  /// Accumulates one scanned row: set `id` (with normalized length `len`)
+  /// matched query list `list_idx`.
+  void Add(uint32_t id, size_t list_idx, float len);
+
+  /// Number of groups accumulated so far.
+  size_t num_groups() const { return groups_.size(); }
+
+  /// Scores every group and returns the sets passing the threshold, sorted
+  /// by ascending id.
+  std::vector<Match> Finalize(const IdfMeasure& measure,
+                              const PreparedQuery& q, double tau) const;
+
+ private:
+  struct Group {
+    DynamicBitset bits;
+    float len = 0.0f;
+  };
+
+  size_t num_lists_;
+  std::unordered_map<uint32_t, Group> groups_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_REL_HASH_AGGREGATE_H_

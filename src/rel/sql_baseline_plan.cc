@@ -1,0 +1,38 @@
+#include "rel/sql_baseline_plan.h"
+
+#include <limits>
+
+#include "core/internal.h"
+
+namespace simsel {
+
+QueryResult ExecuteSqlPlan(const GramTable& table, const IdfMeasure& measure,
+                           const PreparedQuery& q, double tau,
+                           const SelectOptions& options) {
+  using internal::ComputeLengthWindow;
+  using internal::LengthWindow;
+  QueryResult result;
+  const size_t n = q.tokens.size();
+  if (n == 0) return result;
+  AccessCounters& counters = result.counters;
+  const LengthWindow window =
+      ComputeLengthWindow(q, tau, options.length_bounding);
+
+  HashAggregate aggregate(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TokenId gram = q.tokens[i];
+    GramKey start{gram, window.lo, 0};
+    for (auto scan = table.index().SeekGE(start, &counters); scan.Valid();
+         scan.Next()) {
+      const GramKey& key = scan.key();
+      if (key.gram != gram || key.len > window.hi) break;
+      ++counters.rows_scanned;
+      aggregate.Add(key.id, i, key.len);
+    }
+  }
+  result.matches = aggregate.Finalize(measure, q, tau);
+  counters.results = result.matches.size();
+  return result;
+}
+
+}  // namespace simsel

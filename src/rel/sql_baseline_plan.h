@@ -1,0 +1,28 @@
+#ifndef SIMSEL_REL_SQL_BASELINE_PLAN_H_
+#define SIMSEL_REL_SQL_BASELINE_PLAN_H_
+
+#include "core/types.h"
+#include "rel/gram_table.h"
+#include "rel/hash_aggregate.h"
+
+namespace simsel {
+
+/// Physical plan of the relational baseline (Section III-A, evaluated as
+/// "SQL" in Section VIII), equivalent to the aggregate/group-by/join query:
+///
+///   SELECT g.id FROM GramTable g JOIN QueryGrams q ON g.gram = q.gram
+///   WHERE g.len BETWEEN τ·len(q) AND len(q)/τ        -- LB pushdown
+///   GROUP BY g.id
+///   HAVING score(...) >= τ
+///
+/// executed as one clustered-index range scan per query gram feeding a hash
+/// aggregate. With `options.length_bounding` disabled, each scan covers the
+/// gram's full key range (Figure 8's "SQL NLB"). Rows scanned and B-tree
+/// page reads are charged to the result's counters.
+QueryResult ExecuteSqlPlan(const GramTable& table, const IdfMeasure& measure,
+                           const PreparedQuery& q, double tau,
+                           const SelectOptions& options);
+
+}  // namespace simsel
+
+#endif  // SIMSEL_REL_SQL_BASELINE_PLAN_H_

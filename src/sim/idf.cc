@@ -1,0 +1,94 @@
+#include "sim/idf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simsel {
+
+IdfMeasure::IdfMeasure(const Collection& collection)
+    : collection_(collection), idf_(internal::ComputeIdfTable(collection)) {
+  set_len_.resize(collection.size());
+  for (SetId s = 0; s < collection.size(); ++s) {
+    double sum = 0.0;
+    for (TokenId t : collection.set(s).tokens) {
+      sum += idf_.idf[t] * idf_.idf[t];
+    }
+    set_len_[s] = static_cast<float>(std::sqrt(sum));
+  }
+}
+
+PreparedQuery IdfMeasure::PrepareQuery(
+    const std::vector<TokenCount>& tokens) const {
+  PreparedQuery q;
+  double len_sq = 0.0;
+  for (const TokenCount& tc : tokens) {
+    q.multiset_size += tc.count;
+    auto id = collection_.dictionary().Find(tc.token);
+    if (!id.has_value()) {
+      // Unknown tokens have no list but still normalize the query length:
+      // a heavily modified query should score lower against everything.
+      ++q.unknown_tokens;
+      len_sq += idf_.default_idf * idf_.default_idf;
+      continue;
+    }
+    q.tokens.push_back(*id);
+    q.tfs.push_back(tc.count);
+  }
+  // Sort by TokenId so scoring order is canonical.
+  std::vector<size_t> order(q.tokens.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return q.tokens[a] < q.tokens[b]; });
+  PreparedQuery out;
+  out.multiset_size = q.multiset_size;
+  out.unknown_tokens = q.unknown_tokens;
+  out.tokens.reserve(order.size());
+  out.tfs.reserve(order.size());
+  out.weights.reserve(order.size());
+  for (size_t i : order) {
+    TokenId t = q.tokens[i];
+    out.tokens.push_back(t);
+    out.tfs.push_back(q.tfs[i]);
+    double w = idf_.idf[t] * idf_.idf[t];  // idf(q^i)²
+    out.weights.push_back(w);
+    len_sq += w;
+  }
+  out.length = std::sqrt(len_sq);
+  return out;
+}
+
+double IdfMeasure::Score(const PreparedQuery& q, SetId s) const {
+  const SetRecord& set = collection_.set(s);
+  double sum = 0.0;
+  // Two-pointer intersection; both token arrays ascend, so contributions are
+  // accumulated in canonical (ascending query-index) order.
+  size_t i = 0, j = 0;
+  while (i < q.tokens.size() && j < set.tokens.size()) {
+    if (q.tokens[i] < set.tokens[j]) {
+      ++i;
+    } else if (set.tokens[j] < q.tokens[i]) {
+      ++j;
+    } else {
+      sum += q.weights[i];
+      ++i;
+      ++j;
+    }
+  }
+  double denom = static_cast<double>(set_len_[s]) * q.length;
+  if (denom == 0.0) return 0.0;
+  return sum / denom;
+}
+
+double IdfMeasure::ScoreFromBits(const PreparedQuery& q,
+                                 const DynamicBitset& bits,
+                                 float set_len) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < q.tokens.size(); ++i) {
+    if (bits.Test(i)) sum += q.weights[i];
+  }
+  double denom = static_cast<double>(set_len) * q.length;
+  if (denom == 0.0) return 0.0;
+  return sum / denom;
+}
+
+}  // namespace simsel

@@ -1,0 +1,60 @@
+#include "sim/measure.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/bm25.h"
+#include "sim/idf.h"
+#include "sim/tfidf.h"
+
+namespace simsel {
+
+const char* MeasureKindName(MeasureKind kind) {
+  switch (kind) {
+    case MeasureKind::kIdf:
+      return "IDF";
+    case MeasureKind::kTfIdf:
+      return "TFIDF";
+    case MeasureKind::kBm25:
+      return "BM25";
+    case MeasureKind::kBm25Prime:
+      return "BM25'";
+  }
+  return "UNKNOWN";
+}
+
+std::unique_ptr<SimilarityMeasure> MakeMeasure(MeasureKind kind,
+                                               const Collection& collection) {
+  switch (kind) {
+    case MeasureKind::kIdf:
+      return std::make_unique<IdfMeasure>(collection);
+    case MeasureKind::kTfIdf:
+      return std::make_unique<TfIdfMeasure>(collection);
+    case MeasureKind::kBm25:
+      return std::make_unique<Bm25Measure>(collection, /*drop_tf=*/false);
+    case MeasureKind::kBm25Prime:
+      return std::make_unique<Bm25Measure>(collection, /*drop_tf=*/true);
+  }
+  SIMSEL_CHECK_MSG(false, "unknown measure kind");
+  return nullptr;
+}
+
+namespace internal {
+
+IdfTable ComputeIdfTable(const Collection& collection) {
+  IdfTable table;
+  const Dictionary& dict = collection.dictionary();
+  double n = static_cast<double>(collection.size());
+  table.idf.resize(dict.size());
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    // idf(t) = log2(1 + N / N(t)); every interned token has df >= 1.
+    table.idf[t] = std::log2(1.0 + n / static_cast<double>(dict.df(t)));
+  }
+  // Unknown tokens are treated as df = 1 (the rarest possible).
+  table.default_idf = std::log2(1.0 + n);
+  return table;
+}
+
+}  // namespace internal
+
+}  // namespace simsel

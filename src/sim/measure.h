@@ -1,0 +1,73 @@
+#ifndef SIMSEL_SIM_MEASURE_H_
+#define SIMSEL_SIM_MEASURE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "index/collection.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+
+/// A query after measure-specific preprocessing: distinct tokens that exist
+/// in the dictionary (ascending TokenId), per-token weights, and the
+/// normalizer. Tokens absent from the database contribute to `length` (they
+/// lower every score, as they should) but carry no list.
+struct PreparedQuery {
+  std::vector<TokenId> tokens;
+  std::vector<uint32_t> tfs;      // query-side term frequencies
+  std::vector<double> weights;    // measure-specific (see each measure)
+  double length = 1.0;            // normalizer; 1.0 for unnormalized measures
+  uint32_t multiset_size = 0;     // Σ tf over all query tokens (incl unknown)
+  size_t unknown_tokens = 0;      // distinct query tokens not in the DB
+};
+
+/// Weighted set-similarity measure over a fixed Collection.
+///
+/// Implementations precompute their token weights and set normalizers at
+/// construction; Score is then O(|q| log |s|). The paper's Table I compares
+/// four members of this family (TF/IDF, IDF, BM25, BM25'); the selection
+/// algorithms of Sections V-VII operate on the IDF member.
+class SimilarityMeasure {
+ public:
+  virtual ~SimilarityMeasure() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Preprocesses a tokenized query (output of Tokenizer::TokenizeCounted,
+  /// mapped through the collection's dictionary internally).
+  virtual PreparedQuery PrepareQuery(
+      const std::vector<TokenCount>& tokens) const = 0;
+
+  /// Similarity of the prepared query with database set `s`.
+  virtual double Score(const PreparedQuery& q, SetId s) const = 0;
+};
+
+/// The four measures of Table I.
+enum class MeasureKind {
+  kIdf,        ///< length-normalized TF/IDF with tf dropped (the paper's)
+  kTfIdf,      ///< cosine TF/IDF
+  kBm25,       ///< Okapi BM25
+  kBm25Prime,  ///< BM25 with the tf component dropped ("BM25'")
+};
+
+const char* MeasureKindName(MeasureKind kind);
+
+/// Factory. The returned measure borrows `collection`, which must outlive it.
+std::unique_ptr<SimilarityMeasure> MakeMeasure(MeasureKind kind,
+                                               const Collection& collection);
+
+namespace internal {
+/// Shared idf table: idf(t) = log2(1 + N / N(t)) for every token, plus the
+/// default idf for unknown tokens (df treated as 1).
+struct IdfTable {
+  std::vector<double> idf;
+  double default_idf = 0.0;
+};
+IdfTable ComputeIdfTable(const Collection& collection);
+}  // namespace internal
+
+}  // namespace simsel
+
+#endif  // SIMSEL_SIM_MEASURE_H_

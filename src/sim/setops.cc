@@ -1,0 +1,79 @@
+#include "sim/setops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simsel {
+
+SetOverlapMeasure::SetOverlapMeasure(const Collection& collection,
+                                     SetOverlapKind kind)
+    : collection_(collection), kind_(kind) {}
+
+std::string_view SetOverlapMeasure::name() const {
+  switch (kind_) {
+    case SetOverlapKind::kJaccard:
+      return "Jaccard";
+    case SetOverlapKind::kDice:
+      return "Dice";
+    case SetOverlapKind::kCosine:
+      return "Cosine";
+    case SetOverlapKind::kOverlap:
+      return "Overlap";
+  }
+  return "SetOverlap";
+}
+
+PreparedQuery SetOverlapMeasure::PrepareQuery(
+    const std::vector<TokenCount>& tokens) const {
+  PreparedQuery q;
+  std::vector<TokenId> known;
+  for (const TokenCount& tc : tokens) {
+    q.multiset_size += tc.count;
+    auto id = collection_.dictionary().Find(tc.token);
+    if (!id.has_value()) {
+      ++q.unknown_tokens;  // still counts toward |q|
+      continue;
+    }
+    known.push_back(*id);
+  }
+  std::sort(known.begin(), known.end());
+  q.tokens = std::move(known);
+  q.tfs.assign(q.tokens.size(), 1);
+  q.weights.assign(q.tokens.size(), 1.0);
+  // |q| = distinct tokens including unknown ones.
+  q.length = static_cast<double>(q.tokens.size() + q.unknown_tokens);
+  return q;
+}
+
+double SetOverlapMeasure::Score(const PreparedQuery& q, SetId s) const {
+  const SetRecord& set = collection_.set(s);
+  size_t i = 0, j = 0, common = 0;
+  while (i < q.tokens.size() && j < set.tokens.size()) {
+    if (q.tokens[i] < set.tokens[j]) {
+      ++i;
+    } else if (set.tokens[j] < q.tokens[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  double nq = q.length;
+  double ns = static_cast<double>(set.tokens.size());
+  if (nq == 0.0 || ns == 0.0) return 0.0;
+  double c = static_cast<double>(common);
+  switch (kind_) {
+    case SetOverlapKind::kJaccard:
+      return c / (nq + ns - c);
+    case SetOverlapKind::kDice:
+      return 2.0 * c / (nq + ns);
+    case SetOverlapKind::kCosine:
+      return c / std::sqrt(nq * ns);
+    case SetOverlapKind::kOverlap:
+      return c / std::min(nq, ns);
+  }
+  return 0.0;
+}
+
+}  // namespace simsel

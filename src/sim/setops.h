@@ -1,0 +1,42 @@
+#ifndef SIMSEL_SIM_SETOPS_H_
+#define SIMSEL_SIM_SETOPS_H_
+
+#include "sim/measure.h"
+
+namespace simsel {
+
+/// Which unweighted set-overlap coefficient SetOverlapMeasure computes.
+enum class SetOverlapKind {
+  kJaccard,  ///< |q ∩ s| / |q ∪ s|
+  kDice,     ///< 2|q ∩ s| / (|q| + |s|)
+  kCosine,   ///< |q ∩ s| / sqrt(|q|·|s|)
+  kOverlap,  ///< |q ∩ s| / min(|q|, |s|)
+};
+
+/// Classic unweighted set-overlap measures (Jaccard, Dice, unweighted
+/// cosine, overlap coefficient), provided for comparison with the weighted
+/// family — the paper's introduction surveys them before arguing for
+/// idf-weighted scoring ("not all tokens are equally important").
+///
+/// All four are length-normalized into [0, 1] with exact-match score 1, so
+/// LinearScanSelect and the precision evaluation work on them unchanged.
+/// They deliberately have no inverted-list algorithm support: the point of
+/// the paper's IDF variant is that its *semantic properties* enable the fast
+/// algorithms, which these coefficients lack in weighted form.
+class SetOverlapMeasure : public SimilarityMeasure {
+ public:
+  SetOverlapMeasure(const Collection& collection, SetOverlapKind kind);
+
+  std::string_view name() const override;
+  PreparedQuery PrepareQuery(
+      const std::vector<TokenCount>& tokens) const override;
+  double Score(const PreparedQuery& q, SetId s) const override;
+
+ private:
+  const Collection& collection_;
+  SetOverlapKind kind_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_SIM_SETOPS_H_

@@ -1,0 +1,73 @@
+#include "sim/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simsel {
+
+TfIdfMeasure::TfIdfMeasure(const Collection& collection)
+    : collection_(collection), idf_(internal::ComputeIdfTable(collection)) {
+  set_len_.resize(collection.size());
+  max_tf_.assign(collection.dictionary().size(), 1);
+  for (SetId s = 0; s < collection.size(); ++s) {
+    const SetRecord& set = collection.set(s);
+    double sum = 0.0;
+    for (size_t j = 0; j < set.tokens.size(); ++j) {
+      double w = set.tfs[j] * idf_.idf[set.tokens[j]];
+      sum += w * w;
+      max_tf_[set.tokens[j]] = std::max(max_tf_[set.tokens[j]], set.tfs[j]);
+    }
+    set_len_[s] = static_cast<float>(std::sqrt(sum));
+  }
+}
+
+PreparedQuery TfIdfMeasure::PrepareQuery(
+    const std::vector<TokenCount>& tokens) const {
+  PreparedQuery q;
+  double len_sq = 0.0;
+  std::vector<std::pair<TokenId, uint32_t>> known;
+  for (const TokenCount& tc : tokens) {
+    q.multiset_size += tc.count;
+    auto id = collection_.dictionary().Find(tc.token);
+    if (!id.has_value()) {
+      ++q.unknown_tokens;
+      double w = tc.count * idf_.default_idf;
+      len_sq += w * w;
+      continue;
+    }
+    known.emplace_back(*id, tc.count);
+  }
+  std::sort(known.begin(), known.end());
+  for (const auto& [t, tf] : known) {
+    q.tokens.push_back(t);
+    q.tfs.push_back(tf);
+    double w = tf * idf_.idf[t];  // query-side weight w(t, q)
+    q.weights.push_back(w);
+    len_sq += w * w;
+  }
+  q.length = std::sqrt(len_sq);
+  return q;
+}
+
+double TfIdfMeasure::Score(const PreparedQuery& q, SetId s) const {
+  const SetRecord& set = collection_.set(s);
+  double sum = 0.0;
+  size_t i = 0, j = 0;
+  while (i < q.tokens.size() && j < set.tokens.size()) {
+    if (q.tokens[i] < set.tokens[j]) {
+      ++i;
+    } else if (set.tokens[j] < q.tokens[i]) {
+      ++j;
+    } else {
+      double ws = set.tfs[j] * idf_.idf[set.tokens[j]];
+      sum += q.weights[i] * ws;
+      ++i;
+      ++j;
+    }
+  }
+  double denom = static_cast<double>(set_len_[s]) * q.length;
+  if (denom == 0.0) return 0.0;
+  return sum / denom;
+}
+
+}  // namespace simsel

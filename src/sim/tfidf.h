@@ -1,0 +1,49 @@
+#ifndef SIMSEL_SIM_TFIDF_H_
+#define SIMSEL_SIM_TFIDF_H_
+
+#include <vector>
+
+#include "sim/measure.h"
+
+namespace simsel {
+
+/// Cosine TF/IDF:
+///
+///   w(t, x)   = tf(t, x) · idf(t)
+///   ||x||     = sqrt( Σ_t w(t, x)² )
+///   S(q, s)   = Σ_{t∈q∩s} w(t, q)·w(t, s) / (||q||·||s||)
+///
+/// The classic weighted measure the paper's IDF variant is derived from;
+/// included for the Table I precision comparison and the LinearScan path.
+class TfIdfMeasure : public SimilarityMeasure {
+ public:
+  explicit TfIdfMeasure(const Collection& collection);
+
+  std::string_view name() const override { return "TFIDF"; }
+  PreparedQuery PrepareQuery(
+      const std::vector<TokenCount>& tokens) const override;
+  double Score(const PreparedQuery& q, SetId s) const override;
+
+  double idf(TokenId t) const { return idf_.idf[t]; }
+
+  /// TF/IDF-normalized set length ||s|| (used as posting lengths when an
+  /// inverted index is built for TF/IDF selection).
+  float set_length(SetId s) const { return set_len_[s]; }
+
+  /// Maximum term frequency of `t` over all database sets (>= 1 for every
+  /// interned token). This is the "maximum tf component" the paper's
+  /// Section IV remark boosts the semantic-property bounds with.
+  uint32_t max_tf(TokenId t) const { return max_tf_[t]; }
+
+  const Collection& collection() const { return collection_; }
+
+ private:
+  const Collection& collection_;
+  internal::IdfTable idf_;
+  std::vector<float> set_len_;
+  std::vector<uint32_t> max_tf_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_SIM_TFIDF_H_

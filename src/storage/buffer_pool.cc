@@ -1,0 +1,40 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace simsel {
+
+BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
+  SIMSEL_CHECK_MSG(capacity_ >= 1, "buffer pool needs at least one frame");
+}
+
+bool BufferPool::Touch(uint64_t key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Clear(bool reset_stats) {
+  lru_.clear();
+  map_.clear();
+  if (reset_stats) {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
+}
+
+}  // namespace simsel

@@ -1,0 +1,63 @@
+#ifndef SIMSEL_STORAGE_BUFFER_POOL_H_
+#define SIMSEL_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace simsel {
+
+/// LRU buffer pool simulator.
+///
+/// The paper's indexes are disk-resident and "caching [is left] up to the
+/// operating system and the disk drive". This class models that cache: each
+/// page the cursors or hash probes touch is looked up in an LRU of
+/// `capacity` frames; a miss is a physical disk read, a hit is free. Wire a
+/// pool into SelectOptions::buffer_pool to measure how the algorithms'
+/// access patterns (SF's short sequential bursts vs TA's random probes)
+/// behave under different cache sizes — the bench_buffer_pool harness does
+/// exactly that.
+///
+/// Thread-compatible (one pool per thread / query stream); not thread-safe.
+class BufferPool {
+ public:
+  /// `capacity` frames (pages). Must be >= 1.
+  explicit BufferPool(size_t capacity);
+
+  /// Touches page `key` (any stable 64-bit page identity). Returns true on
+  /// a cache hit; on a miss the page is faulted in, evicting the LRU page
+  /// if the pool is full.
+  bool Touch(uint64_t key);
+
+  /// Composes a page identity from a file/structure id and page number.
+  static uint64_t PageKey(uint32_t file_id, uint64_t page_number) {
+    return (static_cast<uint64_t>(file_id) << 40) ^ page_number;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+  /// Empties the pool (cold cache) and optionally the statistics.
+  void Clear(bool reset_stats = true);
+
+ private:
+  size_t capacity_;
+  // Front = most recently used.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_STORAGE_BUFFER_POOL_H_

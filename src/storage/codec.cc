@@ -1,0 +1,127 @@
+#include "storage/codec.h"
+
+namespace simsel {
+
+void PutFixed32(std::vector<uint8_t>* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutFixed64(std::vector<uint8_t>* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutVarint32(std::vector<uint8_t>* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(v));
+}
+
+void PutVarint64(std::vector<uint8_t>* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  dst->push_back(static_cast<uint8_t>(v));
+}
+
+void PutFloat(std::vector<uint8_t>* dst, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed32(dst, bits);
+}
+
+void PutDouble(std::vector<uint8_t>* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+void PutLengthPrefixed(std::vector<uint8_t>* dst, std::string_view s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->insert(dst->end(), s.begin(), s.end());
+}
+
+bool GetFixed32(Decoder* dec, uint32_t* v) {
+  if (dec->remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(dec->data[dec->pos + i]) << (8 * i);
+  }
+  dec->pos += 4;
+  *v = out;
+  return true;
+}
+
+bool GetFixed64(Decoder* dec, uint64_t* v) {
+  if (dec->remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(dec->data[dec->pos + i]) << (8 * i);
+  }
+  dec->pos += 8;
+  *v = out;
+  return true;
+}
+
+bool GetVarint32(Decoder* dec, uint32_t* v) {
+  uint64_t wide;
+  if (!GetVarint64(dec, &wide)) return false;
+  if (wide > 0xFFFFFFFFULL) return false;
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool GetVarint64(Decoder* dec, uint64_t* v) {
+  uint64_t out = 0;
+  int shift = 0;
+  while (shift <= 63) {
+    if (dec->exhausted()) return false;
+    uint8_t byte = dec->data[dec->pos++];
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // over-long varint
+}
+
+bool GetFloat(Decoder* dec, float* v) {
+  uint32_t bits;
+  if (!GetFixed32(dec, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool GetDouble(Decoder* dec, double* v) {
+  uint64_t bits;
+  if (!GetFixed64(dec, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool GetLengthPrefixed(Decoder* dec, std::string* s) {
+  uint32_t len;
+  if (!GetVarint32(dec, &len)) return false;
+  if (dec->remaining() < len) return false;
+  s->assign(reinterpret_cast<const char*>(dec->data + dec->pos), len);
+  dec->pos += len;
+  return true;
+}
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(uint64_t v) { return Fnv1a64(&v, sizeof(v)); }
+
+}  // namespace simsel

@@ -1,0 +1,101 @@
+#include "storage/paged_file.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "storage/codec.h"
+
+namespace simsel {
+
+PagedFile::PagedFile(size_t page_size) : page_size_(page_size) {
+  SIMSEL_CHECK_MSG(page_size_ >= 64, "page size too small");
+}
+
+uint64_t PagedFile::Append(const void* data, size_t len) {
+  uint64_t offset = data_.size();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  data_.insert(data_.end(), p, p + len);
+  return offset;
+}
+
+Status PagedFile::ReadAt(uint64_t offset, size_t len, void* dst, bool random) {
+  if (offset + len > data_.size()) {
+    return Status::OutOfRange("read past end of paged file");
+  }
+  uint64_t first = offset / page_size_;
+  uint64_t last = len == 0 ? first : (offset + len - 1) / page_size_;
+  if (random) {
+    rand_reads_ += last - first + 1;
+    // A random read repositions the head; the sequential window is lost.
+    last_seq_page_ = last;
+  } else {
+    for (uint64_t p = first; p <= last; ++p) {
+      if (p != last_seq_page_) ++seq_reads_;
+      last_seq_page_ = p;
+    }
+  }
+  if (len > 0) std::memcpy(dst, data_.data() + offset, len);
+  return Status::Ok();
+}
+
+void PagedFile::ResetCounters() {
+  seq_reads_ = 0;
+  rand_reads_ = 0;
+  last_seq_page_ = UINT64_MAX;
+}
+
+Status PagedFile::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  std::vector<uint8_t> header;
+  PutFixed64(&header, page_size_);
+  PutFixed64(&header, data_.size());
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(data_.data()),
+            static_cast<std::streamsize>(data_.size()));
+  // Checksum covers the header too, so a flipped page-size or length field
+  // is detected, not silently accepted.
+  uint64_t checksum = Fnv1a64(header.data(), header.size());
+  checksum = Fnv1a64(data_.data(), data_.size(), checksum);
+  std::vector<uint8_t> footer;
+  PutFixed64(&footer, checksum);
+  out.write(reinterpret_cast<const char*>(footer.data()),
+            static_cast<std::streamsize>(footer.size()));
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Result<PagedFile> PagedFile::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  uint8_t header[16];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in) return Status::Corruption("truncated header: " + path);
+  Decoder dec{header, sizeof(header), 0};
+  uint64_t page_size, payload;
+  GetFixed64(&dec, &page_size);
+  GetFixed64(&dec, &payload);
+  if (page_size < 64 || page_size > (64u << 20)) {
+    return Status::Corruption("implausible page size in: " + path);
+  }
+  PagedFile file(static_cast<size_t>(page_size));
+  file.data_.resize(payload);
+  in.read(reinterpret_cast<char*>(file.data_.data()),
+          static_cast<std::streamsize>(payload));
+  if (!in) return Status::Corruption("truncated payload: " + path);
+  uint8_t footer[8];
+  in.read(reinterpret_cast<char*>(footer), sizeof(footer));
+  if (!in) return Status::Corruption("truncated checksum: " + path);
+  Decoder fdec{footer, sizeof(footer), 0};
+  uint64_t checksum;
+  GetFixed64(&fdec, &checksum);
+  uint64_t expected = Fnv1a64(header, sizeof(header));
+  expected = Fnv1a64(file.data_.data(), file.data_.size(), expected);
+  if (checksum != expected) {
+    return Status::Corruption("checksum mismatch: " + path);
+  }
+  return file;
+}
+
+}  // namespace simsel

@@ -1,0 +1,125 @@
+#include "storage/posting_store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "index/inverted_index.h"
+#include "storage/codec.h"
+
+namespace simsel {
+
+PostingStore PostingStore::Build(const InvertedIndex& index,
+                                 size_t page_bytes) {
+  if (page_bytes == 0) page_bytes = index.options().page_bytes;
+  PostingStore store;
+  store.file_ = PagedFile(page_bytes);
+  const size_t num_tokens = index.num_tokens();
+  store.offsets_.resize(num_tokens);
+  store.counts_.resize(num_tokens);
+  std::vector<uint8_t> buf;
+  for (uint32_t t = 0; t < num_tokens; ++t) {
+    const size_t n = index.ListSize(t);
+    store.counts_[t] = static_cast<uint32_t>(n);
+    // Page-align each list start so scans don't share pages across lists.
+    size_t pos = store.file_.size();
+    size_t misalign = pos % page_bytes;
+    if (misalign != 0 && n > 0) {
+      std::vector<uint8_t> pad(page_bytes - misalign, 0);
+      store.file_.Append(pad.data(), pad.size());
+    }
+    store.offsets_[t] = store.file_.size();
+    const uint32_t* ids = index.LenIds(t);
+    const float* lens = index.LenLens(t);
+    buf.clear();
+    buf.reserve(n * kPostingBytes);
+    for (size_t i = 0; i < n; ++i) {
+      PutFixed32(&buf, ids[i]);
+      PutFloat(&buf, lens[i]);
+    }
+    store.file_.Append(buf.data(), buf.size());
+  }
+  store.file_.ResetCounters();
+  return store;
+}
+
+uint64_t PostingStore::total_postings() const {
+  uint64_t total = 0;
+  for (uint32_t c : counts_) total += c;
+  return total;
+}
+
+size_t PostingStore::ReadBlock(uint32_t token, size_t first, size_t count,
+                               uint32_t* ids, float* lens,
+                               bool random) const {
+  SIMSEL_DCHECK(token < counts_.size());
+  const size_t n = counts_[token];
+  if (first >= n) return 0;
+  count = std::min(count, n - first);
+  std::vector<uint8_t> raw(count * kPostingBytes);
+  Status st = file_.ReadAt(offsets_[token] + first * kPostingBytes,
+                           raw.size(), raw.data(), random);
+  SIMSEL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  Decoder dec{raw.data(), raw.size(), 0};
+  for (size_t i = 0; i < count; ++i) {
+    GetFixed32(&dec, &ids[i]);
+    GetFloat(&dec, &lens[i]);
+  }
+  return count;
+}
+
+Status PostingStore::Save(const std::string& path) const {
+  // Directory block appended to a copy of the image, so the image itself
+  // stays page-aligned: [image][directory][dir_size fixed64] inside one
+  // checksummed PagedFile payload.
+  PagedFile out(file_.page_size());
+  out.Append(file_.contents().data(), file_.contents().size());
+  std::vector<uint8_t> dir;
+  PutFixed64(&dir, counts_.size());
+  for (size_t t = 0; t < counts_.size(); ++t) {
+    PutVarint64(&dir, offsets_[t]);
+    PutVarint32(&dir, counts_[t]);
+  }
+  PutFixed64(&dir, dir.size() + 8);  // directory block size incl. this field
+  out.Append(dir.data(), dir.size());
+  return out.SaveToFile(path);
+}
+
+Result<PostingStore> PostingStore::Load(const std::string& path) {
+  Result<PagedFile> file = PagedFile::LoadFromFile(path);
+  if (!file.ok()) return file.status();
+  const std::vector<uint8_t>& buf = file->contents();
+  if (buf.size() < 8) return Status::Corruption("store too small: " + path);
+  Decoder tail{buf.data(), buf.size(), buf.size() - 8};
+  uint64_t dir_size;
+  GetFixed64(&tail, &dir_size);
+  if (dir_size < 16 || dir_size > buf.size()) {
+    return Status::Corruption("bad directory size in: " + path);
+  }
+  size_t dir_start = buf.size() - dir_size;
+  Decoder dec{buf.data(), buf.size() - 8, dir_start};
+  uint64_t num_tokens;
+  if (!GetFixed64(&dec, &num_tokens)) {
+    return Status::Corruption("truncated directory in: " + path);
+  }
+  PostingStore store;
+  store.offsets_.resize(num_tokens);
+  store.counts_.resize(num_tokens);
+  for (uint64_t t = 0; t < num_tokens; ++t) {
+    uint64_t offset;
+    uint32_t count;
+    if (!GetVarint64(&dec, &offset) || !GetVarint32(&dec, &count)) {
+      return Status::Corruption("truncated directory entry in: " + path);
+    }
+    if (offset + static_cast<uint64_t>(count) * kPostingBytes > dir_start) {
+      return Status::Corruption("list range out of bounds in: " + path);
+    }
+    store.offsets_[t] = offset;
+    store.counts_[t] = count;
+  }
+  store.file_ = PagedFile(file->page_size());
+  store.file_.Append(buf.data(), dir_start);
+  store.file_.ResetCounters();
+  return store;
+}
+
+}  // namespace simsel

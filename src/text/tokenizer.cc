@@ -1,0 +1,103 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  SIMSEL_CHECK_MSG(options_.q >= 1, "q-gram width must be >= 1");
+}
+
+std::string Tokenizer::Normalize(std::string_view text) const {
+  std::string out;
+  out.reserve(text.size());
+  bool last_space = true;  // strip leading space
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      if (!last_space) {
+        out.push_back(options_.collapse_space_to_underscore ? '_' : ' ');
+        last_space = true;
+      }
+      continue;
+    }
+    last_space = false;
+    out.push_back(options_.lowercase ? static_cast<char>(std::tolower(c))
+                                     : raw);
+  }
+  // Strip a trailing separator left by trailing whitespace.
+  if (!out.empty() && (out.back() == '_' || out.back() == ' ')) out.pop_back();
+  return out;
+}
+
+void Tokenizer::Words(std::string_view text,
+                      std::vector<std::string>* out) const {
+  std::string cur;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(options_.lowercase ? static_cast<char>(std::tolower(c))
+                                       : raw);
+    } else if (!cur.empty()) {
+      out->push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out->push_back(std::move(cur));
+}
+
+void Tokenizer::QGrams(std::string_view word,
+                       std::vector<std::string>* out) const {
+  if (word.empty()) return;  // padding alone must not fabricate grams
+  const int q = options_.q;
+  std::string padded;
+  if (options_.pad) {
+    padded.reserve(word.size() + 2 * (q - 1));
+    padded.append(q - 1, options_.pad_char);
+    padded.append(word);
+    padded.append(q - 1, options_.pad_char);
+  } else {
+    padded.assign(word);
+  }
+  if (static_cast<int>(padded.size()) < q) {
+    if (!padded.empty()) out->push_back(padded);
+    return;
+  }
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out->emplace_back(padded.substr(i, q));
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  if (options_.kind == TokenizerKind::kWord) {
+    Words(text, &out);
+    return out;
+  }
+  std::string norm = Normalize(text);
+  QGrams(norm, &out);
+  return out;
+}
+
+std::vector<TokenCount> Tokenizer::TokenizeCounted(
+    std::string_view text) const {
+  std::vector<std::string> toks = Tokenize(text);
+  std::sort(toks.begin(), toks.end());
+  std::vector<TokenCount> out;
+  for (size_t i = 0; i < toks.size();) {
+    size_t j = i;
+    while (j < toks.size() && toks[j] == toks[i]) ++j;
+    out.push_back(TokenCount{toks[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return out;
+}
+
+size_t Tokenizer::CountTokens(std::string_view text) const {
+  return Tokenize(text).size();
+}
+
+}  // namespace simsel

@@ -1,0 +1,74 @@
+#ifndef SIMSEL_TEXT_TOKENIZER_H_
+#define SIMSEL_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace simsel {
+
+/// How a record string is decomposed into tokens before set construction.
+/// The paper tokenizes tuples into words and converts each word into a set
+/// of 3-grams; both granularities are supported.
+enum class TokenizerKind {
+  kWord,   ///< Split on non-alphanumeric characters.
+  kQGram,  ///< Overlapping character q-grams (optionally boundary-padded).
+};
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  TokenizerKind kind = TokenizerKind::kQGram;
+  /// Gram width for TokenizerKind::kQGram. Must be >= 1.
+  int q = 3;
+  /// When true, `q - 1` copies of `pad_char` are prepended and appended so a
+  /// word of length L yields L + q - 1 grams and boundary characters are
+  /// emphasized (the convention in the q-gram literature).
+  bool pad = true;
+  char pad_char = '#';
+  /// Lowercase input before tokenizing.
+  bool lowercase = true;
+  /// Replace whitespace runs inside the record with a single '_' when q-gram
+  /// tokenizing the full string (mirrors the paper's "Main_St" style grams).
+  bool collapse_space_to_underscore = true;
+};
+
+/// A token and the number of times it occurs in the tokenized record.
+struct TokenCount {
+  std::string token;
+  uint32_t count = 0;
+};
+
+/// Decomposes record strings into token multisets.
+///
+/// Thread-compatible: const methods may be called concurrently.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions());
+
+  const TokenizerOptions& options() const { return options_; }
+
+  /// Normalizes `text` per the options (lowercasing, whitespace collapsing).
+  std::string Normalize(std::string_view text) const;
+
+  /// Splits `text` into the raw token sequence (with duplicates, in order).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Tokenizes and aggregates duplicates into (token, tf) pairs, sorted by
+  /// token for determinism.
+  std::vector<TokenCount> TokenizeCounted(std::string_view text) const;
+
+  /// Number of tokens `text` produces (cheap; used by workload bucketing).
+  size_t CountTokens(std::string_view text) const;
+
+ private:
+  void QGrams(std::string_view word, std::vector<std::string>* out) const;
+  void Words(std::string_view text, std::vector<std::string>* out) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_TEXT_TOKENIZER_H_

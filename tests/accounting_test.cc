@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::MakeQueries;
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector = new SimilaritySelector(
+      MakeSelector(400, /*seed=*/501, /*with_sql=*/true));
+  return *selector;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string>* queries = [] {
+    std::vector<std::string> texts;
+    for (SetId s = 0; s < Selector().collection().size(); ++s) {
+      texts.push_back(Selector().collection().text(s));
+    }
+    return new std::vector<std::string>(MakeQueries(texts, 15, 511));
+  }();
+  return *queries;
+}
+
+// Every list-consuming algorithm must conserve accounting: each posting of
+// each query list is either read or skipped, never both, never neither.
+class AccountingConservation
+    : public ::testing::TestWithParam<std::tuple<AlgorithmKind, double>> {};
+
+TEST_P(AccountingConservation, ReadPlusSkippedEqualsTotal) {
+  const auto& [kind, tau] = GetParam();
+  const SimilaritySelector& sel = Selector();
+  for (const std::string& query : Queries()) {
+    PreparedQuery q = sel.Prepare(query);
+    QueryResult r = sel.SelectPrepared(q, tau, kind, {});
+    EXPECT_EQ(r.counters.elements_read + r.counters.elements_skipped,
+              r.counters.elements_total)
+        << AlgorithmKindName(kind) << " tau=" << tau << " q=" << query;
+    EXPECT_EQ(r.counters.results, r.matches.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ListAlgorithms, AccountingConservation,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kSortById, AlgorithmKind::kTa,
+                          AlgorithmKind::kNra, AlgorithmKind::kIta,
+                          AlgorithmKind::kInra, AlgorithmKind::kSf,
+                          AlgorithmKind::kHybrid,
+                          AlgorithmKind::kPrefixFilter),
+        ::testing::Values(0.5, 0.8, 0.95)),
+    [](const auto& info) {
+      std::string name = AlgorithmKindName(std::get<0>(info.param));
+      if (name == "sort-by-id") name = "SortById";
+      return name + "_tau" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 100 + 0.5));
+    });
+
+// Ablation variants must conserve too (seeks take different code paths).
+TEST(AccountingConservationTest, AblationVariants) {
+  const SimilaritySelector& sel = Selector();
+  for (int variant = 0; variant < 3; ++variant) {
+    SelectOptions o;
+    if (variant == 0) o.length_bounding = false;
+    if (variant == 1) o.use_skip_index = false;
+    if (variant == 2) {
+      o.order_preservation = false;
+      o.magnitude_bound = false;
+    }
+    for (AlgorithmKind kind :
+         {AlgorithmKind::kInra, AlgorithmKind::kSf, AlgorithmKind::kHybrid,
+          AlgorithmKind::kIta}) {
+      for (const std::string& query : Queries()) {
+        PreparedQuery q = sel.Prepare(query);
+        QueryResult r = sel.SelectPrepared(q, 0.8, kind, o);
+        EXPECT_EQ(r.counters.elements_read + r.counters.elements_skipped,
+                  r.counters.elements_total)
+            << AlgorithmKindName(kind) << " variant " << variant;
+      }
+    }
+  }
+}
+
+// Monotonicity of pruning in the threshold, pooled over a workload (SF and
+// iNRA read monotonically less as tau rises).
+TEST(AccountingMonotonicityTest, ReadsDecreaseWithThreshold) {
+  const SimilaritySelector& sel = Selector();
+  for (AlgorithmKind kind : {AlgorithmKind::kSf, AlgorithmKind::kInra}) {
+    uint64_t prev = UINT64_MAX;
+    for (double tau : {0.5, 0.7, 0.9}) {
+      uint64_t reads = 0;
+      for (const std::string& query : Queries()) {
+        PreparedQuery q = sel.Prepare(query);
+        reads += sel.SelectPrepared(q, tau, kind, {}).counters.elements_read;
+      }
+      EXPECT_LE(reads, prev) << AlgorithmKindName(kind) << " tau=" << tau;
+      prev = reads;
+    }
+  }
+}
+
+// Random accesses: only the TA family and the hash-backed paths issue
+// hash probes.
+TEST(AccountingProbesTest, OnlyTaFamilyProbes) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(3));
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSortById, AlgorithmKind::kNra, AlgorithmKind::kInra,
+        AlgorithmKind::kSf, AlgorithmKind::kHybrid}) {
+    QueryResult r = sel.SelectPrepared(q, 0.8, kind, {});
+    EXPECT_EQ(r.counters.hash_probes, 0u) << AlgorithmKindName(kind);
+  }
+  QueryResult ta = sel.SelectPrepared(q, 0.8, AlgorithmKind::kTa, {});
+  EXPECT_GT(ta.counters.hash_probes, 0u);
+}
+
+// SQL accounting: rows scanned are bounded by the gram table rows of the
+// query's tokens.
+TEST(AccountingSqlTest, RowsBoundedByLists) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(5));
+  QueryResult r = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSql, {});
+  uint64_t bound = 0;
+  for (TokenId t : q.tokens) bound += sel.index().ListSize(t);
+  EXPECT_LE(r.counters.rows_scanned, bound);
+  EXPECT_GT(r.counters.rows_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::ExpectSameMatches;
+using testing_util::MakeQueries;
+using testing_util::MakeSelector;
+
+// One shared environment: building the index is the expensive part.
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector =
+      new SimilaritySelector(MakeSelector(400, /*seed=*/21));
+  return *selector;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string>* queries =
+      new std::vector<std::string>(MakeQueries(
+          []() {
+            std::vector<std::string> texts;
+            for (SetId s = 0; s < Selector().collection().size(); ++s) {
+              texts.push_back(Selector().collection().text(s));
+            }
+            return texts;
+          }(),
+          20, /*seed=*/31));
+  return *queries;
+}
+
+// --- Exactness: every algorithm returns exactly the linear-scan answer. ---
+
+class AlgorithmExactness
+    : public ::testing::TestWithParam<std::tuple<AlgorithmKind, double>> {};
+
+TEST_P(AlgorithmExactness, MatchesLinearScan) {
+  const auto& [kind, tau] = GetParam();
+  const SimilaritySelector& sel = Selector();
+  for (const std::string& query : Queries()) {
+    PreparedQuery q = sel.Prepare(query);
+    QueryResult expected =
+        sel.SelectPrepared(q, tau, AlgorithmKind::kLinearScan, {});
+    QueryResult actual = sel.SelectPrepared(q, tau, kind, {});
+    ExpectSameMatches(expected.matches, actual.matches,
+                      std::string(AlgorithmKindName(kind)) + " tau=" +
+                          std::to_string(tau) + " q=" + query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllThresholds, AlgorithmExactness,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kSql, AlgorithmKind::kSortById,
+                          AlgorithmKind::kTa, AlgorithmKind::kNra,
+                          AlgorithmKind::kIta, AlgorithmKind::kInra,
+                          AlgorithmKind::kSf, AlgorithmKind::kHybrid,
+                          AlgorithmKind::kPrefixFilter),
+        ::testing::Values(0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)),
+    [](const auto& info) {
+      std::string name = AlgorithmKindName(std::get<0>(info.param));
+      if (name == "sort-by-id") name = "SortById";
+      int tau_pct = static_cast<int>(std::get<1>(info.param) * 100 + 0.5);
+      return name + "_tau" + std::to_string(tau_pct);
+    });
+
+// --- Ablations: disabling any property must not change the answer. ---
+
+struct AblationCase {
+  const char* name;
+  SelectOptions options;
+};
+
+class AlgorithmAblation
+    : public ::testing::TestWithParam<std::tuple<AlgorithmKind, int>> {
+ public:
+  static const std::vector<AblationCase>& Cases() {
+    static const std::vector<AblationCase>* cases = [] {
+      auto* v = new std::vector<AblationCase>;
+      SelectOptions o;
+      o.length_bounding = false;
+      v->push_back({"NLB", o});
+      o = SelectOptions();
+      o.use_skip_index = false;
+      v->push_back({"NSL", o});
+      o = SelectOptions();
+      o.order_preservation = false;
+      v->push_back({"NoOP", o});
+      o = SelectOptions();
+      o.magnitude_bound = false;
+      v->push_back({"NoMB", o});
+      o = SelectOptions();
+      o.f_cutoff = false;
+      v->push_back({"NoFCut", o});
+      o = SelectOptions();
+      o.lazy_candidate_scan = false;
+      v->push_back({"EagerScan", o});
+      o = SelectOptions();
+      o.length_bounding = false;
+      o.use_skip_index = false;
+      o.order_preservation = false;
+      o.magnitude_bound = false;
+      v->push_back({"AllOff", o});
+      return v;
+    }();
+    return *cases;
+  }
+};
+
+TEST_P(AlgorithmAblation, StillExact) {
+  const auto& [kind, case_idx] = GetParam();
+  const AblationCase& ablation = Cases()[case_idx];
+  const SimilaritySelector& sel = Selector();
+  const double tau = 0.75;
+  for (const std::string& query : Queries()) {
+    PreparedQuery q = sel.Prepare(query);
+    QueryResult expected =
+        sel.SelectPrepared(q, tau, AlgorithmKind::kLinearScan, {});
+    QueryResult actual = sel.SelectPrepared(q, tau, kind, ablation.options);
+    ExpectSameMatches(expected.matches, actual.matches,
+                      std::string(AlgorithmKindName(kind)) + "/" +
+                          ablation.name + " q=" + query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AblationsStayExact, AlgorithmAblation,
+    ::testing::Combine(
+        ::testing::Values(AlgorithmKind::kSql, AlgorithmKind::kNra,
+                          AlgorithmKind::kIta, AlgorithmKind::kInra,
+                          AlgorithmKind::kSf, AlgorithmKind::kHybrid,
+                          AlgorithmKind::kPrefixFilter),
+        ::testing::Range(0, 7)),
+    [](const auto& info) {
+      std::string name = AlgorithmKindName(std::get<0>(info.param));
+      return name + "_" +
+             AlgorithmAblation::Cases()[std::get<1>(info.param)].name;
+    });
+
+// --- Degenerate inputs. ---
+
+class AlgorithmEdgeCases : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(AlgorithmEdgeCases, EmptyQueryYieldsNothing) {
+  QueryResult r = Selector().Select("", 0.5, GetParam());
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST_P(AlgorithmEdgeCases, UnknownTokensOnlyYieldsNothing) {
+  QueryResult r = Selector().Select("0123456789", 0.5, GetParam());
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST_P(AlgorithmEdgeCases, ThresholdAboveOneYieldsNothing) {
+  const std::string query = Selector().collection().text(0);
+  QueryResult r = Selector().Select(query, 1.2, GetParam());
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST_P(AlgorithmEdgeCases, ExactMatchNearThresholdOne) {
+  // Self similarity is 1 up to float rounding of the stored set length, so
+  // probe just below 1.
+  const std::string query = Selector().collection().text(7);
+  QueryResult r = Selector().Select(query, 0.999999, GetParam());
+  ASSERT_FALSE(r.matches.empty()) << query;
+  bool found_self = false;
+  for (const Match& m : r.matches) {
+    EXPECT_NEAR(m.score, 1.0, 1e-5);
+    found_self |= (m.id == 7);
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST_P(AlgorithmEdgeCases, ResultsSortedById) {
+  QueryResult r =
+      Selector().Select(Selector().collection().text(3), 0.3, GetParam());
+  for (size_t i = 1; i < r.matches.size(); ++i) {
+    EXPECT_LT(r.matches[i - 1].id, r.matches[i].id);
+  }
+}
+
+TEST_P(AlgorithmEdgeCases, AllScoresMeetThreshold) {
+  const double tau = 0.6;
+  QueryResult r =
+      Selector().Select(Selector().collection().text(11), tau, GetParam());
+  for (const Match& m : r.matches) EXPECT_GE(m.score, tau);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeCases, AlgorithmEdgeCases,
+    ::testing::Values(AlgorithmKind::kLinearScan, AlgorithmKind::kSql,
+                      AlgorithmKind::kSortById, AlgorithmKind::kTa,
+                      AlgorithmKind::kNra, AlgorithmKind::kIta,
+                      AlgorithmKind::kInra, AlgorithmKind::kSf,
+                      AlgorithmKind::kHybrid, AlgorithmKind::kPrefixFilter),
+    [](const auto& info) {
+      std::string name = AlgorithmKindName(info.param);
+      if (name == "sort-by-id") name = "SortById";
+      return name;
+    });
+
+}  // namespace
+}  // namespace simsel

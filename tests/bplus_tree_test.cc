@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "common/rng.h"
+#include "rel/gram_table.h"
+
+namespace simsel {
+namespace {
+
+using IntTree = BPlusTree<int, int>;
+
+IntTree::Options SmallPages() {
+  IntTree::Options o;
+  o.page_bytes = 256;  // tiny pages force splits and deep trees
+  return o;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  IntTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_FALSE(tree.SeekGE(1).Valid());
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.Lookup(5));
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  IntTree tree(SmallPages());
+  for (int i = 0; i < 1000; ++i) tree.Insert(i * 2, i);
+  EXPECT_EQ(tree.size(), 1000u);
+  ASSERT_TRUE(tree.Validate());
+  int v = -1;
+  EXPECT_TRUE(tree.Lookup(500, &v));
+  EXPECT_EQ(v, 250);
+  EXPECT_FALSE(tree.Lookup(501));
+}
+
+TEST(BPlusTreeTest, RandomInsertMatchesMultimap) {
+  IntTree tree(SmallPages());
+  std::multimap<int, int> reference;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    int key = static_cast<int>(rng.NextBounded(2000));
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  ASSERT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.size(), reference.size());
+  // Full scan equals sorted reference keys.
+  std::vector<int> tree_keys, ref_keys;
+  for (auto s = tree.Begin(); s.Valid(); s.Next()) tree_keys.push_back(s.key());
+  for (const auto& [k, v] : reference) ref_keys.push_back(k);
+  EXPECT_EQ(tree_keys, ref_keys);
+}
+
+TEST(BPlusTreeTest, SeekGEMatchesLowerBound) {
+  IntTree tree(SmallPages());
+  std::multimap<int, int> reference;
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    int key = static_cast<int>(rng.NextBounded(5000));
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  for (int probe = -10; probe < 5100; probe += 53) {
+    auto scan = tree.SeekGE(probe);
+    auto it = reference.lower_bound(probe);
+    if (it == reference.end()) {
+      EXPECT_FALSE(scan.Valid()) << probe;
+    } else {
+      ASSERT_TRUE(scan.Valid()) << probe;
+      EXPECT_EQ(scan.key(), it->first) << probe;
+    }
+  }
+}
+
+TEST(BPlusTreeTest, RangeScanMatchesReference) {
+  IntTree tree(SmallPages());
+  std::multimap<int, int> reference;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    int key = static_cast<int>(rng.NextBounded(1000));
+    tree.Insert(key, i);
+    reference.emplace(key, i);
+  }
+  int lo = 200, hi = 400;
+  std::vector<int> got;
+  for (auto s = tree.SeekGE(lo); s.Valid() && s.key() <= hi; s.Next()) {
+    got.push_back(s.key());
+  }
+  std::vector<int> expected;
+  for (auto it = reference.lower_bound(lo);
+       it != reference.end() && it->first <= hi; ++it) {
+    expected.push_back(it->first);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllReachableViaScan) {
+  IntTree tree(SmallPages());
+  for (int rep = 0; rep < 100; ++rep) tree.Insert(42, rep);
+  for (int rep = 0; rep < 50; ++rep) tree.Insert(41, rep);
+  ASSERT_TRUE(tree.Validate());
+  size_t count42 = 0;
+  for (auto s = tree.SeekGE(42); s.Valid() && s.key() == 42; s.Next()) {
+    ++count42;
+  }
+  EXPECT_EQ(count42, 100u);
+}
+
+TEST(BPlusTreeTest, BulkBuildMatchesInserts) {
+  std::vector<std::pair<int, int>> items;
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) {
+    items.push_back({static_cast<int>(rng.NextBounded(999)), i});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  IntTree built(SmallPages());
+  built.Build(items);
+  ASSERT_TRUE(built.Validate());
+  EXPECT_EQ(built.size(), items.size());
+  size_t i = 0;
+  for (auto s = built.Begin(); s.Valid(); s.Next(), ++i) {
+    EXPECT_EQ(s.key(), items[i].first);
+  }
+  EXPECT_EQ(i, items.size());
+}
+
+TEST(BPlusTreeTest, BulkBuildEmpty) {
+  IntTree tree(SmallPages());
+  tree.Build({});
+  EXPECT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+}
+
+TEST(BPlusTreeTest, SeekChargesHeightPlusOnePages) {
+  IntTree tree(SmallPages());
+  for (int i = 0; i < 5000; ++i) tree.Insert(i, i);
+  EXPECT_GT(tree.height(), 1u);
+  AccessCounters counters;
+  tree.SeekGE(2500, &counters);
+  EXPECT_EQ(counters.rand_page_reads, tree.height() + 1);
+}
+
+TEST(BPlusTreeTest, ScanChargesSequentialPagesPerLeaf) {
+  IntTree tree(SmallPages());
+  for (int i = 0; i < 2000; ++i) tree.Insert(i, i);
+  AccessCounters counters;
+  size_t rows = 0;
+  for (auto s = tree.SeekGE(0, &counters); s.Valid(); s.Next()) ++rows;
+  EXPECT_EQ(rows, 2000u);
+  // One sequential page charge per leaf hop; leaves hold >= 4 entries.
+  EXPECT_GE(counters.seq_page_reads, tree.num_leaves() - 1);
+  EXPECT_LE(counters.seq_page_reads, tree.num_leaves() + 1);
+}
+
+TEST(BPlusTreeTest, SizeBytesCountsNodes) {
+  IntTree tree(SmallPages());
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, i);
+  EXPECT_EQ(tree.SizeBytes(),
+            (tree.num_leaves() + tree.num_internal()) * 256);
+}
+
+TEST(BPlusTreeTest, GramKeyOrdering) {
+  GramKeyLess less;
+  EXPECT_TRUE(less({1, 2.0f, 3}, {2, 0.0f, 0}));
+  EXPECT_TRUE(less({1, 2.0f, 3}, {1, 3.0f, 0}));
+  EXPECT_TRUE(less({1, 2.0f, 3}, {1, 2.0f, 4}));
+  EXPECT_FALSE(less({1, 2.0f, 3}, {1, 2.0f, 3}));
+}
+
+TEST(BPlusTreeTest, CompositeKeyTree) {
+  BPlusTree<GramKey, float, GramKeyLess> tree;
+  Rng rng(17);
+  for (int i = 0; i < 3000; ++i) {
+    GramKey key{static_cast<TokenId>(rng.NextBounded(50)),
+                static_cast<float>(rng.NextDouble() * 10),
+                static_cast<SetId>(i)};
+    tree.Insert(key, 1.0f);
+  }
+  ASSERT_TRUE(tree.Validate());
+  // Range scan of one gram stays within that gram.
+  auto s = tree.SeekGE(GramKey{25, 0.0f, 0});
+  while (s.Valid() && s.key().gram == 25) s.Next();
+  if (s.Valid()) {
+    EXPECT_GT(s.key().gram, 25u);
+  }
+}
+
+}  // namespace
+}  // namespace simsel

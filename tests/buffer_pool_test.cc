@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+TEST(BufferPoolTest, ColdMissesThenHits) {
+  BufferPool pool(4);
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(2));
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(2));
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  BufferPool pool(2);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(3);  // evicts 1 (LRU)
+  EXPECT_EQ(pool.evictions(), 1u);
+  EXPECT_FALSE(pool.Touch(1));  // 1 was evicted -> miss, evicts 2
+  EXPECT_TRUE(pool.Touch(3));   // still resident
+}
+
+TEST(BufferPoolTest, TouchRefreshesRecency) {
+  BufferPool pool(2);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(1);  // 1 becomes MRU
+  pool.Touch(3);  // evicts 2, not 1
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_FALSE(pool.Touch(2));
+}
+
+TEST(BufferPoolTest, CapacityBound) {
+  BufferPool pool(8);
+  for (uint64_t i = 0; i < 100; ++i) pool.Touch(i);
+  EXPECT_EQ(pool.size(), 8u);
+  EXPECT_EQ(pool.misses(), 100u);
+  EXPECT_EQ(pool.evictions(), 92u);
+}
+
+TEST(BufferPoolTest, ClearResets) {
+  BufferPool pool(4);
+  pool.Touch(1);
+  pool.Touch(1);
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_FALSE(pool.Touch(1));  // cold again
+}
+
+TEST(BufferPoolTest, PageKeySeparatesFiles) {
+  EXPECT_NE(BufferPool::PageKey(1, 0), BufferPool::PageKey(2, 0));
+  EXPECT_NE(BufferPool::PageKey(1, 0), BufferPool::PageKey(1, 1));
+}
+
+// --- Integration with the algorithms. ---
+
+TEST(BufferPoolIntegrationTest, RepeatQueryHitsCache) {
+  SimilaritySelector sel = testing_util::MakeSelector(300, 181, false);
+  BufferPool pool(100000);  // large: no capacity evictions
+  SelectOptions opts;
+  opts.buffer_pool = &pool;
+  PreparedQuery q = sel.Prepare(sel.collection().text(3));
+
+  QueryResult first = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, opts);
+  EXPECT_GT(first.counters.pool_misses, 0u);
+  QueryResult second = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, opts);
+  // Everything the second run touches was faulted in by the first.
+  EXPECT_EQ(second.counters.pool_misses, 0u);
+  EXPECT_GT(second.counters.pool_hits, 0u);
+  // The pool must not change the answer.
+  QueryResult bare = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, {});
+  testing_util::ExpectSameMatches(bare.matches, second.matches, "pooled");
+}
+
+TEST(BufferPoolIntegrationTest, TinyPoolThrashesOnRandomProbes) {
+  SimilaritySelector sel = testing_util::MakeSelector(300, 181, false);
+  BufferPool big(100000), tiny(2);
+  SelectOptions big_opts, tiny_opts;
+  big_opts.buffer_pool = &big;
+  tiny_opts.buffer_pool = &tiny;
+  PreparedQuery q = sel.Prepare(sel.collection().text(3));
+  // Warm both pools once, then compare steady-state miss counts.
+  sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, big_opts);
+  sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, tiny_opts);
+  QueryResult warm = sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, big_opts);
+  QueryResult thrash =
+      sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, tiny_opts);
+  EXPECT_GE(thrash.counters.pool_misses, warm.counters.pool_misses);
+}
+
+TEST(BufferPoolIntegrationTest, CountersUntouchedWithoutPool) {
+  SimilaritySelector sel = testing_util::MakeSelector(200, 191, false);
+  QueryResult r = sel.Select(sel.collection().text(0), 0.8);
+  EXPECT_EQ(r.counters.pool_hits, 0u);
+  EXPECT_EQ(r.counters.pool_misses, 0u);
+}
+
+}  // namespace
+}  // namespace simsel

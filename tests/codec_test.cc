@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "storage/codec.h"
+
+namespace simsel {
+namespace {
+
+Decoder MakeDecoder(const std::vector<uint8_t>& buf) {
+  return Decoder{buf.data(), buf.size(), 0};
+}
+
+TEST(CodecTest, Fixed32Roundtrip) {
+  std::vector<uint8_t> buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, std::numeric_limits<uint32_t>::max());
+  Decoder dec = MakeDecoder(buf);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&dec, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&dec, &v));
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  ASSERT_TRUE(GetFixed32(&dec, &v));
+  EXPECT_EQ(v, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CodecTest, Fixed64Roundtrip) {
+  std::vector<uint8_t> buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  Decoder dec = MakeDecoder(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&dec, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFULL);
+}
+
+TEST(CodecTest, VarintRoundtripBoundaries) {
+  std::vector<uint64_t> values = {0,      1,        127,        128,
+                                  16383,  16384,    (1u << 21) - 1,
+                                  1u << 28, 0xFFFFFFFFULL,
+                                  std::numeric_limits<uint64_t>::max()};
+  std::vector<uint8_t> buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder dec = MakeDecoder(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&dec, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(CodecTest, Varint32RejectsOversized) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 0x1'00000000ULL);  // > 32 bits
+  Decoder dec = MakeDecoder(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&dec, &v));
+}
+
+TEST(CodecTest, VarintSizes) {
+  std::vector<uint8_t> buf;
+  PutVarint32(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint32(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(CodecTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutFixed64(&buf, 12345);
+  buf.pop_back();
+  Decoder dec = MakeDecoder(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetFixed64(&dec, &v));
+}
+
+TEST(CodecTest, TruncatedVarintFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 1u << 30);
+  buf.pop_back();
+  Decoder dec = MakeDecoder(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&dec, &v));
+}
+
+TEST(CodecTest, OverlongVarintFails) {
+  // 11 continuation bytes exceed the 64-bit budget.
+  std::vector<uint8_t> buf(11, 0x80);
+  Decoder dec = MakeDecoder(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&dec, &v));
+}
+
+TEST(CodecTest, FloatRoundtrip) {
+  std::vector<uint8_t> buf;
+  PutFloat(&buf, 3.14159f);
+  PutFloat(&buf, -0.0f);
+  PutFloat(&buf, std::numeric_limits<float>::infinity());
+  Decoder dec = MakeDecoder(buf);
+  float f;
+  ASSERT_TRUE(GetFloat(&dec, &f));
+  EXPECT_FLOAT_EQ(f, 3.14159f);
+  ASSERT_TRUE(GetFloat(&dec, &f));
+  EXPECT_EQ(f, 0.0f);
+  ASSERT_TRUE(GetFloat(&dec, &f));
+  EXPECT_TRUE(std::isinf(f));
+}
+
+TEST(CodecTest, DoubleRoundtrip) {
+  std::vector<uint8_t> buf;
+  PutDouble(&buf, 2.718281828459045);
+  Decoder dec = MakeDecoder(buf);
+  double d;
+  ASSERT_TRUE(GetDouble(&dec, &d));
+  EXPECT_DOUBLE_EQ(d, 2.718281828459045);
+}
+
+TEST(CodecTest, LengthPrefixedRoundtrip) {
+  std::vector<uint8_t> buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec = MakeDecoder(buf);
+  std::string s;
+  ASSERT_TRUE(GetLengthPrefixed(&dec, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&dec, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&dec, &s));
+  EXPECT_EQ(s, std::string(1000, 'x'));
+}
+
+TEST(CodecTest, LengthPrefixedTruncatedFails) {
+  std::vector<uint8_t> buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(3);
+  Decoder dec = MakeDecoder(buf);
+  std::string s;
+  EXPECT_FALSE(GetLengthPrefixed(&dec, &s));
+}
+
+TEST(CodecTest, FnvIsStableAndSensitive) {
+  EXPECT_EQ(Fnv1a64("abc", 3), Fnv1a64("abc", 3));
+  EXPECT_NE(Fnv1a64("abc", 3), Fnv1a64("abd", 3));
+  EXPECT_NE(Fnv1a64(uint64_t{1}), Fnv1a64(uint64_t{2}));
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "index/collection.h"
+#include "index/dictionary.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TokenId a = dict.Intern("foo");
+  TokenId b = dict.Intern("foo");
+  TokenId c = dict.Intern("bar");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.token(a), "foo");
+  EXPECT_EQ(dict.token(c), "bar");
+}
+
+TEST(DictionaryTest, FindMissesUnknown) {
+  Dictionary dict;
+  dict.Intern("known");
+  EXPECT_TRUE(dict.Find("known").has_value());
+  EXPECT_FALSE(dict.Find("unknown").has_value());
+}
+
+TEST(DictionaryTest, DfCounting) {
+  Dictionary dict;
+  TokenId a = dict.Intern("a");
+  EXPECT_EQ(dict.df(a), 0u);
+  dict.AddSetOccurrence(a);
+  dict.AddSetOccurrence(a);
+  EXPECT_EQ(dict.df(a), 2u);
+}
+
+TEST(DictionaryTest, SizeBytesGrows) {
+  Dictionary dict;
+  size_t empty = dict.SizeBytes();
+  dict.Intern("some-long-token-value");
+  EXPECT_GT(dict.SizeBytes(), empty);
+}
+
+TEST(CollectionTest, BuildFromWords) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"main st", "main ave", "st main main"},
+                                   tok);
+  ASSERT_EQ(c.size(), 3u);
+  // "main" appears in 3 sets, "st" in 2, "ave" in 1.
+  TokenId main_id = *c.dictionary().Find("main");
+  TokenId st_id = *c.dictionary().Find("st");
+  TokenId ave_id = *c.dictionary().Find("ave");
+  EXPECT_EQ(c.dictionary().df(main_id), 3u);
+  EXPECT_EQ(c.dictionary().df(st_id), 2u);
+  EXPECT_EQ(c.dictionary().df(ave_id), 1u);
+}
+
+TEST(CollectionTest, SetsAreSortedDistinctWithTfs) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"b a b b c"}, tok);
+  const SetRecord& set = c.set(0);
+  ASSERT_EQ(set.tokens.size(), 3u);
+  for (size_t i = 1; i < set.tokens.size(); ++i) {
+    EXPECT_LT(set.tokens[i - 1], set.tokens[i]);
+  }
+  EXPECT_EQ(set.multiset_size, 5u);
+  // tf of "b" is 3.
+  TokenId b_id = *c.dictionary().Find("b");
+  for (size_t i = 0; i < set.tokens.size(); ++i) {
+    if (set.tokens[i] == b_id) {
+      EXPECT_EQ(set.tfs[i], 3u);
+    }
+  }
+}
+
+TEST(CollectionTest, Contains) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"alpha beta", "gamma"}, tok);
+  TokenId alpha = *c.dictionary().Find("alpha");
+  TokenId gamma = *c.dictionary().Find("gamma");
+  EXPECT_TRUE(c.Contains(0, alpha));
+  EXPECT_FALSE(c.Contains(0, gamma));
+  EXPECT_TRUE(c.Contains(1, gamma));
+}
+
+TEST(CollectionTest, TextPreserved) {
+  Tokenizer tok;
+  Collection c = Collection::Build({"Exact Original Text"}, tok);
+  EXPECT_EQ(c.text(0), "Exact Original Text");
+}
+
+TEST(CollectionTest, AverageSetSize) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"a b", "a b c d"}, tok);
+  EXPECT_DOUBLE_EQ(c.average_set_size(), 3.0);
+}
+
+TEST(CollectionTest, EmptyCollection) {
+  Tokenizer tok;
+  Collection c = Collection::Build({}, tok);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_DOUBLE_EQ(c.average_set_size(), 0.0);
+}
+
+TEST(CollectionTest, EmptyRecordYieldsEmptySet) {
+  Tokenizer tok;
+  Collection c = Collection::Build({"", "word"}, tok);
+  EXPECT_TRUE(c.set(0).tokens.empty());
+  EXPECT_FALSE(c.set(1).tokens.empty());
+}
+
+TEST(CollectionTest, SizeAccountersPositive) {
+  Tokenizer tok;
+  Collection c = Collection::Build({"hello", "world"}, tok);
+  EXPECT_GT(c.BaseTableBytes(), 0u);
+  EXPECT_GT(c.TokenizedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace simsel

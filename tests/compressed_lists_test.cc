@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/sort_by_id.h"
+#include "index/compressed_lists.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector = new SimilaritySelector(
+      MakeSelector(400, /*seed=*/601, /*with_sql=*/false));
+  return *selector;
+}
+
+const CompressedIdLists& Lists() {
+  static const CompressedIdLists* lists =
+      new CompressedIdLists(CompressedIdLists::Build(Selector().index()));
+  return *lists;
+}
+
+TEST(CompressedListsTest, DecodesEveryListExactly) {
+  const InvertedIndex& index = Selector().index();
+  const CompressedIdLists& lists = Lists();
+  ASSERT_EQ(lists.num_tokens(), index.num_tokens());
+  EXPECT_EQ(lists.total_postings(), index.total_postings());
+  for (TokenId t = 0; t < index.num_tokens(); ++t) {
+    ASSERT_EQ(lists.ListSize(t), index.ListSize(t));
+    const uint32_t* ids = index.IdIds(t);
+    const float* lens = index.IdLens(t);
+    size_t i = 0;
+    for (auto cursor = lists.OpenList(t); cursor.Valid(); cursor.Next(), ++i) {
+      ASSERT_EQ(cursor.id(), ids[i]) << "token " << t << " pos " << i;
+      ASSERT_EQ(lists.set_length(cursor.id()), lens[i]);
+    }
+    EXPECT_EQ(i, index.ListSize(t));
+  }
+}
+
+TEST(CompressedListsTest, CompressionActuallySaves) {
+  const InvertedIndex& index = Selector().index();
+  const CompressedIdLists& lists = Lists();
+  // The blob should be well under the 8 bytes/posting of raw postings.
+  EXPECT_LT(lists.BlobBytes(), index.total_postings() * 4);
+  EXPECT_LT(lists.SizeBytes(), index.ListBytesOneOrder());
+}
+
+TEST(CompressedListsTest, MergeMatchesUncompressed) {
+  const SimilaritySelector& sel = Selector();
+  const CompressedIdLists& lists = Lists();
+  for (double tau : {0.5, 0.8, 0.95}) {
+    for (SetId s = 0; s < 15; ++s) {
+      PreparedQuery q = sel.Prepare(sel.collection().text(s * 7));
+      QueryResult expected =
+          SortByIdSelect(sel.index(), sel.measure(), q, tau);
+      QueryResult actual =
+          SortByIdCompressedSelect(lists, sel.measure(), q, tau);
+      testing_util::ExpectSameMatches(expected.matches, actual.matches,
+                                      "tau=" + std::to_string(tau));
+      // Same number of postings consumed.
+      EXPECT_EQ(actual.counters.elements_read,
+                expected.counters.elements_read);
+    }
+  }
+}
+
+TEST(CompressedListsTest, AccountingConserved) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(2));
+  QueryResult r = SortByIdCompressedSelect(Lists(), sel.measure(), q, 0.8);
+  EXPECT_EQ(r.counters.elements_read, r.counters.elements_total);
+  EXPECT_GT(r.counters.seq_page_reads, 0u);
+}
+
+TEST(CompressedListsTest, EmptyQuery) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare("");
+  EXPECT_TRUE(
+      SortByIdCompressedSelect(Lists(), sel.measure(), q, 0.5).matches.empty());
+}
+
+}  // namespace
+}  // namespace simsel

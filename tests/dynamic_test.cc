@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/dynamic.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+std::vector<std::string> BaseRecords() {
+  return testing_util::MakeWordRecords(150, /*seed=*/701);
+}
+
+TEST(DynamicSelectorTest, FindsDeltaRecords) {
+  DynamicSelector dyn(BaseRecords());
+  SetId id = dyn.AddRecord(dyn.text(3));  // duplicate of an existing record
+  EXPECT_EQ(dyn.delta_size(), 1u);
+  QueryResult r = dyn.Select(dyn.text(3), 0.99);
+  bool found_main = false, found_delta = false;
+  for (const Match& m : r.matches) {
+    found_main |= (m.id == 3);
+    found_delta |= (m.id == id);
+  }
+  EXPECT_TRUE(found_main);
+  EXPECT_TRUE(found_delta);
+}
+
+TEST(DynamicSelectorTest, DeltaScoresComparableToMain) {
+  DynamicSelector dyn(BaseRecords());
+  SetId id = dyn.AddRecord(dyn.text(7));
+  QueryResult r = dyn.Select(dyn.text(7), 0.9);
+  double main_score = -1, delta_score = -1;
+  for (const Match& m : r.matches) {
+    if (m.id == 7) main_score = m.score;
+    if (m.id == id) delta_score = m.score;
+  }
+  ASSERT_GE(main_score, 0.0);
+  ASSERT_GE(delta_score, 0.0);
+  // Same record, same frozen statistics: identical score up to the float
+  // storage of the two lengths.
+  EXPECT_NEAR(main_score, delta_score, 1e-5);
+}
+
+TEST(DynamicSelectorTest, IdsAreStableAcrossRebuild) {
+  DynamicSelector dyn(BaseRecords());
+  std::string novel = "zyzzyva quixotic";
+  SetId id = dyn.AddRecord(novel);
+  EXPECT_EQ(dyn.text(id), novel);
+  dyn.Rebuild();
+  EXPECT_EQ(dyn.delta_size(), 0u);
+  EXPECT_EQ(dyn.text(id), novel);
+  QueryResult r = dyn.Select(novel, 0.9);
+  ASSERT_FALSE(r.matches.empty());
+  EXPECT_EQ(r.matches.back().id, id);
+}
+
+TEST(DynamicSelectorTest, RebuildEqualsFreshBuild) {
+  std::vector<std::string> base = BaseRecords();
+  DynamicSelector dyn(base);
+  std::vector<std::string> extra =
+      testing_util::MakeWordRecords(30, /*seed=*/703);
+  std::vector<std::string> all = base;
+  for (const std::string& rec : extra) {
+    dyn.AddRecord(rec);
+    all.push_back(rec);
+  }
+  dyn.Rebuild();
+  SimilaritySelector fresh = SimilaritySelector::Build(all);
+  for (size_t i = 0; i < 10; ++i) {
+    const std::string& query = all[i * 13];
+    QueryResult a = dyn.Select(query, 0.7);
+    QueryResult b = fresh.Select(query, 0.7);
+    testing_util::ExpectSameMatches(b.matches, a.matches, query);
+  }
+}
+
+TEST(DynamicSelectorTest, UnknownTokensOnlyInDelta) {
+  DynamicSelector dyn(BaseRecords());
+  // A record of tokens the frozen dictionary has never seen: it can only
+  // be found once Rebuild folds it in.
+  SetId id = dyn.AddRecord("0192837465 5647382910");
+  QueryResult before = dyn.Select("0192837465 5647382910", 0.5);
+  EXPECT_TRUE(before.matches.empty());
+  dyn.Rebuild();
+  QueryResult after = dyn.Select("0192837465 5647382910", 0.5);
+  ASSERT_FALSE(after.matches.empty());
+  EXPECT_EQ(after.matches[0].id, id);
+}
+
+TEST(DynamicSelectorTest, ManyDeltasStillExact) {
+  std::vector<std::string> base = BaseRecords();
+  DynamicSelector dyn(base);
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    dyn.AddRecord(ApplyModifications(base[rng.NextBounded(base.size())], 1,
+                                     &rng));
+  }
+  EXPECT_EQ(dyn.size(), base.size() + 60);
+  // Every query finds at least its main-segment self match (the corpus has
+  // duplicate words, so the self id need not be the first match).
+  for (size_t i = 0; i < 10; ++i) {
+    QueryResult r = dyn.Select(base[i], 0.99);
+    ASSERT_FALSE(r.matches.empty());
+    bool found_self = false;
+    for (const Match& m : r.matches) found_self |= (m.id == i);
+    EXPECT_TRUE(found_self) << base[i];
+    // Results sorted by id, delta ids after main ids.
+    for (size_t j = 1; j < r.matches.size(); ++j) {
+      EXPECT_LT(r.matches[j - 1].id, r.matches[j].id);
+    }
+  }
+}
+
+TEST(DynamicSelectorTest, DeltaCountsChargedToRowsScanned) {
+  DynamicSelector dyn(BaseRecords());
+  for (int i = 0; i < 5; ++i) dyn.AddRecord("some new record");
+  QueryResult r = dyn.Select(dyn.text(0), 0.8);
+  EXPECT_GE(r.counters.rows_scanned, 5u);
+}
+
+}  // namespace
+}  // namespace simsel

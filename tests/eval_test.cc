@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "gen/workload.h"
+
+namespace simsel {
+namespace {
+
+TEST(FlagValueTest, ParsesAndDefaults) {
+  const char* argv_c[] = {"prog", "--words=1234", "--queries=7", "--bad=x",
+                          "positional"};
+  char** argv = const_cast<char**>(argv_c);
+  EXPECT_EQ(FlagValue(5, argv, "words", 99), 1234u);
+  EXPECT_EQ(FlagValue(5, argv, "queries", 99), 7u);
+  EXPECT_EQ(FlagValue(5, argv, "missing", 42), 42u);
+  // Malformed value falls back.
+  EXPECT_EQ(FlagValue(5, argv, "bad", 5), 5u);
+}
+
+TEST(BenchEnvTest, BuildsRequestedScale) {
+  BenchEnvOptions opts;
+  opts.num_words = 3000;
+  opts.vocab_size = 500;
+  BenchEnv env = MakeBenchEnv(opts);
+  EXPECT_EQ(env.words.size(), 3000u);
+  EXPECT_EQ(env.selector->collection().size(), 3000u);
+  EXPECT_GT(env.selector->index().total_postings(), 3000u);
+  EXPECT_EQ(env.selector->gram_table(), nullptr);
+}
+
+TEST(BenchEnvTest, SqlBaselineOnRequest) {
+  BenchEnvOptions opts;
+  opts.num_words = 500;
+  opts.with_sql_baseline = true;
+  BenchEnv env = MakeBenchEnv(opts);
+  ASSERT_NE(env.selector->gram_table(), nullptr);
+  EXPECT_EQ(env.selector->gram_table()->num_rows(),
+            env.selector->index().total_postings());
+}
+
+TEST(BenchEnvTest, DeterministicForSeed) {
+  BenchEnvOptions opts;
+  opts.num_words = 800;
+  BenchEnv a = MakeBenchEnv(opts);
+  BenchEnv b = MakeBenchEnv(opts);
+  EXPECT_EQ(a.words, b.words);
+  opts.seed = 123;
+  BenchEnv c = MakeBenchEnv(opts);
+  EXPECT_NE(a.words, c.words);
+}
+
+TEST(RunWorkloadTest, AggregatesAcrossQueries) {
+  BenchEnvOptions opts;
+  opts.num_words = 1500;
+  BenchEnv env = MakeBenchEnv(opts);
+  WorkloadOptions wo;
+  wo.num_queries = 12;
+  wo.min_tokens = 4;
+  wo.max_tokens = 20;
+  Workload wl =
+      GenerateWordWorkload(env.words, env.selector->tokenizer(), wo);
+  ASSERT_EQ(wl.queries.size(), 12u);
+  WorkloadStats stats = RunWorkload(*env.selector, wl, 0.8,
+                                    AlgorithmKind::kSf, {}, "sf");
+  EXPECT_EQ(stats.label, "sf");
+  EXPECT_EQ(stats.num_queries, 12u);
+  EXPECT_GT(stats.total_ms, 0.0);
+  EXPECT_NEAR(stats.avg_ms, stats.total_ms / 12.0, 1e-9);
+  EXPECT_GT(stats.counters.elements_total, 0u);
+  EXPECT_GE(stats.pruning_power, 0.0);
+  EXPECT_LE(stats.pruning_power, 1.0);
+  // Every query has an exact match in the DB at tau=0.8.
+  EXPECT_GE(stats.avg_results, 1.0);
+}
+
+TEST(RunWorkloadTest, EmptyWorkload) {
+  BenchEnvOptions opts;
+  opts.num_words = 300;
+  BenchEnv env = MakeBenchEnv(opts);
+  Workload empty;
+  WorkloadStats stats = RunWorkload(*env.selector, empty, 0.8,
+                                    AlgorithmKind::kSf, {}, "none");
+  EXPECT_EQ(stats.num_queries, 0u);
+  EXPECT_EQ(stats.avg_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace simsel

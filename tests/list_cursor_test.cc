@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "index/list_cursor.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+// A fixture with one reasonably long list to exercise seeks.
+struct Fixture {
+  Fixture()
+      : tokenizer(TokenizerOptions{.q = 3}),
+        collection(Collection::Build(
+            testing_util::MakeWordRecords(500, /*seed=*/9), tokenizer)),
+        measure(collection) {
+    InvertedIndexOptions opts;
+    opts.page_bytes = 128;  // 16 postings per page
+    opts.skip_fanout = 8;
+    index = std::make_unique<InvertedIndex>(
+        InvertedIndex::Build(collection, measure, opts));
+    // Pick the longest list.
+    for (TokenId t = 0; t < index->num_tokens(); ++t) {
+      if (index->ListSize(t) > index->ListSize(token)) token = t;
+    }
+    EXPECT_GT(index->ListSize(token), 32u);
+  }
+
+  Tokenizer tokenizer;
+  Collection collection;
+  IdfMeasure measure;
+  std::unique_ptr<InvertedIndex> index;
+  TokenId token = 0;
+};
+
+TEST(ListCursorTest, ConstructorChargesTotal) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  EXPECT_EQ(counters.elements_total, f.index->ListSize(f.token));
+  EXPECT_EQ(counters.elements_read, 0u);
+  EXPECT_FALSE(cursor.positioned());
+}
+
+TEST(ListCursorTest, NextWalksWholeList) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  size_t n = f.index->ListSize(f.token);
+  size_t steps = 0;
+  for (cursor.Next(); !cursor.AtEnd(); cursor.Next()) ++steps;
+  EXPECT_EQ(steps, n);
+  EXPECT_EQ(counters.elements_read, n);
+  // 16 postings per page.
+  EXPECT_EQ(counters.seq_page_reads, (n + 15) / 16);
+  EXPECT_EQ(counters.elements_skipped, 0u);
+}
+
+TEST(ListCursorTest, SeekWithSkipIndexSkipsElements) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, /*use_skip=*/true, &counters);
+  const float* lens = f.index->LenLens(f.token);
+  size_t n = f.index->ListSize(f.token);
+  float target = lens[n / 2];
+  cursor.SeekLengthGE(target);
+  ASSERT_TRUE(cursor.positioned());
+  EXPECT_GE(cursor.len(), target);
+  // Everything before the landing position was skipped, not read.
+  EXPECT_EQ(counters.elements_read, 1u);
+  EXPECT_EQ(counters.elements_skipped, cursor.pos());
+  EXPECT_GT(counters.rand_page_reads, 0u);
+  // The landing element is the FIRST with len >= target.
+  if (cursor.pos() > 0) {
+    EXPECT_LT(lens[cursor.pos() - 1], target);
+  }
+}
+
+TEST(ListCursorTest, SeekWithoutSkipReadsPrefix) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, /*use_skip=*/false, &counters);
+  const float* lens = f.index->LenLens(f.token);
+  size_t n = f.index->ListSize(f.token);
+  float target = lens[n / 2];
+  cursor.SeekLengthGE(target);
+  ASSERT_TRUE(cursor.positioned());
+  EXPECT_GE(cursor.len(), target);
+  // NSL mode: the prefix is read and discarded.
+  EXPECT_EQ(counters.elements_read, cursor.pos() + 1);
+  EXPECT_EQ(counters.elements_skipped, 0u);
+  EXPECT_EQ(counters.rand_page_reads, 0u);
+}
+
+TEST(ListCursorTest, SeekIsForwardOnlyNoop) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  const float* lens = f.index->LenLens(f.token);
+  size_t n = f.index->ListSize(f.token);
+  cursor.SeekLengthGE(lens[n / 2]);
+  size_t pos = cursor.pos();
+  cursor.SeekLengthGE(0.0f);  // already satisfied: no movement
+  EXPECT_EQ(cursor.pos(), pos);
+}
+
+TEST(ListCursorTest, SeekPastEndExhausts) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  cursor.SeekLengthGE(1e30f);
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(counters.elements_skipped, f.index->ListSize(f.token));
+  EXPECT_EQ(counters.elements_read, 0u);
+}
+
+TEST(ListCursorTest, MarkCompleteChargesRemainderAsSkipped) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  cursor.Next();
+  cursor.Next();
+  cursor.MarkComplete();
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(counters.elements_read + counters.elements_skipped,
+            counters.elements_total);
+}
+
+TEST(ListCursorTest, MarkCompleteOnFreshCursor) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  cursor.MarkComplete();
+  EXPECT_EQ(counters.elements_skipped, counters.elements_total);
+}
+
+TEST(ListCursorTest, ReadPlusSkippedAlwaysCoversSeeks) {
+  Fixture f;
+  AccessCounters counters;
+  ListCursor cursor(*f.index, f.token, true, &counters);
+  const float* lens = f.index->LenLens(f.token);
+  size_t n = f.index->ListSize(f.token);
+  cursor.SeekLengthGE(lens[n / 4]);
+  cursor.Next();
+  cursor.SeekLengthGE(lens[(3 * n) / 4]);
+  cursor.MarkComplete();
+  EXPECT_EQ(counters.elements_read + counters.elements_skipped, n);
+}
+
+TEST(ListCursorTest, EmptyListIsAtEnd) {
+  // Build a tiny collection with a token that appears once, then query a
+  // cursor over an id with an empty list is impossible; instead check the
+  // smallest list still behaves.
+  Fixture f;
+  TokenId smallest = 0;
+  for (TokenId t = 0; t < f.index->num_tokens(); ++t) {
+    if (f.index->ListSize(t) < f.index->ListSize(smallest)) smallest = t;
+  }
+  AccessCounters counters;
+  ListCursor cursor(*f.index, smallest, true, &counters);
+  size_t n = f.index->ListSize(smallest);
+  size_t steps = 0;
+  for (cursor.Next(); !cursor.AtEnd(); cursor.Next()) ++steps;
+  EXPECT_EQ(steps, n);
+}
+
+}  // namespace
+}  // namespace simsel

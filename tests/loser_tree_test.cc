@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "container/loser_tree.h"
+
+namespace simsel {
+namespace {
+
+// Merges k sorted lists through the loser tree and returns the output order.
+std::vector<uint32_t> MergeWithTree(
+    const std::vector<std::vector<uint32_t>>& lists) {
+  size_t k = lists.size();
+  std::vector<size_t> pos(k, 0);
+  LoserTree<uint32_t> tree(k);
+  for (size_t i = 0; i < k; ++i) {
+    tree.SetInitial(i, lists[i].empty() ? 0 : lists[i][0], !lists[i].empty());
+  }
+  tree.Build();
+  std::vector<uint32_t> out;
+  while (!tree.empty()) {
+    size_t i = tree.top_source();
+    out.push_back(tree.top_key());
+    ++pos[i];
+    bool valid = pos[i] < lists[i].size();
+    tree.Replace(valid ? lists[i][pos[i]] : 0, valid);
+  }
+  return out;
+}
+
+TEST(LoserTreeTest, MergesTwoLists) {
+  std::vector<std::vector<uint32_t>> lists = {{1, 3, 5}, {2, 4, 6}};
+  EXPECT_EQ(MergeWithTree(lists), (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(LoserTreeTest, SingleSource) {
+  std::vector<std::vector<uint32_t>> lists = {{7, 8, 9}};
+  EXPECT_EQ(MergeWithTree(lists), (std::vector<uint32_t>{7, 8, 9}));
+}
+
+TEST(LoserTreeTest, EmptySources) {
+  std::vector<std::vector<uint32_t>> lists = {{}, {5}, {}};
+  EXPECT_EQ(MergeWithTree(lists), (std::vector<uint32_t>{5}));
+}
+
+TEST(LoserTreeTest, AllEmpty) {
+  std::vector<std::vector<uint32_t>> lists = {{}, {}};
+  EXPECT_TRUE(MergeWithTree(lists).empty());
+}
+
+TEST(LoserTreeTest, DuplicateKeysAcrossLists) {
+  std::vector<std::vector<uint32_t>> lists = {{1, 2, 2}, {2, 2, 3}};
+  EXPECT_EQ(MergeWithTree(lists), (std::vector<uint32_t>{1, 2, 2, 2, 2, 3}));
+}
+
+TEST(LoserTreeTest, TieBreaksBySourceIndex) {
+  LoserTree<uint32_t> tree(3);
+  tree.SetInitial(0, 5, true);
+  tree.SetInitial(1, 5, true);
+  tree.SetInitial(2, 5, true);
+  tree.Build();
+  EXPECT_EQ(tree.top_source(), 0u);
+  tree.Replace(0, false);
+  EXPECT_EQ(tree.top_source(), 1u);
+  tree.Replace(0, false);
+  EXPECT_EQ(tree.top_source(), 2u);
+}
+
+TEST(LoserTreeTest, RandomizedAgainstStdSort) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t k = 1 + rng.NextBounded(9);  // 1..9 sources, odd counts included
+    std::vector<std::vector<uint32_t>> lists(k);
+    std::vector<uint32_t> expected;
+    for (auto& list : lists) {
+      size_t len = rng.NextBounded(40);
+      for (size_t i = 0; i < len; ++i) {
+        list.push_back(static_cast<uint32_t>(rng.NextBounded(100)));
+      }
+      std::sort(list.begin(), list.end());
+      expected.insert(expected.end(), list.begin(), list.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(MergeWithTree(lists), expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/bm25.h"
+#include "sim/idf.h"
+#include "sim/measure.h"
+#include "sim/setops.h"
+#include "sim/tfidf.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+// Randomized property tests over the whole measure family.
+
+struct Env {
+  Env() : tokenizer(TokenizerOptions{.q = 3}) {
+    CorpusOptions co;
+    co.num_records = 200;
+    co.vocab_size = 80;
+    co.min_words = 1;
+    co.max_words = 3;
+    co.seed = 811;
+    records = GenerateCorpus(co).records;
+    collection =
+        std::make_unique<Collection>(Collection::Build(records, tokenizer));
+  }
+
+  Tokenizer tokenizer;
+  std::vector<std::string> records;
+  std::unique_ptr<Collection> collection;
+};
+
+const Env& E() {
+  static const Env* env = new Env();
+  return *env;
+}
+
+class MeasureFamily : public ::testing::TestWithParam<MeasureKind> {};
+
+TEST_P(MeasureFamily, NonNegativeScores) {
+  const Env& e = E();
+  auto measure = MakeMeasure(GetParam(), *e.collection);
+  for (size_t r = 0; r < 20; ++r) {
+    PreparedQuery q = measure->PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[r * 7]));
+    for (SetId s = 0; s < e.collection->size(); s += 11) {
+      EXPECT_GE(measure->Score(q, s), 0.0);
+    }
+  }
+}
+
+TEST_P(MeasureFamily, SelfIsBestOrTied) {
+  // A record's own set must score at least as high as any other set for
+  // the normalized measures, and at least tie for BM25 (its score grows
+  // with overlap mass, and nothing overlaps q more than itself... except
+  // longer supersets, which BM25 does not normalize away — so restrict the
+  // check to the normalized measures).
+  MeasureKind kind = GetParam();
+  if (kind == MeasureKind::kBm25 || kind == MeasureKind::kBm25Prime) {
+    GTEST_SKIP();
+  }
+  const Env& e = E();
+  auto measure = MakeMeasure(kind, *e.collection);
+  for (size_t r = 0; r < 15; ++r) {
+    SetId self = static_cast<SetId>(r * 5);
+    PreparedQuery q = measure->PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[self]));
+    double self_score = measure->Score(q, self);
+    for (SetId s = 0; s < e.collection->size(); s += 7) {
+      EXPECT_LE(measure->Score(q, s), self_score + 1e-6)
+          << "query " << self << " vs " << s;
+    }
+  }
+}
+
+TEST_P(MeasureFamily, MonotoneUnderQueryCorruption) {
+  // Pooled over many trials: corrupting the query should not raise the
+  // average similarity to the original record.
+  const Env& e = E();
+  auto measure = MakeMeasure(GetParam(), *e.collection);
+  Rng rng(99);
+  double clean_total = 0, dirty_total = 0;
+  for (size_t r = 0; r < 40; ++r) {
+    SetId target = static_cast<SetId>(r * 3);
+    const std::string& text = e.records[target];
+    PreparedQuery clean =
+        measure->PrepareQuery(e.tokenizer.TokenizeCounted(text));
+    PreparedQuery dirty = measure->PrepareQuery(e.tokenizer.TokenizeCounted(
+        ApplyModifications(text, 3, &rng)));
+    clean_total += measure->Score(clean, target);
+    dirty_total += measure->Score(dirty, target);
+  }
+  EXPECT_GT(clean_total, dirty_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasures, MeasureFamily,
+    ::testing::Values(MeasureKind::kIdf, MeasureKind::kTfIdf,
+                      MeasureKind::kBm25, MeasureKind::kBm25Prime),
+    [](const auto& info) {
+      switch (info.param) {
+        case MeasureKind::kIdf:
+          return std::string("IDF");
+        case MeasureKind::kTfIdf:
+          return std::string("TFIDF");
+        case MeasureKind::kBm25:
+          return std::string("BM25");
+        case MeasureKind::kBm25Prime:
+          return std::string("BM25prime");
+      }
+      return std::string("unknown");
+    });
+
+TEST(IdfPropertyTest, IdfDecreasesWithDocumentFrequency) {
+  const Env& e = E();
+  IdfMeasure idf(*e.collection);
+  const Dictionary& dict = e.collection->dictionary();
+  for (TokenId a = 0; a < dict.size(); a += 13) {
+    for (TokenId b = 0; b < dict.size(); b += 17) {
+      if (dict.df(a) < dict.df(b)) {
+        EXPECT_GT(idf.idf(a), idf.idf(b));
+      } else if (dict.df(a) == dict.df(b)) {
+        EXPECT_DOUBLE_EQ(idf.idf(a), idf.idf(b));
+      }
+    }
+  }
+}
+
+TEST(IdfPropertyTest, LengthIsMonotoneUnderTokenAddition) {
+  // Adding a token to a set can only grow its normalized length.
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"a b", "a b c", "a b c d"}, tok);
+  IdfMeasure idf(c);
+  EXPECT_LT(idf.set_length(0), idf.set_length(1));
+  EXPECT_LT(idf.set_length(1), idf.set_length(2));
+}
+
+TEST(IdfPropertyTest, ScoreSymmetryBetweenIndexedPair) {
+  // I(q, s) is symmetric in its arguments when both live in the database
+  // (same idfs, same lengths up to float storage).
+  const Env& e = E();
+  IdfMeasure idf(*e.collection);
+  for (size_t i = 0; i < 10; ++i) {
+    SetId a = static_cast<SetId>(i * 11);
+    SetId b = static_cast<SetId>(i * 7 + 3);
+    PreparedQuery qa = idf.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[a]));
+    PreparedQuery qb = idf.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[b]));
+    EXPECT_NEAR(idf.Score(qa, b), idf.Score(qb, a), 1e-5);
+  }
+}
+
+TEST(IdfPropertyTest, TriangleOfOverlap) {
+  // Score strictly increases as more query tokens are present: verified by
+  // deleting tokens from a query.
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"w x y z"}, tok);
+  IdfMeasure idf(c);
+  double prev = -1;
+  for (const char* text : {"w", "w x", "w x y", "w x y z"}) {
+    PreparedQuery q = idf.PrepareQuery(tok.TokenizeCounted(text));
+    double score = idf.Score(q, 0);
+    EXPECT_GT(score, prev);
+    prev = score;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-5);
+}
+
+TEST(SetOpsPropertyTest, CoefficientOrderings) {
+  // For any pair: overlap >= cosine >= dice >= jaccard (AM-GM gives
+  // cosine >= dice; min <= geometric mean gives overlap >= cosine).
+  const Env& e = E();
+  SetOverlapMeasure jac(*e.collection, SetOverlapKind::kJaccard);
+  SetOverlapMeasure dice(*e.collection, SetOverlapKind::kDice);
+  SetOverlapMeasure cos(*e.collection, SetOverlapKind::kCosine);
+  SetOverlapMeasure ovl(*e.collection, SetOverlapKind::kOverlap);
+  for (size_t r = 0; r < 20; ++r) {
+    PreparedQuery qj = jac.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[r * 2]));
+    PreparedQuery qd = dice.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[r * 2]));
+    PreparedQuery qc = cos.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[r * 2]));
+    PreparedQuery qo = ovl.PrepareQuery(
+        e.tokenizer.TokenizeCounted(e.records[r * 2]));
+    for (SetId s = 0; s < e.collection->size(); s += 13) {
+      double j = jac.Score(qj, s), d = dice.Score(qd, s),
+             c2 = cos.Score(qc, s), o = ovl.Score(qo, s);
+      EXPECT_GE(o + 1e-12, c2);
+      EXPECT_GE(c2 + 1e-12, d);
+      EXPECT_GE(d + 1e-12, j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/bm25.h"
+#include "sim/idf.h"
+#include "sim/measure.h"
+#include "sim/tfidf.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : tokenizer(TokenizerOptions{.kind = TokenizerKind::kWord}),
+        collection(Collection::Build({"main st", "main ave", "elm st",
+                                      "main st suite"},
+                                     tokenizer)),
+        idf(collection) {}
+
+  PreparedQuery Prepare(const SimilarityMeasure& m, const std::string& text) {
+    return m.PrepareQuery(tokenizer.TokenizeCounted(text));
+  }
+
+  Tokenizer tokenizer;
+  Collection collection;
+  IdfMeasure idf;
+};
+
+TEST(IdfMeasureTest, IdfFormula) {
+  Fixture f;
+  TokenId main_id = *f.collection.dictionary().Find("main");
+  // N = 4 sets, df(main) = 3.
+  EXPECT_DOUBLE_EQ(f.idf.idf(main_id), std::log2(1.0 + 4.0 / 3.0));
+  EXPECT_DOUBLE_EQ(f.idf.default_idf(), std::log2(5.0));
+}
+
+TEST(IdfMeasureTest, SelfSimilarityIsOne) {
+  Fixture f;
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    PreparedQuery q = f.Prepare(f.idf, f.collection.text(s));
+    EXPECT_NEAR(f.idf.Score(q, s), 1.0, 1e-6) << f.collection.text(s);
+  }
+}
+
+TEST(IdfMeasureTest, ScoresAreInUnitInterval) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "main st");
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    double score = f.idf.Score(q, s);
+    EXPECT_GE(score, 0.0);
+    // Set lengths are stored as float, so self-similarity may exceed 1 by
+    // one float ulp's worth of relative error.
+    EXPECT_LE(score, 1.0 + 1e-6);
+  }
+}
+
+TEST(IdfMeasureTest, DisjointSetsScoreZero) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "zzz qqq");
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    EXPECT_DOUBLE_EQ(f.idf.Score(q, s), 0.0);
+  }
+}
+
+TEST(IdfMeasureTest, MoreOverlapScoresHigher) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "main st");
+  // set 0 = "main st" (full overlap), set 1 = "main ave" (one common token).
+  EXPECT_GT(f.idf.Score(q, 0), f.idf.Score(q, 1));
+}
+
+TEST(IdfMeasureTest, UnknownTokensLowerScores) {
+  Fixture f;
+  PreparedQuery clean = f.Prepare(f.idf, "main st");
+  PreparedQuery noisy = f.Prepare(f.idf, "main st unknownword");
+  EXPECT_GT(clean.length, 0.0);
+  EXPECT_GT(noisy.length, clean.length);
+  EXPECT_EQ(noisy.unknown_tokens, 1u);
+  EXPECT_GT(f.idf.Score(clean, 0), f.idf.Score(noisy, 0));
+}
+
+TEST(IdfMeasureTest, RareTokenWeighsMore) {
+  Fixture f;
+  // "ave" (df=1) is rarer than "main" (df=3): "x ave" should match
+  // "main ave" better than "x main" matches it.
+  PreparedQuery rare = f.Prepare(f.idf, "zz ave");
+  PreparedQuery common = f.Prepare(f.idf, "zz main");
+  EXPECT_GT(f.idf.Score(rare, 1), f.idf.Score(common, 1));
+}
+
+TEST(IdfMeasureTest, ScoreFromBitsMatchesScore) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "main st suite");
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    DynamicBitset bits(q.tokens.size());
+    for (size_t i = 0; i < q.tokens.size(); ++i) {
+      if (f.collection.Contains(s, q.tokens[i])) bits.Set(i);
+    }
+    EXPECT_DOUBLE_EQ(f.idf.Score(q, s),
+                     f.idf.ScoreFromBits(q, bits, f.idf.set_length(s)));
+  }
+}
+
+TEST(IdfMeasureTest, ContributionSumsToScore) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "main st");
+  SetId s = 0;
+  double sum = 0;
+  for (size_t i = 0; i < q.tokens.size(); ++i) {
+    if (f.collection.Contains(s, q.tokens[i])) {
+      sum += f.idf.Contribution(q, i, f.idf.set_length(s));
+    }
+  }
+  EXPECT_NEAR(sum, f.idf.Score(q, s), 1e-12);
+}
+
+TEST(IdfMeasureTest, PreparedTokensSortedAscending) {
+  Fixture f;
+  PreparedQuery q = f.Prepare(f.idf, "suite st ave main elm");
+  for (size_t i = 1; i < q.tokens.size(); ++i) {
+    EXPECT_LT(q.tokens[i - 1], q.tokens[i]);
+  }
+}
+
+TEST(TfIdfMeasureTest, SelfSimilarityIsOne) {
+  Fixture f;
+  TfIdfMeasure tfidf(f.collection);
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    PreparedQuery q = f.Prepare(tfidf, f.collection.text(s));
+    EXPECT_NEAR(tfidf.Score(q, s), 1.0, 1e-6);
+  }
+}
+
+TEST(TfIdfMeasureTest, AgreesWithIdfWhenAllTfOne) {
+  // All records have distinct words, so tf == 1 and TFIDF == IDF.
+  Fixture f;
+  TfIdfMeasure tfidf(f.collection);
+  PreparedQuery qi = f.Prepare(f.idf, "main st");
+  PreparedQuery qt = f.Prepare(tfidf, "main st");
+  for (SetId s = 0; s < f.collection.size(); ++s) {
+    EXPECT_NEAR(f.idf.Score(qi, s), tfidf.Score(qt, s), 1e-6);
+  }
+}
+
+TEST(TfIdfMeasureTest, TfChangesScoresWithRepeats) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"main main st", "main st"}, tok);
+  TfIdfMeasure tfidf(c);
+  IdfMeasure idf(c);
+  PreparedQuery qt = tfidf.PrepareQuery(tok.TokenizeCounted("main main st"));
+  PreparedQuery qi = idf.PrepareQuery(tok.TokenizeCounted("main main st"));
+  // For IDF the two sets are identical ("main main st" reduces to
+  // {main, st}); TF/IDF distinguishes them.
+  EXPECT_NEAR(idf.Score(qi, 0), idf.Score(qi, 1), 1e-12);
+  EXPECT_GT(tfidf.Score(qt, 0), tfidf.Score(qt, 1));
+}
+
+TEST(Bm25MeasureTest, RanksExactMatchFirst) {
+  Fixture f;
+  Bm25Measure bm25(f.collection, /*drop_tf=*/false);
+  PreparedQuery q = f.Prepare(bm25, "main st");
+  double self = bm25.Score(q, 0);
+  for (SetId s = 1; s < f.collection.size(); ++s) {
+    EXPECT_GE(self, bm25.Score(q, s));
+  }
+}
+
+TEST(Bm25MeasureTest, PrimeIgnoresTf) {
+  Tokenizer tok(TokenizerOptions{.kind = TokenizerKind::kWord});
+  Collection c = Collection::Build({"main main main st", "main st"}, tok);
+  Bm25Measure bm25(c, /*drop_tf=*/false);
+  Bm25Measure prime(c, /*drop_tf=*/true);
+  PreparedQuery qb = bm25.PrepareQuery(tok.TokenizeCounted("main st"));
+  PreparedQuery qp = prime.PrepareQuery(tok.TokenizeCounted("main st"));
+  // BM25 scores the two sets differently (tf and doc length); BM25' only
+  // sees the same two distinct tokens with equal set sizes.
+  EXPECT_NE(bm25.Score(qb, 0), bm25.Score(qb, 1));
+  EXPECT_DOUBLE_EQ(prime.Score(qp, 0), prime.Score(qp, 1));
+}
+
+TEST(Bm25MeasureTest, ZeroForDisjoint) {
+  Fixture f;
+  Bm25Measure bm25(f.collection, false);
+  PreparedQuery q = f.Prepare(bm25, "zzz");
+  EXPECT_DOUBLE_EQ(bm25.Score(q, 0), 0.0);
+}
+
+TEST(MeasureFactoryTest, MakesAllKinds) {
+  Fixture f;
+  for (MeasureKind kind : {MeasureKind::kIdf, MeasureKind::kTfIdf,
+                           MeasureKind::kBm25, MeasureKind::kBm25Prime}) {
+    auto m = MakeMeasure(kind, f.collection);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->name(), MeasureKindName(kind));
+    PreparedQuery q = m->PrepareQuery(
+        f.tokenizer.TokenizeCounted(f.collection.text(0)));
+    EXPECT_GT(m->Score(q, 0), 0.0);
+  }
+}
+
+TEST(MeasureTest, LengthsOrderedByTokenMass) {
+  Fixture f;
+  // "main st suite" has three tokens vs "main st" two: its IDF length must
+  // be at least as large.
+  SetId small = 0, big = 3;
+  EXPECT_GT(f.idf.set_length(big), f.idf.set_length(small));
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/paged_file.h"
+
+namespace simsel {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(PagedFileTest, AppendAndReadBack) {
+  PagedFile file(256);
+  std::string payload = "the quick brown fox";
+  uint64_t off = file.Append(payload.data(), payload.size());
+  EXPECT_EQ(off, 0u);
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE(file.ReadAt(off, out.size(), out.data()).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(PagedFileTest, ReadPastEndFails) {
+  PagedFile file(256);
+  file.Append("abc", 3);
+  char buf[8];
+  Status s = file.ReadAt(0, 8, buf);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(PagedFileTest, SequentialReadsChargeNewPagesOnly) {
+  PagedFile file(64);
+  std::vector<uint8_t> block(256, 0xAB);
+  file.Append(block.data(), block.size());
+  char buf[16];
+  // Four reads within the first page: one page charge.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(file.ReadAt(i * 16, 16, buf).ok());
+  }
+  EXPECT_EQ(file.sequential_page_reads(), 1u);
+  // Read crossing into the second page.
+  ASSERT_TRUE(file.ReadAt(60, 8, buf).ok());
+  EXPECT_EQ(file.sequential_page_reads(), 2u);
+}
+
+TEST(PagedFileTest, RandomReadsChargeEveryTouchedPage) {
+  PagedFile file(64);
+  std::vector<uint8_t> block(256, 0x5A);
+  file.Append(block.data(), block.size());
+  char buf[128];
+  ASSERT_TRUE(file.ReadAt(0, 128, buf, /*random=*/true).ok());
+  EXPECT_EQ(file.random_page_reads(), 2u);
+  EXPECT_EQ(file.sequential_page_reads(), 0u);
+}
+
+TEST(PagedFileTest, ResetCountersZeroes) {
+  PagedFile file(64);
+  file.Append("0123456789", 10);
+  char buf[4];
+  ASSERT_TRUE(file.ReadAt(0, 4, buf).ok());
+  file.ResetCounters();
+  EXPECT_EQ(file.sequential_page_reads(), 0u);
+  EXPECT_EQ(file.random_page_reads(), 0u);
+}
+
+TEST(PagedFileTest, SaveLoadRoundtrip) {
+  std::string path = TempPath("simsel_pf_roundtrip.bin");
+  PagedFile file(128);
+  std::string payload = "persistent bytes";
+  file.Append(payload.data(), payload.size());
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+
+  Result<PagedFile> loaded = PagedFile::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->page_size(), 128u);
+  ASSERT_EQ(loaded->size(), payload.size());
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE(loaded->ReadAt(0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, payload);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, LoadDetectsCorruption) {
+  std::string path = TempPath("simsel_pf_corrupt.bin");
+  PagedFile file(128);
+  file.Append("data to corrupt", 15);
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+  // Flip one payload byte on disk.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16 + 3);  // past the 16-byte header
+    char c;
+    f.seekg(16 + 3);
+    f.get(c);
+    f.seekp(16 + 3);
+    f.put(static_cast<char>(c ^ 0xFF));
+  }
+  Result<PagedFile> loaded = PagedFile::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, LoadDetectsTruncation) {
+  std::string path = TempPath("simsel_pf_trunc.bin");
+  PagedFile file(128);
+  std::vector<uint8_t> data(100, 7);
+  file.Append(data.data(), data.size());
+  ASSERT_TRUE(file.SaveToFile(path).ok());
+  std::filesystem::resize_file(path, 50);
+  Result<PagedFile> loaded = PagedFile::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileTest, LoadMissingFileIsNotFound) {
+  Result<PagedFile> loaded =
+      PagedFile::LoadFromFile(TempPath("simsel_pf_nope.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PagedFileTest, NumPagesRoundsUp) {
+  PagedFile file(64);
+  EXPECT_EQ(file.num_pages(), 0u);
+  std::vector<uint8_t> d(65, 1);
+  file.Append(d.data(), d.size());
+  EXPECT_EQ(file.num_pages(), 2u);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/linear_scan.h"
+#include "core/parallel.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::ExpectSameMatches;
+using testing_util::MakeQueries;
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector =
+      new SimilaritySelector(MakeSelector(400, /*seed=*/201, false));
+  return *selector;
+}
+
+TEST(BatchSelectTest, MatchesSequentialExecution) {
+  const SimilaritySelector& sel = Selector();
+  std::vector<std::string> texts;
+  for (SetId s = 0; s < sel.collection().size(); ++s) {
+    texts.push_back(sel.collection().text(s));
+  }
+  std::vector<std::string> queries = MakeQueries(texts, 40, 211);
+  ThreadPool pool(4);
+  std::vector<QueryResult> parallel =
+      BatchSelect(sel, queries, 0.7, AlgorithmKind::kSf, {}, &pool);
+  ASSERT_EQ(parallel.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryResult sequential = sel.Select(queries[i], 0.7, AlgorithmKind::kSf);
+    ExpectSameMatches(sequential.matches, parallel[i].matches,
+                      "batch query " + std::to_string(i));
+  }
+}
+
+TEST(BatchSelectTest, WorksWithEveryAlgorithm) {
+  const SimilaritySelector& sel = Selector();
+  std::vector<std::string> queries = {sel.collection().text(0),
+                                      sel.collection().text(1)};
+  ThreadPool pool(2);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSf, AlgorithmKind::kInra, AlgorithmKind::kHybrid,
+        AlgorithmKind::kIta, AlgorithmKind::kSortById}) {
+    std::vector<QueryResult> results =
+        BatchSelect(sel, queries, 0.8, kind, {}, &pool);
+    EXPECT_FALSE(results[0].matches.empty()) << AlgorithmKindName(kind);
+    EXPECT_FALSE(results[1].matches.empty()) << AlgorithmKindName(kind);
+  }
+}
+
+TEST(ParallelLinearScanTest, ExactlyMatchesSerialScan) {
+  const SimilaritySelector& sel = Selector();
+  ThreadPool pool(4);
+  for (double tau : {0.3, 0.7, 0.9}) {
+    for (SetId s = 0; s < 10; ++s) {
+      PreparedQuery q = sel.Prepare(sel.collection().text(s));
+      QueryResult serial =
+          LinearScanSelect(sel.measure(), sel.collection(), q, tau);
+      QueryResult parallel = ParallelLinearScanSelect(
+          sel.measure(), sel.collection(), q, tau, &pool);
+      ExpectSameMatches(serial.matches, parallel.matches,
+                        "tau=" + std::to_string(tau));
+      EXPECT_EQ(parallel.counters.rows_scanned, sel.collection().size());
+    }
+  }
+}
+
+TEST(ParallelLinearScanTest, MorePoolThreadsThanSets) {
+  std::vector<std::string> records = {"alpha", "beta"};
+  SimilaritySelector sel = SimilaritySelector::Build(records);
+  ThreadPool pool(8);
+  PreparedQuery q = sel.Prepare("alpha");
+  QueryResult r =
+      ParallelLinearScanSelect(sel.measure(), sel.collection(), q, 0.9, &pool);
+  ASSERT_EQ(r.matches.size(), 1u);
+  EXPECT_EQ(r.matches[0].id, 0u);
+}
+
+TEST(ParallelSortByIdTest, MatchesSequentialMerge) {
+  const SimilaritySelector& sel = Selector();
+  for (size_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (double tau : {0.5, 0.9}) {
+      for (SetId s = 0; s < 10; ++s) {
+        PreparedQuery q = sel.Prepare(sel.collection().text(s * 11));
+        QueryResult serial =
+            sel.SelectPrepared(q, tau, AlgorithmKind::kSortById, {});
+        QueryResult parallel =
+            ParallelSortByIdSelect(sel.index(), sel.measure(), q, tau, &pool);
+        ExpectSameMatches(serial.matches, parallel.matches,
+                          "threads=" + std::to_string(threads));
+        // The shards cover every posting exactly once.
+        EXPECT_EQ(parallel.counters.elements_read,
+                  serial.counters.elements_read);
+        EXPECT_EQ(parallel.counters.elements_total,
+                  serial.counters.elements_total);
+      }
+    }
+  }
+}
+
+TEST(ParallelSortByIdTest, EmptyQueryAndNoMatches) {
+  const SimilaritySelector& sel = Selector();
+  ThreadPool pool(4);
+  PreparedQuery empty = sel.Prepare("");
+  EXPECT_TRUE(ParallelSortByIdSelect(sel.index(), sel.measure(), empty, 0.5,
+                                     &pool)
+                  .matches.empty());
+  PreparedQuery q = sel.Prepare(sel.collection().text(0));
+  EXPECT_TRUE(ParallelSortByIdSelect(sel.index(), sel.measure(), q, 1.5,
+                                     &pool)
+                  .matches.empty());
+}
+
+TEST(ConcurrencyTest, ConstQueriesAreThreadCompatible) {
+  // Hammer one selector from many threads; all runs must agree with the
+  // single-threaded answer (the selector is never mutated after Build).
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(13));
+  QueryResult expected = sel.SelectPrepared(q, 0.7, AlgorithmKind::kSf, {});
+  ThreadPool pool(8);
+  std::vector<QueryResult> results(64);
+  ParallelFor(&pool, results.size(), [&](size_t i) {
+    AlgorithmKind kind = (i % 2 == 0) ? AlgorithmKind::kSf
+                                      : AlgorithmKind::kHybrid;
+    results[i] = sel.SelectPrepared(q, 0.7, kind, {});
+  });
+  for (size_t i = 0; i < results.size(); ++i) {
+    ExpectSameMatches(expected.matches, results[i].matches,
+                      "thread result " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace simsel

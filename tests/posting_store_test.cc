@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/buffer_pool.h"
+#include "storage/posting_store.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::ExpectSameMatches;
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector = new SimilaritySelector(
+      MakeSelector(400, /*seed=*/901, /*with_sql=*/false));
+  return *selector;
+}
+
+const PostingStore& Store() {
+  static const PostingStore* store =
+      new PostingStore(PostingStore::Build(Selector().index()));
+  return *store;
+}
+
+TEST(PostingStoreTest, RoundtripsEveryList) {
+  const InvertedIndex& index = Selector().index();
+  const PostingStore& store = Store();
+  ASSERT_EQ(store.num_tokens(), index.num_tokens());
+  EXPECT_EQ(store.total_postings(), index.total_postings());
+  std::vector<uint32_t> ids(4096);
+  std::vector<float> lens(4096);
+  for (TokenId t = 0; t < index.num_tokens(); ++t) {
+    size_t n = index.ListSize(t);
+    ASSERT_EQ(store.ListSize(t), n);
+    size_t got = store.ReadBlock(t, 0, ids.size(), ids.data(), lens.data());
+    ASSERT_EQ(got, std::min(n, ids.size()));
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(ids[i], index.LenIds(t)[i]);
+      ASSERT_EQ(lens[i], index.LenLens(t)[i]);
+    }
+  }
+}
+
+TEST(PostingStoreTest, PartialBlockReads) {
+  const InvertedIndex& index = Selector().index();
+  const PostingStore& store = Store();
+  // Find a list with >= 10 postings and read it in odd-sized chunks.
+  for (TokenId t = 0; t < index.num_tokens(); ++t) {
+    size_t n = index.ListSize(t);
+    if (n < 10) continue;
+    std::vector<uint32_t> ids(3);
+    std::vector<float> lens(3);
+    for (size_t first = 0; first < n; first += 3) {
+      size_t got = store.ReadBlock(t, first, 3, ids.data(), lens.data());
+      ASSERT_EQ(got, std::min<size_t>(3, n - first));
+      for (size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(ids[i], index.LenIds(t)[first + i]);
+      }
+    }
+    // Past-the-end read returns 0.
+    EXPECT_EQ(store.ReadBlock(t, n, 3, ids.data(), lens.data()), 0u);
+    break;
+  }
+}
+
+TEST(PostingStoreTest, SaveLoadRoundtrip) {
+  const PostingStore& store = Store();
+  auto path =
+      (std::filesystem::temp_directory_path() / "simsel_store.bin").string();
+  ASSERT_TRUE(store.Save(path).ok());
+  Result<PostingStore> loaded = PostingStore::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_tokens(), store.num_tokens());
+  EXPECT_EQ(loaded->total_postings(), store.total_postings());
+  std::vector<uint32_t> a(64), b(64);
+  std::vector<float> al(64), bl(64);
+  for (TokenId t = 0; t < store.num_tokens(); t += 7) {
+    size_t ga = store.ReadBlock(t, 0, 64, a.data(), al.data());
+    size_t gb = loaded->ReadBlock(t, 0, 64, b.data(), bl.data());
+    ASSERT_EQ(ga, gb);
+    for (size_t i = 0; i < ga; ++i) {
+      ASSERT_EQ(a[i], b[i]);
+      ASSERT_EQ(al[i], bl[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PostingStoreTest, LoadRejectsCorruption) {
+  const PostingStore& store = Store();
+  auto path =
+      (std::filesystem::temp_directory_path() / "simsel_store2.bin").string();
+  ASSERT_TRUE(store.Save(path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  Result<PostingStore> loaded = PostingStore::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+// --- Disk-mode queries. ---
+
+class DiskModeParam : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(DiskModeParam, SameAnswersAsMemoryMode) {
+  const SimilaritySelector& sel = Selector();
+  SelectOptions disk;
+  disk.posting_store = &Store();
+  for (double tau : {0.5, 0.8, 0.95}) {
+    for (SetId s = 0; s < 12; ++s) {
+      PreparedQuery q = sel.Prepare(sel.collection().text(s * 17));
+      QueryResult mem = sel.SelectPrepared(q, tau, GetParam(), {});
+      QueryResult dsk = sel.SelectPrepared(q, tau, GetParam(), disk);
+      ExpectSameMatches(mem.matches, dsk.matches,
+                        std::string(AlgorithmKindName(GetParam())) + " tau=" +
+                            std::to_string(tau));
+      // Disk mode must not change the element accounting either.
+      EXPECT_EQ(mem.counters.elements_read, dsk.counters.elements_read);
+      EXPECT_EQ(mem.counters.elements_skipped, dsk.counters.elements_skipped);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, DiskModeParam,
+    ::testing::Values(AlgorithmKind::kTa, AlgorithmKind::kNra,
+                      AlgorithmKind::kIta, AlgorithmKind::kInra,
+                      AlgorithmKind::kSf, AlgorithmKind::kHybrid,
+                      AlgorithmKind::kPrefixFilter),
+    [](const auto& info) {
+      std::string name = AlgorithmKindName(info.param);
+      return name;
+    });
+
+TEST(DiskModeTest, StoreCountsPhysicalPages) {
+  const SimilaritySelector& sel = Selector();
+  Store().ResetCounters();
+  SelectOptions disk;
+  disk.posting_store = &Store();
+  PreparedQuery q = sel.Prepare(sel.collection().text(3));
+  sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
+  EXPECT_GT(Store().sequential_page_reads() + Store().random_page_reads(),
+            0u);
+}
+
+TEST(DiskModeTest, WorksTogetherWithBufferPool) {
+  const SimilaritySelector& sel = Selector();
+  BufferPool pool(100000);
+  SelectOptions disk;
+  disk.posting_store = &Store();
+  disk.buffer_pool = &pool;
+  PreparedQuery q = sel.Prepare(sel.collection().text(9));
+  QueryResult first = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
+  QueryResult second = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
+  EXPECT_GT(first.counters.pool_misses, 0u);
+  EXPECT_EQ(second.counters.pool_misses, 0u);
+}
+
+}  // namespace
+}  // namespace simsel

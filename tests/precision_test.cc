@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "eval/precision.h"
+#include "gen/corpus.h"
+#include "sim/measure.h"
+
+namespace simsel {
+namespace {
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  std::vector<uint32_t> ranked = {1, 2, 3, 4, 5};
+  std::unordered_set<uint32_t> relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  std::vector<uint32_t> ranked = {3, 4, 5};
+  std::unordered_set<uint32_t> relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 0.0);
+}
+
+TEST(AveragePrecisionTest, InterleavedRanking) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  std::vector<uint32_t> ranked = {1, 9, 2};
+  std::unordered_set<uint32_t> relevant = {1, 2};
+  EXPECT_NEAR(AveragePrecision(ranked, relevant), (1.0 + 2.0 / 3.0) / 2, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantPenalized) {
+  std::vector<uint32_t> ranked = {1};
+  std::unordered_set<uint32_t> relevant = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 0.25);
+}
+
+TEST(AveragePrecisionTest, EmptyRelevant) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 2}, {}), 0.0);
+}
+
+class PrecisionExperiment : public ::testing::Test {
+ protected:
+  static LabeledDataset MakeDataset(int level) {
+    CorpusOptions co;
+    co.num_records = 150;
+    co.vocab_size = 300;
+    co.min_words = 2;
+    co.max_words = 3;
+    co.seed = 7;
+    Corpus corpus = GenerateCorpus(co);
+    DirtyDatasetOptions dso;
+    dso.level = level;
+    dso.num_clean = 150;
+    dso.duplicates_per_record = 3;
+    return MakeDirtyDataset(corpus.records, dso);
+  }
+
+  static double Map(const LabeledDataset& ds, int level, MeasureKind kind) {
+    Tokenizer tok(TokenizerOptions{.q = 3});
+    Collection coll = Collection::Build(ds.records, tok);
+    auto measure = MakeMeasure(kind, coll);
+    PrecisionExperimentOptions opts;
+    opts.num_queries = 30;
+    return MeanAveragePrecision(ds, level, coll, *measure, tok, opts);
+  }
+};
+
+TEST_F(PrecisionExperiment, CleanDataScoresHigh) {
+  LabeledDataset ds = MakeDataset(8);
+  double map = Map(ds, 8, MeasureKind::kIdf);
+  EXPECT_GT(map, 0.8);
+  EXPECT_LE(map, 1.0 + 1e-9);
+}
+
+TEST_F(PrecisionExperiment, DirtierDataScoresLower) {
+  LabeledDataset clean = MakeDataset(8);
+  LabeledDataset dirty = MakeDataset(1);
+  EXPECT_GT(Map(clean, 8, MeasureKind::kIdf), Map(dirty, 1, MeasureKind::kIdf));
+}
+
+TEST_F(PrecisionExperiment, IdfTracksTfIdf) {
+  // Table I's claim: dropping the tf component does not hurt precision.
+  LabeledDataset ds = MakeDataset(4);
+  double idf = Map(ds, 4, MeasureKind::kIdf);
+  double tfidf = Map(ds, 4, MeasureKind::kTfIdf);
+  EXPECT_NEAR(idf, tfidf, 0.05);
+}
+
+TEST_F(PrecisionExperiment, Bm25PrimeTracksBm25) {
+  LabeledDataset ds = MakeDataset(4);
+  double bm25 = Map(ds, 4, MeasureKind::kBm25);
+  double prime = Map(ds, 4, MeasureKind::kBm25Prime);
+  EXPECT_NEAR(bm25, prime, 0.05);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/prefix_filter.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector =
+      new SimilaritySelector(MakeSelector(400, /*seed=*/221, false));
+  return *selector;
+}
+
+TEST(PrefixFilterTest, HighThresholdOpensFewerLists) {
+  // At high tau the prefix is a strict subset of the query tokens, so whole
+  // suffix lists are skipped; at tau -> 0 the prefix approaches the full
+  // query.
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(12));
+  ASSERT_GE(q.tokens.size(), 4u);
+  QueryResult high = PrefixFilterSelect(sel.index(), sel.measure(), q, 0.95,
+                                        {});
+  QueryResult low = PrefixFilterSelect(sel.index(), sel.measure(), q, 0.3, {});
+  EXPECT_GT(high.counters.elements_skipped, 0u);
+  EXPECT_LE(high.counters.elements_read, low.counters.elements_read);
+}
+
+TEST(PrefixFilterTest, VerificationCountsRows) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(5));
+  QueryResult r = PrefixFilterSelect(sel.index(), sel.measure(), q, 0.8, {});
+  // Every candidate was verified exactly once.
+  EXPECT_EQ(r.counters.rows_scanned, r.counters.candidate_inserts);
+  EXPECT_EQ(r.counters.rows_scanned,
+            r.counters.results + r.counters.candidate_prunes);
+}
+
+TEST(PrefixFilterTest, DegeneratesWithoutLengthBounding) {
+  // Normalized measures admit no suffix bound without Theorem 1: the prefix
+  // must be the whole query.
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(5));
+  SelectOptions nlb;
+  nlb.length_bounding = false;
+  QueryResult r = PrefixFilterSelect(sel.index(), sel.measure(), q, 0.8, nlb);
+  // All lists opened and fully read: nothing skipped except nothing.
+  EXPECT_EQ(r.counters.elements_read, r.counters.elements_total);
+}
+
+TEST(PrefixFilterTest, ImpossibleThresholdShortCircuits) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(5));
+  QueryResult r = PrefixFilterSelect(sel.index(), sel.measure(), q, 1.5, {});
+  EXPECT_TRUE(r.matches.empty());
+  // Total weight < tau^2 len(q)^2: the prefix is empty, no list is opened.
+  EXPECT_EQ(r.counters.elements_read, 0u);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/self_join.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+// Reference join: all pairs by linear scoring.
+std::vector<JoinPair> ReferenceJoin(const SimilaritySelector& sel,
+                                    double tau) {
+  std::vector<JoinPair> pairs;
+  for (SetId a = 0; a < sel.collection().size(); ++a) {
+    PreparedQuery q = sel.Prepare(sel.collection().text(a));
+    for (SetId b = a + 1; b < sel.collection().size(); ++b) {
+      double score = sel.measure().Score(q, b);
+      if (score >= tau) pairs.push_back(JoinPair{a, b, score});
+    }
+  }
+  return pairs;
+}
+
+TEST(SelfJoinTest, MatchesReferenceJoin) {
+  SimilaritySelector sel = testing_util::MakeSelector(120, 301, false);
+  for (double tau : {0.6, 0.8}) {
+    std::vector<JoinPair> expected = ReferenceJoin(sel, tau);
+    SelfJoinResult actual = SelfJoin(sel, tau);
+    ASSERT_EQ(actual.pairs.size(), expected.size()) << "tau=" << tau;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual.pairs[i].a, expected[i].a);
+      EXPECT_EQ(actual.pairs[i].b, expected[i].b);
+      EXPECT_DOUBLE_EQ(actual.pairs[i].score, expected[i].score);
+    }
+  }
+}
+
+TEST(SelfJoinTest, ParallelMatchesSequential) {
+  SimilaritySelector sel = testing_util::MakeSelector(120, 301, false);
+  SelfJoinResult sequential = SelfJoin(sel, 0.7);
+  ThreadPool pool(4);
+  SelfJoinOptions opts;
+  opts.pool = &pool;
+  SelfJoinResult parallel = SelfJoin(sel, 0.7, opts);
+  ASSERT_EQ(parallel.pairs.size(), sequential.pairs.size());
+  for (size_t i = 0; i < sequential.pairs.size(); ++i) {
+    EXPECT_EQ(parallel.pairs[i].a, sequential.pairs[i].a);
+    EXPECT_EQ(parallel.pairs[i].b, sequential.pairs[i].b);
+  }
+}
+
+TEST(SelfJoinTest, PairsAreOrderedAndDeduplicated) {
+  std::vector<std::string> records = {"duplicate entry", "duplicate entry",
+                                      "duplicate entry", "unrelated"};
+  SimilaritySelector sel = SimilaritySelector::Build(records);
+  SelfJoinResult r = SelfJoin(sel, 0.99);
+  // C(3,2) = 3 pairs among the identical records, each emitted once.
+  ASSERT_EQ(r.pairs.size(), 3u);
+  EXPECT_EQ(r.pairs[0].a, 0u);
+  EXPECT_EQ(r.pairs[0].b, 1u);
+  EXPECT_EQ(r.pairs[1].a, 0u);
+  EXPECT_EQ(r.pairs[1].b, 2u);
+  EXPECT_EQ(r.pairs[2].a, 1u);
+  EXPECT_EQ(r.pairs[2].b, 2u);
+  for (const JoinPair& p : r.pairs) EXPECT_LT(p.a, p.b);
+}
+
+TEST(SelfJoinTest, AlgorithmChoiceDoesNotChangeAnswer) {
+  SimilaritySelector sel = testing_util::MakeSelector(100, 307, false);
+  SelfJoinResult sf = SelfJoin(sel, 0.75);
+  SelfJoinOptions opts;
+  opts.algorithm = AlgorithmKind::kInra;
+  SelfJoinResult inra = SelfJoin(sel, 0.75, opts);
+  ASSERT_EQ(sf.pairs.size(), inra.pairs.size());
+  for (size_t i = 0; i < sf.pairs.size(); ++i) {
+    EXPECT_EQ(sf.pairs[i].a, inra.pairs[i].a);
+    EXPECT_EQ(sf.pairs[i].b, inra.pairs[i].b);
+  }
+}
+
+TEST(ClusterPairsTest, TransitiveClosure) {
+  std::vector<JoinPair> pairs = {{0, 1, 1.0}, {1, 2, 1.0}, {4, 5, 1.0}};
+  std::vector<std::vector<SetId>> clusters = ClusterPairs(6, pairs);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<SetId>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<SetId>{4, 5}));
+}
+
+TEST(ClusterPairsTest, NoPairsNoClusters) {
+  EXPECT_TRUE(ClusterPairs(10, {}).empty());
+}
+
+TEST(ClusterPairsTest, SingletonsExcluded) {
+  std::vector<JoinPair> pairs = {{2, 7, 1.0}};
+  std::vector<std::vector<SetId>> clusters = ClusterPairs(9, pairs);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<SetId>{2, 7}));
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/linear_scan.h"
+#include "sim/setops.h"
+#include "text/tokenizer.h"
+
+namespace simsel {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : tokenizer(TokenizerOptions{.kind = TokenizerKind::kWord}),
+        collection(Collection::Build(
+            {"a b c d", "a b c", "a b", "x y z", "a"}, tokenizer)) {}
+
+  PreparedQuery Prepare(const SimilarityMeasure& m, const std::string& text) {
+    return m.PrepareQuery(tokenizer.TokenizeCounted(text));
+  }
+
+  Tokenizer tokenizer;
+  Collection collection;
+};
+
+TEST(SetOpsTest, JaccardValues) {
+  Fixture f;
+  SetOverlapMeasure jaccard(f.collection, SetOverlapKind::kJaccard);
+  PreparedQuery q = f.Prepare(jaccard, "a b c");
+  EXPECT_DOUBLE_EQ(jaccard.Score(q, 0), 3.0 / 4.0);  // {abc} vs {abcd}
+  EXPECT_DOUBLE_EQ(jaccard.Score(q, 1), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard.Score(q, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(jaccard.Score(q, 3), 0.0);
+}
+
+TEST(SetOpsTest, DiceValues) {
+  Fixture f;
+  SetOverlapMeasure dice(f.collection, SetOverlapKind::kDice);
+  PreparedQuery q = f.Prepare(dice, "a b c");
+  EXPECT_DOUBLE_EQ(dice.Score(q, 0), 2.0 * 3 / (3 + 4));
+  EXPECT_DOUBLE_EQ(dice.Score(q, 1), 1.0);
+}
+
+TEST(SetOpsTest, CosineValues) {
+  Fixture f;
+  SetOverlapMeasure cosine(f.collection, SetOverlapKind::kCosine);
+  PreparedQuery q = f.Prepare(cosine, "a b c");
+  EXPECT_DOUBLE_EQ(cosine.Score(q, 0), 3.0 / std::sqrt(3.0 * 4.0));
+}
+
+TEST(SetOpsTest, OverlapCoefficient) {
+  Fixture f;
+  SetOverlapMeasure overlap(f.collection, SetOverlapKind::kOverlap);
+  PreparedQuery q = f.Prepare(overlap, "a b c");
+  // {a} ⊂ {a,b,c}: overlap coefficient is 1 for containment.
+  EXPECT_DOUBLE_EQ(overlap.Score(q, 4), 1.0);
+}
+
+TEST(SetOpsTest, UnknownTokensDiluteScores) {
+  Fixture f;
+  SetOverlapMeasure jaccard(f.collection, SetOverlapKind::kJaccard);
+  PreparedQuery clean = f.Prepare(jaccard, "a b c");
+  PreparedQuery noisy = f.Prepare(jaccard, "a b c zzz");
+  EXPECT_GT(jaccard.Score(clean, 1), jaccard.Score(noisy, 1));
+}
+
+TEST(SetOpsTest, ScoresInUnitInterval) {
+  Fixture f;
+  for (SetOverlapKind kind :
+       {SetOverlapKind::kJaccard, SetOverlapKind::kDice,
+        SetOverlapKind::kCosine, SetOverlapKind::kOverlap}) {
+    SetOverlapMeasure m(f.collection, kind);
+    PreparedQuery q = f.Prepare(m, "a b x");
+    for (SetId s = 0; s < f.collection.size(); ++s) {
+      double score = m.Score(q, s);
+      EXPECT_GE(score, 0.0);
+      EXPECT_LE(score, 1.0);
+    }
+  }
+}
+
+TEST(SetOpsTest, WorksWithLinearScanSelect) {
+  Fixture f;
+  SetOverlapMeasure jaccard(f.collection, SetOverlapKind::kJaccard);
+  PreparedQuery q = f.Prepare(jaccard, "a b c");
+  QueryResult r = LinearScanSelect(jaccard, f.collection, q, 0.7);
+  ASSERT_EQ(r.matches.size(), 2u);  // sets 0 (0.75) and 1 (1.0)
+  EXPECT_EQ(r.matches[0].id, 0u);
+  EXPECT_EQ(r.matches[1].id, 1u);
+}
+
+TEST(SetOpsTest, NamesAreDistinct) {
+  Fixture f;
+  SetOverlapMeasure a(f.collection, SetOverlapKind::kJaccard);
+  SetOverlapMeasure b(f.collection, SetOverlapKind::kDice);
+  EXPECT_NE(a.name(), b.name());
+}
+
+}  // namespace
+}  // namespace simsel

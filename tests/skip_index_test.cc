@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "container/skip_index.h"
+
+namespace simsel {
+namespace {
+
+std::vector<float> RandomSorted(size_t n, uint64_t seed, float max_value,
+                                bool with_duplicates) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    float x = static_cast<float>(rng.NextDouble()) * max_value;
+    if (with_duplicates) x = std::round(x * 8.0f) / 8.0f;  // force ties
+    v[i] = x;
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+size_t ReferenceFirstGE(const std::vector<float>& v, float target) {
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), target) - v.begin());
+}
+
+TEST(SkipIndexTest, MatchesLowerBoundOnRandomData) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::vector<float> v = RandomSorted(5000, seed, 100.0f, false);
+    SkipIndex skip(v.data(), v.size(), 16);
+    Rng rng(seed + 100);
+    for (int i = 0; i < 500; ++i) {
+      float target = static_cast<float>(rng.NextDouble()) * 110.0f - 5.0f;
+      EXPECT_EQ(skip.SeekFirstGE(target), ReferenceFirstGE(v, target))
+          << "target=" << target;
+    }
+  }
+}
+
+TEST(SkipIndexTest, HandlesDuplicates) {
+  std::vector<float> v = RandomSorted(3000, 7, 20.0f, true);
+  SkipIndex skip(v.data(), v.size(), 8);
+  // Probe exactly at every distinct value: must land on the FIRST equal.
+  for (size_t i = 0; i < v.size(); i += 37) {
+    EXPECT_EQ(skip.SeekFirstGE(v[i]), ReferenceFirstGE(v, v[i]));
+  }
+}
+
+TEST(SkipIndexTest, ExtremeTargets) {
+  std::vector<float> v = RandomSorted(1000, 11, 50.0f, false);
+  SkipIndex skip(v.data(), v.size(), 16);
+  EXPECT_EQ(skip.SeekFirstGE(-1.0f), 0u);
+  EXPECT_EQ(skip.SeekFirstGE(0.0f), 0u);
+  EXPECT_EQ(skip.SeekFirstGE(1000.0f), v.size());
+}
+
+TEST(SkipIndexTest, SmallListsHaveNoLevels) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  SkipIndex skip(v.data(), v.size(), 16);
+  EXPECT_EQ(skip.num_levels(), 0u);
+  EXPECT_EQ(skip.SeekFirstGE(2.5f), 2u);
+  EXPECT_EQ(skip.SeekFirstGE(0.5f), 0u);
+}
+
+TEST(SkipIndexTest, EmptyList) {
+  SkipIndex skip(nullptr, 0, 16);
+  EXPECT_EQ(skip.SeekFirstGE(1.0f), 0u);
+  EXPECT_EQ(skip.num_nodes(), 0u);
+}
+
+TEST(SkipIndexTest, SeekLastLE) {
+  std::vector<float> v = {1.0f, 2.0f, 2.0f, 5.0f, 9.0f};
+  SkipIndex skip(v.data(), v.size(), 2);
+  EXPECT_EQ(skip.SeekLastLE(2.0f), 2u);
+  EXPECT_EQ(skip.SeekLastLE(4.9f), 2u);
+  EXPECT_EQ(skip.SeekLastLE(9.0f), 4u);
+  EXPECT_EQ(skip.SeekLastLE(100.0f), 4u);
+  EXPECT_EQ(skip.SeekLastLE(0.5f), v.size());  // sentinel: nothing <= target
+}
+
+TEST(SkipIndexTest, NodeBudgetIsSmall) {
+  std::vector<float> v = RandomSorted(100000, 13, 1000.0f, false);
+  SkipIndex skip(v.data(), v.size(), 64);
+  // Geometric series: roughly n/63 nodes total.
+  EXPECT_LT(skip.num_nodes(), v.size() / 32);
+  EXPECT_GT(skip.num_levels(), 1u);
+  EXPECT_EQ(skip.SizeBytes(), skip.num_nodes() * 8);
+}
+
+TEST(SkipIndexTest, VisitCountsAreLogarithmic) {
+  std::vector<float> v = RandomSorted(100000, 17, 1000.0f, false);
+  SkipIndex skip(v.data(), v.size(), 64);
+  uint64_t visits = 0;
+  skip.SeekFirstGE(500.0f, &visits);
+  // Each level scans at most ~fanout nodes plus the base tail.
+  EXPECT_LT(visits, 64u * (skip.num_levels() + 2));
+  EXPECT_GT(visits, 0u);
+}
+
+TEST(SkipIndexTest, TinyFanout) {
+  std::vector<float> v = RandomSorted(500, 19, 10.0f, true);
+  SkipIndex skip(v.data(), v.size(), 2);
+  for (float t = -1.0f; t < 12.0f; t += 0.37f) {
+    EXPECT_EQ(skip.SeekFirstGE(t), ReferenceFirstGE(v, t));
+  }
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "storage/codec.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+// Randomized cross-algorithm soak. By default it runs a quick configuration
+// suitable for CI; set SIMSEL_SOAK=1 for the long version (larger corpora,
+// more seeds, more thresholds) when hunting for rare disagreements.
+
+struct SoakConfig {
+  size_t num_seeds;
+  size_t records;
+  size_t queries;
+};
+
+SoakConfig Config() {
+  const char* env = std::getenv("SIMSEL_SOAK");
+  if (env != nullptr && env[0] == '1') {
+    return SoakConfig{8, 2000, 40};
+  }
+  return SoakConfig{2, 250, 8};
+}
+
+TEST(SoakTest, AllAlgorithmsAgreeAcrossRandomWorlds) {
+  const SoakConfig config = Config();
+  const AlgorithmKind kinds[] = {
+      AlgorithmKind::kSql,    AlgorithmKind::kSortById, AlgorithmKind::kTa,
+      AlgorithmKind::kNra,    AlgorithmKind::kIta,      AlgorithmKind::kInra,
+      AlgorithmKind::kSf,     AlgorithmKind::kHybrid,
+      AlgorithmKind::kPrefixFilter};
+  for (size_t seed = 0; seed < config.num_seeds; ++seed) {
+    SimilaritySelector sel =
+        testing_util::MakeSelector(config.records, 5000 + seed * 17, true);
+    std::vector<std::string> texts;
+    for (SetId s = 0; s < sel.collection().size(); ++s) {
+      texts.push_back(sel.collection().text(s));
+    }
+    std::vector<std::string> queries =
+        testing_util::MakeQueries(texts, config.queries, 7000 + seed);
+    for (const std::string& query : queries) {
+      PreparedQuery q = sel.Prepare(query);
+      // Derive a per-query threshold from the seed so the sweep covers the
+      // whole range without a fixed grid.
+      double tau = 0.35 + 0.6 * ((Fnv1a64(query.data(), query.size()) % 100) /
+                                 100.0);
+      QueryResult expected =
+          sel.SelectPrepared(q, tau, AlgorithmKind::kLinearScan, {});
+      for (AlgorithmKind kind : kinds) {
+        QueryResult actual = sel.SelectPrepared(q, tau, kind, {});
+        testing_util::ExpectSameMatches(
+            expected.matches, actual.matches,
+            std::string(AlgorithmKindName(kind)) + " seed=" +
+                std::to_string(seed) + " tau=" + std::to_string(tau) +
+                " q=" + query);
+        if (::testing::Test::HasFailure()) return;  // stop at first world
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/sql_baseline.h"
+#include "rel/hash_aggregate.h"
+#include "rel/sql_baseline_plan.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector =
+      new SimilaritySelector(MakeSelector(400, /*seed=*/151, true));
+  return *selector;
+}
+
+TEST(GramTableTest, RowCountMatchesPostings) {
+  const SimilaritySelector& sel = Selector();
+  ASSERT_NE(sel.gram_table(), nullptr);
+  EXPECT_EQ(sel.gram_table()->num_rows(), sel.index().total_postings());
+  EXPECT_TRUE(sel.gram_table()->index().Validate());
+}
+
+TEST(GramTableTest, RowsAreQueryIndependentWeights) {
+  const SimilaritySelector& sel = Selector();
+  const GramTable& table = *sel.gram_table();
+  // Scan a stretch of rows and recompute their weights.
+  size_t checked = 0;
+  for (auto s = table.index().Begin(); s.Valid() && checked < 500;
+       s.Next(), ++checked) {
+    const GramKey& key = s.key();
+    double idf = sel.measure().idf(key.gram);
+    float expected = static_cast<float>(idf * idf / key.len);
+    EXPECT_FLOAT_EQ(s.value(), expected);
+    EXPECT_FLOAT_EQ(key.len, sel.measure().set_length(key.id));
+  }
+  EXPECT_EQ(checked, 500u);
+}
+
+TEST(SqlBaselineTest, LengthBoundingScansFewerRows) {
+  const SimilaritySelector& sel = Selector();
+  SelectOptions lb, nlb;
+  nlb.length_bounding = false;
+  uint64_t lb_rows = 0, nlb_rows = 0;
+  for (SetId s = 0; s < 20; ++s) {
+    PreparedQuery q = sel.Prepare(sel.collection().text(s));
+    lb_rows += sel.SelectPrepared(q, 0.9, AlgorithmKind::kSql, lb)
+                   .counters.rows_scanned;
+    nlb_rows += sel.SelectPrepared(q, 0.9, AlgorithmKind::kSql, nlb)
+                    .counters.rows_scanned;
+  }
+  EXPECT_LT(lb_rows, nlb_rows);
+}
+
+TEST(SqlBaselineTest, ChargesBTreePages) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(0));
+  QueryResult r = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSql, {});
+  // One root-to-leaf descent per query gram.
+  EXPECT_GE(r.counters.rand_page_reads, q.tokens.size());
+}
+
+TEST(SqlBaselineTest, NlbRowsEqualListSizes) {
+  // Without length bounding the plan scans each gram's full range: exactly
+  // the inverted list sizes.
+  const SimilaritySelector& sel = Selector();
+  SelectOptions nlb;
+  nlb.length_bounding = false;
+  PreparedQuery q = sel.Prepare(sel.collection().text(33));
+  QueryResult r = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSql, nlb);
+  uint64_t expected = 0;
+  for (TokenId t : q.tokens) expected += sel.index().ListSize(t);
+  EXPECT_EQ(r.counters.rows_scanned, expected);
+}
+
+TEST(HashAggregateTest, GroupsAndScores) {
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare(sel.collection().text(8));
+  ASSERT_GE(q.tokens.size(), 2u);
+  HashAggregate agg(q.tokens.size());
+  // Simulate set 8 matching every list.
+  float len = sel.measure().set_length(8);
+  for (size_t i = 0; i < q.tokens.size(); ++i) agg.Add(8, i, len);
+  agg.Add(9, 0, sel.measure().set_length(9));
+  EXPECT_EQ(agg.num_groups(), 2u);
+  std::vector<Match> out = agg.Finalize(sel.measure(), q, 0.9);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 8u);
+  EXPECT_NEAR(out[0].score, 1.0, 1e-5);
+}
+
+TEST(HashAggregateTest, DuplicateAddsAreIdempotent) {
+  HashAggregate agg(4);
+  agg.Add(1, 2, 3.0f);
+  agg.Add(1, 2, 3.0f);
+  EXPECT_EQ(agg.num_groups(), 1u);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.h"
+
+namespace simsel {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPool) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, ComputesSum) {
+  ThreadPool pool(4);
+  std::vector<long> partial(101, 0);
+  ParallelFor(&pool, 101, [&](size_t i) { partial[i] = static_cast<long>(i); });
+  long sum = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(sum, 100L * 101 / 2);
+}
+
+}  // namespace
+}  // namespace simsel

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace simsel {
+namespace {
+
+TokenizerOptions WordOpts() {
+  TokenizerOptions o;
+  o.kind = TokenizerKind::kWord;
+  return o;
+}
+
+TEST(TokenizerTest, NormalizeLowercasesAndCollapsesSpace) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Normalize("  Main   St.,  Maine "), "main_st.,_maine");
+}
+
+TEST(TokenizerTest, NormalizeKeepsSpacesWhenConfigured) {
+  TokenizerOptions o;
+  o.collapse_space_to_underscore = false;
+  Tokenizer tok(o);
+  EXPECT_EQ(tok.Normalize("a  b"), "a b");
+}
+
+TEST(TokenizerTest, NormalizeCanPreserveCase) {
+  TokenizerOptions o;
+  o.lowercase = false;
+  Tokenizer tok(o);
+  EXPECT_EQ(tok.Normalize("MiXeD"), "MiXeD");
+}
+
+TEST(TokenizerTest, WordTokenization) {
+  Tokenizer tok(WordOpts());
+  std::vector<std::string> words = tok.Tokenize("Main St., Main");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "main");
+  EXPECT_EQ(words[1], "st");
+  EXPECT_EQ(words[2], "main");
+}
+
+TEST(TokenizerTest, WordTokenizationSkipsPunctuationRuns) {
+  Tokenizer tok(WordOpts());
+  std::vector<std::string> words = tok.Tokenize("...a--b!!");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[1], "b");
+}
+
+TEST(TokenizerTest, QGramsWithPadding) {
+  TokenizerOptions o;
+  o.q = 3;
+  o.pad = true;
+  o.pad_char = '#';
+  Tokenizer tok(o);
+  std::vector<std::string> grams = tok.Tokenize("ab");
+  // "##ab##" -> ##a, #ab, ab#, b##  (L + q - 1 = 4 grams)
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams[0], "##a");
+  EXPECT_EQ(grams[1], "#ab");
+  EXPECT_EQ(grams[2], "ab#");
+  EXPECT_EQ(grams[3], "b##");
+}
+
+TEST(TokenizerTest, QGramsWithoutPadding) {
+  TokenizerOptions o;
+  o.q = 3;
+  o.pad = false;
+  Tokenizer tok(o);
+  std::vector<std::string> grams = tok.Tokenize("abcd");
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "abc");
+  EXPECT_EQ(grams[1], "bcd");
+}
+
+TEST(TokenizerTest, ShortStringWithoutPaddingYieldsWholeString) {
+  TokenizerOptions o;
+  o.q = 4;
+  o.pad = false;
+  Tokenizer tok(o);
+  std::vector<std::string> grams = tok.Tokenize("ab");
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(TokenizerTest, EmptyInputYieldsNoTokens) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  Tokenizer wtok(WordOpts());
+  EXPECT_TRUE(wtok.Tokenize("  .,- ").empty());
+}
+
+TEST(TokenizerTest, GramCountMatchesFormula) {
+  // With padding a word of length L yields L + q - 1 grams.
+  TokenizerOptions o;
+  o.q = 3;
+  Tokenizer tok(o);
+  EXPECT_EQ(tok.CountTokens("hello"), 5u + 3u - 1u);
+  EXPECT_EQ(tok.CountTokens("a"), 1u + 3u - 1u);
+}
+
+TEST(TokenizerTest, TokenizeCountedAggregatesDuplicates) {
+  Tokenizer tok(WordOpts());
+  std::vector<TokenCount> counted = tok.TokenizeCounted("main st main main");
+  ASSERT_EQ(counted.size(), 2u);
+  // Sorted by token string.
+  EXPECT_EQ(counted[0].token, "main");
+  EXPECT_EQ(counted[0].count, 3u);
+  EXPECT_EQ(counted[1].token, "st");
+  EXPECT_EQ(counted[1].count, 1u);
+}
+
+TEST(TokenizerTest, QGramMultisetFromRepetitiveString) {
+  TokenizerOptions o;
+  o.q = 2;
+  o.pad = false;
+  Tokenizer tok(o);
+  std::vector<TokenCount> counted = tok.TokenizeCounted("aaaa");
+  ASSERT_EQ(counted.size(), 1u);
+  EXPECT_EQ(counted[0].token, "aa");
+  EXPECT_EQ(counted[0].count, 3u);
+}
+
+TEST(TokenizerTest, WholeStringQGramsUseUnderscore) {
+  Tokenizer tok;  // q=3, padded, collapse spaces
+  std::vector<std::string> grams = tok.Tokenize("Main St");
+  bool found = false;
+  for (const std::string& g : grams) {
+    if (g == "n_s") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TokenizerTest, RejectsZeroQ) {
+  TokenizerOptions o;
+  o.q = 0;
+  EXPECT_DEATH({ Tokenizer tok(o); }, "q-gram width");
+}
+
+}  // namespace
+}  // namespace simsel
