@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wallclock.dir/bench_fig6_wallclock.cc.o"
+  "CMakeFiles/bench_fig6_wallclock.dir/bench_fig6_wallclock.cc.o.d"
+  "bench_fig6_wallclock"
+  "bench_fig6_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

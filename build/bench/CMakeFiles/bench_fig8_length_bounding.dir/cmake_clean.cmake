@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_length_bounding.dir/bench_fig8_length_bounding.cc.o"
+  "CMakeFiles/bench_fig8_length_bounding.dir/bench_fig8_length_bounding.cc.o.d"
+  "bench_fig8_length_bounding"
+  "bench_fig8_length_bounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_length_bounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_length_bounding.
+# This may be replaced when dependencies are built.

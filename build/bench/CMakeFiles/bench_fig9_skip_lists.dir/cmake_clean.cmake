@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_skip_lists.dir/bench_fig9_skip_lists.cc.o"
+  "CMakeFiles/bench_fig9_skip_lists.dir/bench_fig9_skip_lists.cc.o.d"
+  "bench_fig9_skip_lists"
+  "bench_fig9_skip_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_skip_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

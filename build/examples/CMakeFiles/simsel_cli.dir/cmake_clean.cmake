@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsel_cli.dir/simsel_cli.cpp.o"
+  "CMakeFiles/simsel_cli.dir/simsel_cli.cpp.o.d"
+  "simsel_cli"
+  "simsel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

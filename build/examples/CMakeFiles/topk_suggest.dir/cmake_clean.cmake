@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_suggest.dir/topk_suggest.cpp.o"
+  "CMakeFiles/topk_suggest.dir/topk_suggest.cpp.o.d"
+  "topk_suggest"
+  "topk_suggest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_suggest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/simsel.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/simsel.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/simsel.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/simsel.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/simsel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/simsel.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/simsel.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/simsel.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/container/extendible_hash.cc" "src/CMakeFiles/simsel.dir/container/extendible_hash.cc.o" "gcc" "src/CMakeFiles/simsel.dir/container/extendible_hash.cc.o.d"
+  "/root/repo/src/container/skip_index.cc" "src/CMakeFiles/simsel.dir/container/skip_index.cc.o" "gcc" "src/CMakeFiles/simsel.dir/container/skip_index.cc.o.d"
+  "/root/repo/src/core/adaptive.cc" "src/CMakeFiles/simsel.dir/core/adaptive.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/adaptive.cc.o.d"
+  "/root/repo/src/core/bm25_select.cc" "src/CMakeFiles/simsel.dir/core/bm25_select.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/bm25_select.cc.o.d"
+  "/root/repo/src/core/dynamic.cc" "src/CMakeFiles/simsel.dir/core/dynamic.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/dynamic.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/simsel.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/inra.cc" "src/CMakeFiles/simsel.dir/core/inra.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/inra.cc.o.d"
+  "/root/repo/src/core/linear_scan.cc" "src/CMakeFiles/simsel.dir/core/linear_scan.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/linear_scan.cc.o.d"
+  "/root/repo/src/core/nra.cc" "src/CMakeFiles/simsel.dir/core/nra.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/nra.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/CMakeFiles/simsel.dir/core/parallel.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/parallel.cc.o.d"
+  "/root/repo/src/core/prefix_filter.cc" "src/CMakeFiles/simsel.dir/core/prefix_filter.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/prefix_filter.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/simsel.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/self_join.cc" "src/CMakeFiles/simsel.dir/core/self_join.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/self_join.cc.o.d"
+  "/root/repo/src/core/sf.cc" "src/CMakeFiles/simsel.dir/core/sf.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/sf.cc.o.d"
+  "/root/repo/src/core/sort_by_id.cc" "src/CMakeFiles/simsel.dir/core/sort_by_id.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/sort_by_id.cc.o.d"
+  "/root/repo/src/core/sql_baseline.cc" "src/CMakeFiles/simsel.dir/core/sql_baseline.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/sql_baseline.cc.o.d"
+  "/root/repo/src/core/ta.cc" "src/CMakeFiles/simsel.dir/core/ta.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/ta.cc.o.d"
+  "/root/repo/src/core/tfidf_select.cc" "src/CMakeFiles/simsel.dir/core/tfidf_select.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/tfidf_select.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/simsel.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/simsel.dir/core/topk.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/simsel.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/simsel.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/precision.cc" "src/CMakeFiles/simsel.dir/eval/precision.cc.o" "gcc" "src/CMakeFiles/simsel.dir/eval/precision.cc.o.d"
+  "/root/repo/src/gen/corpus.cc" "src/CMakeFiles/simsel.dir/gen/corpus.cc.o" "gcc" "src/CMakeFiles/simsel.dir/gen/corpus.cc.o.d"
+  "/root/repo/src/gen/error_model.cc" "src/CMakeFiles/simsel.dir/gen/error_model.cc.o" "gcc" "src/CMakeFiles/simsel.dir/gen/error_model.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/simsel.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/simsel.dir/gen/workload.cc.o.d"
+  "/root/repo/src/gen/zipf.cc" "src/CMakeFiles/simsel.dir/gen/zipf.cc.o" "gcc" "src/CMakeFiles/simsel.dir/gen/zipf.cc.o.d"
+  "/root/repo/src/index/collection.cc" "src/CMakeFiles/simsel.dir/index/collection.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/collection.cc.o.d"
+  "/root/repo/src/index/compressed_lists.cc" "src/CMakeFiles/simsel.dir/index/compressed_lists.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/compressed_lists.cc.o.d"
+  "/root/repo/src/index/dictionary.cc" "src/CMakeFiles/simsel.dir/index/dictionary.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/dictionary.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/simsel.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/list_cursor.cc" "src/CMakeFiles/simsel.dir/index/list_cursor.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/list_cursor.cc.o.d"
+  "/root/repo/src/index/stats.cc" "src/CMakeFiles/simsel.dir/index/stats.cc.o" "gcc" "src/CMakeFiles/simsel.dir/index/stats.cc.o.d"
+  "/root/repo/src/rel/gram_table.cc" "src/CMakeFiles/simsel.dir/rel/gram_table.cc.o" "gcc" "src/CMakeFiles/simsel.dir/rel/gram_table.cc.o.d"
+  "/root/repo/src/rel/hash_aggregate.cc" "src/CMakeFiles/simsel.dir/rel/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/simsel.dir/rel/hash_aggregate.cc.o.d"
+  "/root/repo/src/rel/sql_baseline_plan.cc" "src/CMakeFiles/simsel.dir/rel/sql_baseline_plan.cc.o" "gcc" "src/CMakeFiles/simsel.dir/rel/sql_baseline_plan.cc.o.d"
+  "/root/repo/src/sim/bm25.cc" "src/CMakeFiles/simsel.dir/sim/bm25.cc.o" "gcc" "src/CMakeFiles/simsel.dir/sim/bm25.cc.o.d"
+  "/root/repo/src/sim/idf.cc" "src/CMakeFiles/simsel.dir/sim/idf.cc.o" "gcc" "src/CMakeFiles/simsel.dir/sim/idf.cc.o.d"
+  "/root/repo/src/sim/measure.cc" "src/CMakeFiles/simsel.dir/sim/measure.cc.o" "gcc" "src/CMakeFiles/simsel.dir/sim/measure.cc.o.d"
+  "/root/repo/src/sim/setops.cc" "src/CMakeFiles/simsel.dir/sim/setops.cc.o" "gcc" "src/CMakeFiles/simsel.dir/sim/setops.cc.o.d"
+  "/root/repo/src/sim/tfidf.cc" "src/CMakeFiles/simsel.dir/sim/tfidf.cc.o" "gcc" "src/CMakeFiles/simsel.dir/sim/tfidf.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/simsel.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/simsel.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/codec.cc" "src/CMakeFiles/simsel.dir/storage/codec.cc.o" "gcc" "src/CMakeFiles/simsel.dir/storage/codec.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/simsel.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/simsel.dir/storage/paged_file.cc.o.d"
+  "/root/repo/src/storage/posting_store.cc" "src/CMakeFiles/simsel.dir/storage/posting_store.cc.o" "gcc" "src/CMakeFiles/simsel.dir/storage/posting_store.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/simsel.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/simsel.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_lists_test.dir/compressed_lists_test.cc.o"
+  "CMakeFiles/compressed_lists_test.dir/compressed_lists_test.cc.o.d"
+  "compressed_lists_test"
+  "compressed_lists_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_lists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

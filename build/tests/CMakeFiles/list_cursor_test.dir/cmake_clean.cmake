@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_cursor_test.dir/list_cursor_test.cc.o"
+  "CMakeFiles/list_cursor_test.dir/list_cursor_test.cc.o.d"
+  "list_cursor_test"
+  "list_cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_property_test.dir/measure_property_test.cc.o"
+  "CMakeFiles/measure_property_test.dir/measure_property_test.cc.o.d"
+  "measure_property_test"
+  "measure_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

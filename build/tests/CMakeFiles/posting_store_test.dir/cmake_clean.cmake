@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posting_store_test.dir/posting_store_test.cc.o"
+  "CMakeFiles/posting_store_test.dir/posting_store_test.cc.o.d"
+  "posting_store_test"
+  "posting_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posting_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

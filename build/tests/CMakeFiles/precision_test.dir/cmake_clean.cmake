@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_test.dir/precision_test.cc.o"
+  "CMakeFiles/precision_test.dir/precision_test.cc.o.d"
+  "precision_test"
+  "precision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skip_index_test.dir/skip_index_test.cc.o"
+  "CMakeFiles/skip_index_test.dir/skip_index_test.cc.o.d"
+  "skip_index_test"
+  "skip_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skip_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_baseline_test.dir/sql_baseline_test.cc.o"
+  "CMakeFiles/sql_baseline_test.dir/sql_baseline_test.cc.o.d"
+  "sql_baseline_test"
+  "sql_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

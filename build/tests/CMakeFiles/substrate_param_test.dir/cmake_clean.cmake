@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_param_test.dir/substrate_param_test.cc.o"
+  "CMakeFiles/substrate_param_test.dir/substrate_param_test.cc.o.d"
+  "substrate_param_test"
+  "substrate_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

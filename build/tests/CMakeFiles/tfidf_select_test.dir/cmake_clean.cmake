@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfidf_select_test.dir/tfidf_select_test.cc.o"
+  "CMakeFiles/tfidf_select_test.dir/tfidf_select_test.cc.o.d"
+  "tfidf_select_test"
+  "tfidf_select_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfidf_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
