@@ -90,6 +90,7 @@ int Main(int argc, char** argv) {
       "candidates that can never qualify; -lazy multiplies scan steps. "
       "'none' retains only Length Boundedness and is the floor the paper's "
       "Section V improvements build on.\n");
+  bench::WriteBenchReport("ablation");
   return 0;
 }
 

@@ -103,6 +103,7 @@ int Main(int argc, char** argv) {
       "size; TA/iTA miss rates stay high until the pool holds most hash "
       "buckets (random probes defeat small caches), mirroring the paper's "
       "argument that random access is expensive on disk.\n");
+  bench::WriteBenchReport("buffer_pool");
   return 0;
 }
 

@@ -186,6 +186,7 @@ int Main(int argc, char** argv) {
     PrintTable("Extension 5: batch throughput (SF, tau=0.8)",
                {"Pool", "queries/s", "total ms"}, rows);
   }
+  bench::WriteBenchReport("extensions");
   return 0;
 }
 

@@ -61,6 +61,7 @@ int Main(int argc, char** argv) {
       "explosion); SQL is the largest (26x there), inverted-list family much "
       "smaller (9x); extendible hashing is a large surcharge only TA-style "
       "random access needs; skip lists are almost free.\n");
+  bench::WriteBenchReport("fig5_index_size");
   return 0;
 }
 

@@ -102,6 +102,7 @@ int Main(int argc, char** argv) {
       "TA/NRA slowest by 1-2 orders of magnitude; LB-based algorithms get "
       "FASTER as queries grow while TA deteriorates; costs drop as "
       "modifications make queries more selective.\n");
+  bench::WriteBenchReport("fig6_wallclock");
   return 0;
 }
 

@@ -94,6 +94,7 @@ int Main(int argc, char** argv) {
       "most (random accesses complete scores directly); SF/Hybrid/iNRA reach "
       "~95%% at tau=0.9; pruning of the LB-based algorithms grows with query "
       "size while TA/NRA stay flat.\n");
+  bench::WriteBenchReport("fig7_pruning");
   return 0;
 }
 

@@ -104,6 +104,7 @@ int Main(int argc, char** argv) {
       "\nExpected shape (paper): length bounding yields up to ~4x on both "
       "wall-clock and pruning for a given algorithm, and the gap widens with "
       "query size (larger queries skip a larger list prefix).\n");
+  bench::WriteBenchReport("fig8_length_bounding");
   return 0;
 }
 

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "btree/bplus_tree.h"
 #include "common/rng.h"
 #include "container/extendible_hash.h"
@@ -228,4 +229,15 @@ BENCHMARK_CAPTURE(BM_Query, SortById, AlgorithmKind::kSortById);
 }  // namespace
 }  // namespace simsel
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run also leaves a
+// BENCH_micro.json artifact with the metrics-registry snapshot — the
+// BM_Query benchmarks drive the instrumented selectors, so the registry
+// holds per-algorithm latency histograms and access counters afterwards.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  simsel::bench::WriteBenchReport("micro");
+  return 0;
+}

@@ -86,6 +86,7 @@ int Main(int argc, char** argv) {
       "tokens ('Main', 'St.'); the synthetic vocabulary underrepresents that "
       "structure, so unweighted coefficients look closer here than they "
       "would on real address/title data.\n");
+  bench::WriteBenchReport("table1_precision");
   return 0;
 }
 

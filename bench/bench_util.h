@@ -6,15 +6,43 @@
 #include <vector>
 
 #include "eval/experiment.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
 
 namespace simsel::bench {
 
+/// Accumulates every table a bench binary prints so the run can be exported
+/// as one machine-readable artifact. PrintTable records into the global
+/// report automatically; call WriteBenchReport("<name>") at the end of main
+/// to write BENCH_<name>.json (tables + a full metrics-registry snapshot).
+class BenchReport {
+ public:
+  struct Table {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static BenchReport& Global() {
+    static BenchReport* report = new BenchReport();
+    return *report;
+  }
+
+  void Add(Table table) { tables_.push_back(std::move(table)); }
+  const std::vector<Table>& tables() const { return tables_; }
+
+ private:
+  std::vector<Table> tables_;
+};
+
 /// Prints a row-major table: header then one row per entry, with the first
 /// column left-aligned and numeric columns right-aligned. Also emits a
-/// machine-readable TSV block (prefixed with '#tsv') for plotting.
+/// machine-readable TSV block (prefixed with '#tsv') for plotting, and
+/// records the table into BenchReport::Global() for the JSON artifact.
 inline void PrintTable(const std::string& title,
                        const std::vector<std::string>& columns,
                        const std::vector<std::vector<std::string>>& rows) {
+  BenchReport::Global().Add({title, columns, rows});
   std::printf("\n== %s ==\n", title.c_str());
   std::vector<size_t> widths(columns.size());
   for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
@@ -91,6 +119,45 @@ inline std::vector<WorkloadStats> RunSweep(const SimilaritySelector& selector,
                                 algo.options, algo.label));
   }
   return stats;
+}
+
+/// Writes BENCH_<name>.json in the working directory: every table recorded
+/// by PrintTable plus a snapshot of the process-wide metrics registry, so a
+/// bench run leaves a diffable perf artifact next to its stdout report.
+/// Returns true on success.
+inline bool WriteBenchReport(const std::string& name) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(name);
+  w.Key("tables");
+  w.BeginArray();
+  for (const BenchReport::Table& t : BenchReport::Global().tables()) {
+    w.BeginObject();
+    w.Key("title");
+    w.String(t.title);
+    w.Key("columns");
+    w.BeginArray();
+    for (const std::string& col : t.columns) w.String(col);
+    w.EndArray();
+    w.Key("rows");
+    w.BeginArray();
+    for (const auto& row : t.rows) {
+      w.BeginArray();
+      for (const std::string& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.Raw(obs::ToJson(obs::MetricsRegistry::Global().Snapshot()));
+  w.EndObject();
+  std::string path = "BENCH_" + name + ".json";
+  bool ok = obs::WriteTextFile(path, w.str() + "\n");
+  if (ok) std::printf("\nwrote %s\n", path.c_str());
+  return ok;
 }
 
 /// The paper's query-size buckets (Section VIII-A), in 3-grams per word.

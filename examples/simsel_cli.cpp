@@ -18,8 +18,22 @@
 //
 //   simsel_cli join <records.txt> <index.simsel> [--tau=75]
 //       Self-join: lists duplicate clusters among the records.
+//
+//   simsel_cli --explain "<text>" [--tau 0.8] [--words=N] [--stats]
+//       Builds a self-contained demo environment, runs the query with SF,
+//       iNRA and Hybrid, and prints the per-phase trace (durations, item
+//       counts) plus the access counters for each. With --stats the
+//       process-wide metrics registry is dumped afterwards.
+//
+//   simsel_cli --stats
+//       Runs a small demo workload and dumps the metrics registry in
+//       Prometheus text exposition format.
+//
+// --tau accepts either form everywhere: a fraction (`--tau 0.8`,
+// `--tau=0.8`) or a percentage (`--tau=75`).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -29,6 +43,10 @@
 #include "core/self_join.h"
 #include "eval/experiment.h"
 #include "gen/corpus.h"
+#include "gen/workload.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -38,10 +56,35 @@ int Usage() {
   std::fprintf(stderr,
                "usage: simsel_cli build <records.txt> <index.simsel>\n"
                "       simsel_cli query <records.txt> <index.simsel> <text> "
-               "[--tau=75] [--algo=sf] [--k=N]\n"
+               "[--tau=0.8] [--algo=sf] [--k=N] [--explain]\n"
                "       simsel_cli repl  <records.txt> <index.simsel>\n"
-               "       simsel_cli stats <records.txt> <index.simsel>\n");
+               "       simsel_cli stats <records.txt> <index.simsel>\n"
+               "       simsel_cli --explain \"<text>\" [--tau 0.8] "
+               "[--words=N] [--stats]\n"
+               "       simsel_cli --stats\n");
   return 2;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Parses --tau in either `--tau=X` or `--tau X` form. A value <= 1 is a
+/// fraction; a value > 1 is a percentage (the historical `--tau=75` form).
+double ParseTau(int argc, char** argv, double fallback) {
+  double raw = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tau=", 6) == 0) {
+      raw = std::atof(argv[i] + 6);
+    } else if (std::strcmp(argv[i], "--tau") == 0 && i + 1 < argc) {
+      raw = std::atof(argv[i + 1]);
+    }
+  }
+  if (raw <= 0.0) return fallback;
+  return raw > 1.0 ? raw / 100.0 : raw;
 }
 
 AlgorithmKind ParseAlgo(int argc, char** argv) {
@@ -88,11 +131,85 @@ void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
 }
 
 int RunQuery(const SimilaritySelector& sel, const std::string& text,
-             double tau, AlgorithmKind kind, size_t k) {
+             double tau, AlgorithmKind kind, size_t k, bool explain = false) {
+  obs::QueryTrace trace;
+  SelectOptions options;
+  if (explain) options.trace = &trace;
   WallTimer timer;
-  QueryResult r = (k > 0) ? sel.SelectTopK(text, k)
-                          : sel.Select(text, tau, kind);
+  QueryResult r = (k > 0) ? sel.SelectTopK(text, k, options)
+                          : sel.Select(text, tau, kind, options);
   PrintMatches(sel, r, timer.ElapsedMillis());
+  if (explain) {
+    std::printf("%s", trace.ToString().c_str());
+    std::printf("counters: %s\n", r.counters.ToString().c_str());
+  }
+  return 0;
+}
+
+void DumpRegistry() {
+  std::fputs(
+      obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot()).c_str(),
+      stdout);
+}
+
+/// `--explain "<text>"`: self-contained trace demo. Builds a synthetic
+/// word-occurrence environment (no files needed), runs the query with each
+/// of the paper's main algorithms and prints the per-phase breakdown.
+int RunExplain(int argc, char** argv) {
+  std::string text;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tau") == 0 || std::strcmp(argv[i], "--k") == 0) {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  double tau = ParseTau(argc, argv, 0.8);
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 20000);
+  std::fprintf(stderr, "building demo index over %zu word occurrences...\n",
+               env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+  if (text.empty()) text = env.words[123];
+  std::printf("query=\"%s\" tau=%.2f\n", text.c_str(), tau);
+  for (AlgorithmKind kind : {AlgorithmKind::kSf, AlgorithmKind::kInra,
+                             AlgorithmKind::kHybrid}) {
+    obs::QueryTrace trace;
+    SelectOptions options;
+    options.trace = &trace;
+    QueryResult r = env.selector->Select(text, tau, kind, options);
+    std::printf("\n--- %s: %zu matches ---\n", AlgorithmKindName(kind),
+                r.matches.size());
+    std::printf("%s", trace.ToString().c_str());
+    std::printf("counters: %s\n", r.counters.ToString().c_str());
+  }
+  if (HasFlag(argc, argv, "--stats")) {
+    std::printf("\n# metrics registry\n");
+    DumpRegistry();
+  }
+  return 0;
+}
+
+/// `--stats` with no other command: run a small demo workload so the dump
+/// has content, then print the registry in Prometheus text format.
+int RunStats(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 20000);
+  std::fprintf(stderr, "building demo index over %zu word occurrences...\n",
+               env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+  WorkloadOptions wo;
+  wo.num_queries = 25;
+  Workload wl = GenerateWordWorkload(env.words, env.selector->tokenizer(), wo);
+  for (AlgorithmKind kind : {AlgorithmKind::kSf, AlgorithmKind::kInra,
+                             AlgorithmKind::kHybrid}) {
+    for (const std::string& q : wl.queries) {
+      env.selector->Select(q, 0.8, kind);
+    }
+  }
+  DumpRegistry();
   return 0;
 }
 
@@ -101,6 +218,11 @@ int RunQuery(const SimilaritySelector& sel, const std::string& text,
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+
+  if (HasFlag(argc, argv, "--explain") && cmd[0] == '-') {
+    return RunExplain(argc, argv);
+  }
+  if (cmd == "--stats") return RunStats(argc, argv);
 
   if (cmd == "build") {
     if (argc < 4) return Usage();
@@ -139,9 +261,10 @@ int main(int argc, char** argv) {
       std::printf("extendible hash   %10zu bytes\n", sizes.extendible_hash);
       return 0;
     }
-    double tau = FlagValue(argc, argv, "tau", 75) / 100.0;
+    double tau = ParseTau(argc, argv, 0.75);
     size_t k = FlagValue(argc, argv, "k", 0);
     AlgorithmKind kind = ParseAlgo(argc, argv);
+    bool explain = HasFlag(argc, argv, "--explain");
     if (cmd == "join") {
       WallTimer timer;
       SelfJoinResult joined = SelfJoin(*sel, tau);
@@ -165,16 +288,22 @@ int main(int argc, char** argv) {
     }
     if (cmd == "query") {
       if (argc < 5) return Usage();
-      // First non-flag argument after the index path is the query text.
+      // Non-flag arguments after the index path form the query text
+      // (values of space-separated flags like `--tau 0.8` are not text).
       std::string text;
       for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tau") == 0 ||
+            std::strcmp(argv[i], "--k") == 0) {
+          ++i;
+          continue;
+        }
         if (std::strncmp(argv[i], "--", 2) != 0) {
           if (!text.empty()) text += ' ';
           text += argv[i];
         }
       }
       if (text.empty()) return Usage();
-      return RunQuery(*sel, text, tau, kind, k);
+      return RunQuery(*sel, text, tau, kind, k, explain);
     }
     // repl
     std::printf("tau=%.2f algo=%s%s — one query per line, ctrl-d to exit\n",

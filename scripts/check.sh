@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Developer gate: builds the tree with warnings-as-errors and
+# AddressSanitizer, then runs the full test suite. Usage:
+#
+#   scripts/check.sh              # ASan build + ctest in build-asan/
+#   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # ThreadSanitizer instead
+#
+# Keep this green before sending changes; it is the same configuration the
+# sanitizer options in CMakeLists.txt expose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${SIMSEL_CHECK_TSAN:-0}" == "1" ]]; then
+  build_dir=build-tsan
+  san_flag=-DSIMSEL_ENABLE_TSAN=ON
+else
+  build_dir=build-asan
+  san_flag=-DSIMSEL_ENABLE_ASAN=ON
+fi
+
+cmake -B "$build_dir" -S . -DSIMSEL_WERROR=ON "$san_flag" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+echo "check.sh: all tests passed ($build_dir)"

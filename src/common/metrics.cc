@@ -32,7 +32,8 @@ std::string AccessCounters::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "read=%llu skipped=%llu total=%llu seq_pages=%llu "
                 "rand_pages=%llu probes=%llu cand_ins=%llu cand_prune=%llu "
-                "cand_scan=%llu rows=%llu results=%llu pruning=%.3f",
+                "cand_scan=%llu rows=%llu pool_hits=%llu pool_misses=%llu "
+                "results=%llu pruning=%.3f",
                 (unsigned long long)elements_read,
                 (unsigned long long)elements_skipped,
                 (unsigned long long)elements_total,
@@ -42,7 +43,9 @@ std::string AccessCounters::ToString() const {
                 (unsigned long long)candidate_inserts,
                 (unsigned long long)candidate_prunes,
                 (unsigned long long)candidate_scan_steps,
-                (unsigned long long)rows_scanned, (unsigned long long)results,
+                (unsigned long long)rows_scanned,
+                (unsigned long long)pool_hits,
+                (unsigned long long)pool_misses, (unsigned long long)results,
                 PruningPower());
   return buf;
 }

@@ -4,8 +4,31 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics_registry.h"
 
 namespace simsel {
+
+namespace {
+
+// Process-wide pool metrics shared by every ThreadPool instance.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_usec;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return PoolMetrics{reg.GetCounter("simsel_thread_pool_tasks_total"),
+                       reg.GetGauge("simsel_thread_pool_queue_depth"),
+                       reg.GetHistogram("simsel_thread_pool_task_usec")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -32,6 +55,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     SIMSEL_CHECK_MSG(!shutdown_, "Submit after shutdown");
     queue_.push_back(std::move(task));
   }
+  GetPoolMetrics().queue_depth->Add(1);
   task_ready_.notify_one();
 }
 
@@ -54,7 +78,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    const PoolMetrics& metrics = GetPoolMetrics();
+    metrics.queue_depth->Add(-1);
+    WallTimer task_timer;
     task();
+    metrics.tasks->Increment();
+    metrics.task_usec->Observe(
+        static_cast<uint64_t>(task_timer.ElapsedMicros()));
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -4,6 +4,10 @@
 
 namespace simsel {
 
+// Observability: Hybrid shares the NRA-family engine, so its trace spans
+// (bounds/open_lists/rounds) and registry flushes are recorded there; the
+// root span carries the "Hybrid" name from the selector dispatch, and
+// hybrid-specific early list abandons show up as elements_skipped.
 QueryResult HybridSelect(const InvertedIndex& index, const IdfMeasure& measure,
                          const PreparedQuery& q, double tau,
                          const SelectOptions& options) {

@@ -7,6 +7,7 @@
 #include "common/bitset.h"
 #include "core/internal.h"
 #include "index/list_cursor.h"
+#include "obs/trace.h"
 
 namespace simsel {
 
@@ -45,24 +46,32 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
   const double prune_at = PruneThreshold(tau);
-  const LengthWindow window =
-      ComputeLengthWindow(q, tau, options.length_bounding);
-  const double total_weight = TotalWeight(q);
-  const double lambda1 =
-      prune_at > 0.0 ? total_weight / (prune_at * q.length)
-                     : std::numeric_limits<double>::infinity();
+  LengthWindow window;
+  double total_weight = 0.0;
+  double lambda1 = std::numeric_limits<double>::infinity();
+  {
+    obs::TraceScope bounds_span(options.trace, "bounds");
+    bounds_span.SetItems(n);
+    window = ComputeLengthWindow(q, tau, options.length_bounding);
+    total_weight = TotalWeight(q);
+    if (prune_at > 0.0) lambda1 = total_weight / (prune_at * q.length);
+  }
 
   std::vector<ListCursor> cursors;
   std::vector<char> done(n, 0);
   cursors.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    cursors.emplace_back(index, q.tokens[i], options.use_skip_index,
-                         &counters, options.buffer_pool,
-                      options.posting_store);
-    if (options.length_bounding) {
-      cursors.back().SeekLengthGE(window.lo);
-    } else {
-      cursors.back().Next();
+  {
+    obs::TraceScope open_span(options.trace, "open_lists");
+    open_span.SetItems(n);
+    for (size_t i = 0; i < n; ++i) {
+      cursors.emplace_back(index, q.tokens[i], options.use_skip_index,
+                           &counters, options.buffer_pool,
+                           options.posting_store);
+      if (options.length_bounding) {
+        cursors.back().SeekLengthGE(window.lo);
+      } else {
+        cursors.back().Next();
+      }
     }
   }
 
@@ -109,7 +118,10 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
   };
   recompute_f();
 
+  obs::TraceScope rounds_span(options.trace, "rounds");
+  uint64_t rounds = 0;
   for (;;) {
+    ++rounds;
     bool all_done = true;
     for (size_t i = 0; i < n; ++i) {
       if (check_done(i)) continue;
@@ -209,6 +221,7 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
     if (all_done && cands.empty()) break;
     if (!all_done && f < prune_at && cands.empty()) break;
   }
+  rounds_span.SetItems(rounds);
 
   for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
   counters.results = result.matches.size();

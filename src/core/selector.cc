@@ -1,6 +1,9 @@
 #include "core/selector.h"
 
+#include <array>
+
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/hybrid.h"
 #include "core/inra.h"
 #include "core/linear_scan.h"
@@ -11,8 +14,77 @@
 #include "core/sql_baseline.h"
 #include "core/ta.h"
 #include "core/topk.h"
+#include "obs/log.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace simsel {
+
+namespace {
+
+// Registry handles resolved once per process; after that the per-query cost
+// is a dozen relaxed atomic adds.
+struct PerAlgoMetrics {
+  obs::Counter* queries;
+  obs::Histogram* latency_usec;
+};
+
+const PerAlgoMetrics& AlgoMetrics(AlgorithmKind kind) {
+  static const auto* table = [] {
+    constexpr size_t kKinds =
+        static_cast<size_t>(AlgorithmKind::kPrefixFilter) + 1;
+    auto* t = new std::array<PerAlgoMetrics, kKinds>();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    for (size_t i = 0; i < kKinds; ++i) {
+      std::string label = obs::LabelPair(
+          "algo", AlgorithmKindName(static_cast<AlgorithmKind>(i)));
+      (*t)[i].queries = reg.GetCounter("simsel_queries_total", label);
+      (*t)[i].latency_usec =
+          reg.GetHistogram("simsel_query_latency_usec", label);
+    }
+    return t;
+  }();
+  return (*table)[static_cast<size_t>(kind)];
+}
+
+// Per-query access accounting pooled into the process-wide registry. The
+// posting read/skip totals are flushed by ListCursor itself (they also
+// accrue outside full queries); everything here is query-scoped.
+void FlushQueryCounters(const AccessCounters& c) {
+  struct Handles {
+    obs::Counter* seq_pages;
+    obs::Counter* rand_pages;
+    obs::Counter* hash_probes;
+    obs::Counter* cand_inserts;
+    obs::Counter* cand_prunes;
+    obs::Counter* cand_scan_steps;
+    obs::Counter* rows_scanned;
+    obs::Counter* results;
+  };
+  static const Handles h = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return Handles{reg.GetCounter("simsel_page_reads_seq_total"),
+                   reg.GetCounter("simsel_page_reads_rand_total"),
+                   reg.GetCounter("simsel_hash_probes_total"),
+                   reg.GetCounter("simsel_candidates_inserted_total"),
+                   reg.GetCounter("simsel_candidates_pruned_total"),
+                   reg.GetCounter("simsel_candidate_scan_steps_total"),
+                   reg.GetCounter("simsel_rows_scanned_total"),
+                   reg.GetCounter("simsel_results_total")};
+  }();
+  if (c.seq_page_reads) h.seq_pages->Increment(c.seq_page_reads);
+  if (c.rand_page_reads) h.rand_pages->Increment(c.rand_page_reads);
+  if (c.hash_probes) h.hash_probes->Increment(c.hash_probes);
+  if (c.candidate_inserts) h.cand_inserts->Increment(c.candidate_inserts);
+  if (c.candidate_prunes) h.cand_prunes->Increment(c.candidate_prunes);
+  if (c.candidate_scan_steps) {
+    h.cand_scan_steps->Increment(c.candidate_scan_steps);
+  }
+  if (c.rows_scanned) h.rows_scanned->Increment(c.rows_scanned);
+  if (c.results) h.results->Increment(c.results);
+}
+
+}  // namespace
 
 SimilaritySelector SimilaritySelector::Build(
     const std::vector<std::string>& records, const BuildOptions& options) {
@@ -50,9 +122,16 @@ Result<SimilaritySelector> SimilaritySelector::BuildWithSavedIndex(
   }
   if (sel.index_->total_postings() != expected ||
       sel.index_->num_tokens() != sel.collection_->dictionary().size()) {
+    SIMSEL_LOG(kWarn) << "index at " << index_path
+                      << " does not match the supplied records ("
+                      << sel.index_->total_postings() << " postings, expected "
+                      << expected << ")";
     return Status::Corruption(
         "index at " + index_path + " does not match the supplied records");
   }
+  SIMSEL_LOG(kInfo) << "loaded index from " << index_path << " ("
+                    << sel.index_->num_tokens() << " lists, "
+                    << sel.index_->total_postings() << " postings)";
   if (options.build_sql_baseline) {
     GramTable::Tree::Options tree_options;
     tree_options.page_bytes = options.btree_page_bytes;
@@ -69,6 +148,20 @@ PreparedQuery SimilaritySelector::Prepare(std::string_view query) const {
 QueryResult SimilaritySelector::SelectPrepared(
     const PreparedQuery& q, double tau, AlgorithmKind kind,
     const SelectOptions& options) const {
+  WallTimer timer;
+  QueryResult result = Dispatch(q, tau, kind, options);
+  result.trace = options.trace;
+  const PerAlgoMetrics& m = AlgoMetrics(kind);
+  m.queries->Increment();
+  m.latency_usec->Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
+  FlushQueryCounters(result.counters);
+  return result;
+}
+
+QueryResult SimilaritySelector::Dispatch(const PreparedQuery& q, double tau,
+                                         AlgorithmKind kind,
+                                         const SelectOptions& options) const {
+  obs::TraceScope span(options.trace, AlgorithmKindName(kind));
   switch (kind) {
     case AlgorithmKind::kLinearScan:
       return LinearScanSelect(*measure_, *collection_, q, tau);
@@ -103,12 +196,23 @@ QueryResult SimilaritySelector::SelectPrepared(
 QueryResult SimilaritySelector::Select(std::string_view query, double tau,
                                        AlgorithmKind kind,
                                        const SelectOptions& options) const {
-  return SelectPrepared(Prepare(query), tau, kind, options);
+  obs::TraceScope root(options.trace, "query");
+  PreparedQuery q;
+  {
+    obs::TraceScope span(options.trace, "tokenize");
+    q = Prepare(query);
+    span.SetItems(q.tokens.size());
+  }
+  return SelectPrepared(q, tau, kind, options);
 }
 
 QueryResult SimilaritySelector::SelectTopK(std::string_view query, size_t k,
                                            const SelectOptions& options) const {
-  return TopKSelect(*index_, *measure_, Prepare(query), k, options);
+  QueryResult result = TopKSelect(*index_, *measure_, Prepare(query), k,
+                                  options);
+  result.trace = options.trace;
+  FlushQueryCounters(result.counters);
+  return result;
 }
 
 IndexSizeReport SimilaritySelector::Sizes() const {

@@ -95,6 +95,10 @@ class SimilaritySelector {
  private:
   SimilaritySelector() = default;
 
+  /// The algorithm switch, wrapped by SelectPrepared's timing/metrics.
+  QueryResult Dispatch(const PreparedQuery& q, double tau, AlgorithmKind kind,
+                       const SelectOptions& options) const;
+
   Tokenizer tokenizer_;
   std::unique_ptr<Collection> collection_;
   std::unique_ptr<IdfMeasure> measure_;

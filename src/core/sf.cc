@@ -7,6 +7,7 @@
 #include "common/bitset.h"
 #include "core/internal.h"
 #include "index/list_cursor.h"
+#include "obs/trace.h"
 
 namespace simsel {
 
@@ -42,18 +43,22 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
   const double prune_at = PruneThreshold(tau);
-  const LengthWindow window =
-      ComputeLengthWindow(q, tau, options.length_bounding);
-
-  // Decreasing idf order == decreasing weight order (weights are idf²).
+  LengthWindow window;
   std::vector<size_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-    return q.weights[a] > q.weights[b];
-  });
-  // suffix[k] = Σ_{j >= k} weights[perm[j]].
   std::vector<double> suffix(n + 1, 0.0);
-  for (size_t k = n; k-- > 0;) suffix[k] = suffix[k + 1] + q.weights[perm[k]];
+  {
+    obs::TraceScope bounds_span(options.trace, "bounds");
+    window = ComputeLengthWindow(q, tau, options.length_bounding);
+    // Decreasing idf order == decreasing weight order (weights are idf²).
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      return q.weights[a] > q.weights[b];
+    });
+    // suffix[k] = Σ_{j >= k} weights[perm[j]].
+    for (size_t k = n; k-- > 0;) {
+      suffix[k] = suffix[k + 1] + q.weights[perm[k]];
+    }
+  }
 
   std::vector<Candidate> cands;  // sorted by (len, id)
   std::vector<Candidate> next;
@@ -63,12 +68,15 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
            prune_at;
   };
 
-  for (size_t k = 0; k < n; ++k) {
-    const size_t list = perm[k];
-    ListCursor cursor(index, q.tokens[list], options.use_skip_index,
-                      &counters, options.buffer_pool,
-                      options.posting_store);
-    {
+  {
+    obs::TraceScope rounds_span(options.trace, "rounds");
+    rounds_span.SetItems(n);
+    for (size_t k = 0; k < n; ++k) {
+      obs::TraceScope list_span(options.trace, "list");
+      const size_t list = perm[k];
+      ListCursor cursor(index, q.tokens[list], options.use_skip_index,
+                        &counters, options.buffer_pool,
+                        options.posting_store);
       // λ_k: the deepest length at which a set first seen here could still
       // reach τ, assuming it appears in this and every later list
       // (Equation 2). Unbounded when τ = 0: everything matches. Uses the
@@ -132,10 +140,13 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
         }
       }
       cands.swap(next);
+      cursor.MarkComplete();
+      list_span.SetItems(cands.size());
     }
-    cursor.MarkComplete();
   }
 
+  obs::TraceScope verify_span(options.trace, "verify");
+  verify_span.SetItems(cands.size());
   for (const Candidate& c : cands) {
     double score = measure.ScoreFromBits(q, c.present, c.len);
     if (score >= tau) result.matches.push_back(Match{c.id, score});

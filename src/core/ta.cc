@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "core/internal.h"
 #include "index/list_cursor.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 
 namespace simsel {
@@ -26,20 +27,30 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
   const bool use_lb = improved && options.length_bounding;
   const bool use_skip = improved && options.use_skip_index;
   const bool use_mb = improved && options.magnitude_bound;
-  const LengthWindow window = ComputeLengthWindow(q, tau, use_lb);
+  LengthWindow window;
   const double prune_at = PruneThreshold(tau);
-  const double total_weight = TotalWeight(q);
+  double total_weight = 0.0;
+  {
+    obs::TraceScope bounds_span(options.trace, "bounds");
+    bounds_span.SetItems(n);
+    window = ComputeLengthWindow(q, tau, use_lb);
+    total_weight = TotalWeight(q);
+  }
 
   std::vector<ListCursor> cursors;
   cursors.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    cursors.emplace_back(index, q.tokens[i], use_skip, &counters,
-                         options.buffer_pool,
-                      options.posting_store);
-    if (use_lb) {
-      cursors.back().SeekLengthGE(window.lo);
-    } else {
-      cursors.back().Next();
+  {
+    obs::TraceScope open_span(options.trace, "open_lists");
+    open_span.SetItems(n);
+    for (size_t i = 0; i < n; ++i) {
+      cursors.emplace_back(index, q.tokens[i], use_skip, &counters,
+                           options.buffer_pool,
+                           options.posting_store);
+      if (use_lb) {
+        cursors.back().SeekLengthGE(window.lo);
+      } else {
+        cursors.back().Next();
+      }
     }
   }
 
@@ -56,7 +67,10 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
     return false;
   };
 
+  obs::TraceScope rounds_span(options.trace, "rounds");
+  uint64_t rounds = 0;
   for (;;) {
+    ++rounds;
     bool all_done = true;
     for (size_t i = 0; i < n; ++i) {
       if (list_done(i)) continue;
@@ -104,6 +118,7 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
     }
     if (f < prune_at) break;
   }
+  rounds_span.SetItems(rounds);
 
   for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
   counters.results = result.matches.size();

@@ -10,6 +10,10 @@
 
 namespace simsel {
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 class BufferPool;
 class PostingStore;
 
@@ -24,6 +28,9 @@ struct Match {
 struct QueryResult {
   std::vector<Match> matches;
   AccessCounters counters;
+  /// The per-phase trace this query was run with (== SelectOptions::trace),
+  /// filled by the time the result is returned; null when tracing was off.
+  const obs::QueryTrace* trace = nullptr;
 };
 
 /// Feature toggles of the selection algorithms. Defaults enable everything
@@ -57,6 +64,11 @@ struct SelectOptions {
   /// accounting) instead of the in-memory arrays (see
   /// storage/posting_store.h). Must have been built from the same index.
   const PostingStore* posting_store = nullptr;
+  /// Optional per-phase trace: when set, the selector and algorithms record
+  /// timed spans (tokenize, planning, list rounds, verification) into it
+  /// (see obs/trace.h). Owned by the caller, one trace per query; null (the
+  /// default) costs a single pointer test per phase.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// The algorithms of the paper's evaluation (Section VIII).

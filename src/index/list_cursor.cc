@@ -1,8 +1,31 @@
 #include "index/list_cursor.h"
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace simsel {
+
+namespace {
+
+// Process-wide cursor counters, resolved once. Per-posting accounting stays
+// in plain per-cursor ints; only the flush at end-of-scan touches these.
+struct CursorMetrics {
+  obs::Counter* lists_opened;
+  obs::Counter* postings_read;
+  obs::Counter* postings_skipped;
+};
+
+const CursorMetrics& GetCursorMetrics() {
+  static const CursorMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return CursorMetrics{reg.GetCounter("simsel_lists_opened_total"),
+                         reg.GetCounter("simsel_postings_read_total"),
+                         reg.GetCounter("simsel_postings_skipped_total")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
                        bool use_skip, AccessCounters* counters,
@@ -17,6 +40,7 @@ ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
       token_(token),
       entries_per_page_(index.entries_per_page()),
       page_bytes_(index.options().page_bytes) {
+  GetCursorMetrics().lists_opened->Increment();
   if (counters_ != nullptr) counters_->elements_total += size_;
   if (store_ != nullptr) {
     SIMSEL_DCHECK(store_->ListSize(token) == size_);
@@ -52,7 +76,16 @@ void ListCursor::TouchPool(int64_t page) {
   }
 }
 
+void ListCursor::FlushMetrics() {
+  if (metrics_flushed_) return;
+  metrics_flushed_ = true;
+  const CursorMetrics& m = GetCursorMetrics();
+  if (local_reads_ > 0) m.postings_read->Increment(local_reads_);
+  if (local_skipped_ > 0) m.postings_skipped->Increment(local_skipped_);
+}
+
 void ListCursor::ChargeRead() {
+  ++local_reads_;
   if (counters_ == nullptr && pool_ == nullptr) return;
   if (counters_ != nullptr) ++counters_->elements_read;
   int64_t page = pos_ / static_cast<int64_t>(entries_per_page_);
@@ -80,6 +113,7 @@ void ListCursor::SeekLengthGE(float target) {
     uint64_t nodes = 0;
     size_t dest = skip_->SeekFirstGE(target, &nodes);
     if (dest < start) dest = start;  // forward only
+    local_skipped_ += dest - start;
     if (counters_ != nullptr) {
       counters_->elements_skipped += dest - start;
       // Skip nodes are 8 bytes; charge the pages the descent touched, at
@@ -94,6 +128,7 @@ void ListCursor::SeekLengthGE(float target) {
       EnsureBlock(/*random=*/true);
       last_page_ = pos_ / static_cast<int64_t>(entries_per_page_);
       TouchPool(last_page_);
+      ++local_reads_;
       if (counters_ != nullptr) {
         ++counters_->elements_read;
         ++counters_->rand_page_reads;
@@ -113,13 +148,17 @@ void ListCursor::SeekLengthGE(float target) {
 void ListCursor::MarkComplete() {
   if (completed_) return;
   completed_ = true;
-  if (counters_ != nullptr && !AtEnd()) {
+  if (!AtEnd()) {
     size_t next_unread = static_cast<size_t>(pos_ + 1);
     if (next_unread < size_) {
-      counters_->elements_skipped += size_ - next_unread;
+      local_skipped_ += size_ - next_unread;
+      if (counters_ != nullptr) {
+        counters_->elements_skipped += size_ - next_unread;
+      }
     }
   }
   pos_ = static_cast<int64_t>(size_);
+  FlushMetrics();
 }
 
 }  // namespace simsel

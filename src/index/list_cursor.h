@@ -70,6 +70,10 @@ class ListCursor {
  private:
   void ChargeRead();
   void TouchPool(int64_t page);
+  /// Mirrors the per-cursor read/skip tallies into the process-wide metrics
+  /// registry (simsel_postings_read_total / simsel_postings_skipped_total),
+  /// once per cursor, when the scan completes via MarkComplete.
+  void FlushMetrics();
   /// Disk mode: ensures the block holding `pos_` is buffered. `random`
   /// marks the fetch as a seek landing rather than a sequential refill.
   void EnsureBlock(bool random);
@@ -87,6 +91,11 @@ class ListCursor {
   int64_t pos_ = -1;
   int64_t last_page_ = -1;
   bool completed_ = false;
+  bool metrics_flushed_ = false;
+  // Per-cursor tallies mirrored into the metrics registry by MarkComplete
+  // (plain ints on the hot path; one atomic add per list at flush time).
+  uint64_t local_reads_ = 0;
+  uint64_t local_skipped_ = 0;
   // Disk-mode block buffer (one modeled page of postings).
   std::vector<uint32_t> blk_ids_;
   std::vector<float> blk_lens_;

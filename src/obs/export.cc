@@ -1,0 +1,246 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/log.h"
+
+namespace simsel::obs {
+
+namespace {
+
+// `name` or `name{labels}`.
+std::string Series(const MetricsSnapshot::Key& key) {
+  if (key.labels.empty()) return key.name;
+  return key.name + "{" + key.labels + "}";
+}
+
+// `name{labels,extra}` — merges histogram-internal labels such as le=.
+std::string SeriesWith(const MetricsSnapshot::Key& key,
+                       const std::string& extra) {
+  std::string labels = key.labels;
+  if (!labels.empty()) labels += ",";
+  labels += extra;
+  return key.name + "{" + labels + "}";
+}
+
+void TypeLine(std::string* out, const std::string& name, const char* type,
+              std::string* last_family) {
+  if (name == *last_family) return;
+  *last_family = name;
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void Sample(std::string* out, const std::string& series, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(value));
+  out->append(series);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string family;
+  for (const auto& [key, value] : snapshot.counters) {
+    TypeLine(&out, key.name, "counter", &family);
+    Sample(&out, Series(key), value);
+  }
+  for (const auto& [key, value] : snapshot.gauges) {
+    TypeLine(&out, key.name, "gauge", &family);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(value));
+    out.append(Series(key));
+    out.append(buf);
+  }
+  for (const auto& [key, hist] : snapshot.histograms) {
+    TypeLine(&out, key.name, "histogram", &family);
+    MetricsSnapshot::Key bucket_key = key;
+    bucket_key.name = key.name + "_bucket";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cum += hist.buckets[i];
+      char le[40];
+      std::snprintf(le, sizeof(le), "le=\"%llu\"",
+                    static_cast<unsigned long long>(
+                        Histogram::BucketUpperBound(static_cast<int>(i))));
+      Sample(&out, SeriesWith(bucket_key, le), cum);
+    }
+    Sample(&out, SeriesWith(bucket_key, "le=\"+Inf\""), hist.count);
+    Sample(&out, Series({key.name + "_sum", key.labels}), hist.sum);
+    Sample(&out, Series({key.name + "_count", key.labels}), hist.count);
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [key, value] : snapshot.counters) {
+    w.Key(Series(key));
+    w.Uint(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [key, value] : snapshot.gauges) {
+    w.Key(Series(key));
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [key, hist] : snapshot.histograms) {
+    w.Key(Series(key));
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(hist.count);
+    w.Key("sum");
+    w.Uint(hist.sum);
+    w.Key("mean");
+    w.Double(hist.Mean());
+    w.Key("max");
+    w.Uint(hist.max);
+    w.Key("p50");
+    w.Uint(hist.Quantile(0.50));
+    w.Key("p90");
+    w.Uint(hist.Quantile(0.90));
+    w.Key("p99");
+    w.Uint(hist.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_.push_back(',');
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Open(char c) {
+  Comma();
+  out_.push_back(c);
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::Close(char c) {
+  need_comma_.pop_back();
+  out_.push_back(c);
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Comma();
+  out_.push_back('"');
+  out_.append(Escape(key));
+  out_.append("\":");
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Comma();
+  out_.push_back('"');
+  out_.append(Escape(value));
+  out_.push_back('"');
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Double(double value) {
+  Comma();
+  if (!std::isfinite(value)) {
+    out_.append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_.append(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  Comma();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  Comma();
+  out_.append(json);
+}
+
+bool WriteTextFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SIMSEL_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool closed = std::fclose(f) == 0;
+  bool ok = written == content.size() && closed;
+  if (!ok) SIMSEL_LOG(kError) << "short write to " << path;
+  return ok;
+}
+
+}  // namespace simsel::obs

@@ -1,0 +1,70 @@
+#ifndef SIMSEL_OBS_EXPORT_H_
+#define SIMSEL_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace simsel::obs {
+
+/// \file
+/// Machine-readable views of a MetricsSnapshot: the Prometheus text
+/// exposition format (for `simsel_cli --stats` and future scrape
+/// endpoints) and a compact JSON document (for the BENCH_*.json perf
+/// artifacts). Both render deterministically — same snapshot, same bytes —
+/// so diffs between runs are meaningful.
+
+/// Prometheus text exposition (version 0.0.4). Histograms emit cumulative
+/// `_bucket{le="..."}` series at every boundary where the distribution
+/// changes, plus `le="+Inf"`, `_sum` and `_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON object with "counters", "gauges" and "histograms" maps keyed by
+/// `name{labels}`. Histograms carry count/sum/mean/max and p50/p90/p99.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Minimal streaming JSON writer used by the exporters and the bench
+/// harness. Handles nesting commas and string escaping; the caller is
+/// responsible for balanced Begin/End calls.
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  /// Starts `"key":` inside an object; follow with a value or Begin call.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  /// Appends pre-serialized JSON verbatim as one value (e.g. embedding a
+  /// ToJson() document inside a larger report).
+  void Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void Open(char c);
+  void Close(char c);
+  void Comma();
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+/// Writes `content` to `path` atomically enough for bench artifacts
+/// (truncate + write). Returns false and logs on failure.
+bool WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace simsel::obs
+
+#endif  // SIMSEL_OBS_EXPORT_H_

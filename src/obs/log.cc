@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace simsel::obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace {
+
+class StderrSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::string line = FormatLogRecord(record);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+StderrSink* DefaultSink() {
+  static StderrSink* sink = new StderrSink();
+  return sink;
+}
+
+std::atomic<LogSink*> g_sink{nullptr};
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSink* SetLogSink(LogSink* sink) {
+  LogSink* prev = g_sink.exchange(sink, std::memory_order_acq_rel);
+  return prev;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  std::time_t secs = std::chrono::system_clock::to_time_t(record.time);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                record.time.time_since_epoch())
+                .count() %
+            1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char head[96];
+  std::snprintf(head, sizeof(head), "%c%02d%02d %02d:%02d:%02d.%03d %s:%d] ",
+                LogLevelName(record.level)[0], tm_buf.tm_mon + 1,
+                tm_buf.tm_mday, tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(ms), record.file, record.line);
+  return std::string(head) + record.message;
+}
+
+namespace log_internal {
+
+LogMessage::~LogMessage() {
+  LogRecord record;
+  record.level = level_;
+  record.file = Basename(file_);
+  record.line = line_;
+  record.time = std::chrono::system_clock::now();
+  record.message = stream_.str();
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = DefaultSink();
+  sink->Write(record);
+}
+
+}  // namespace log_internal
+
+}  // namespace simsel::obs

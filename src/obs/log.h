@@ -1,0 +1,110 @@
+#ifndef SIMSEL_OBS_LOG_H_
+#define SIMSEL_OBS_LOG_H_
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace simsel::obs {
+
+/// \file
+/// Structured leveled logging, layered above the SIMSEL_CHECK invariant
+/// macros of common/logging.h: checks abort on programming bugs, SIMSEL_LOG
+/// reports operational events (index loads, pool sizing, slow phases) to a
+/// pluggable sink. Usage:
+///
+///   SIMSEL_LOG(kInfo) << "loaded index with " << n << " lists";
+///
+/// The stream body is only evaluated when the level passes the runtime
+/// threshold (default kWarn, so the library is silent in normal use).
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// One emitted record, handed to the sink fully formed.
+struct LogRecord {
+  LogLevel level;
+  const char* file;  // basename of the emitting source file
+  int line;
+  std::chrono::system_clock::time_point time;
+  std::string message;
+};
+
+/// Receives every record at or above the threshold. Implementations must be
+/// thread-safe: queries log concurrently.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Replaces the process-wide sink; nullptr restores the default stderr
+/// sink. Returns the previous sink (never the default one). The caller
+/// keeps ownership of `sink` and must outlive all logging.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Runtime threshold: records below `level` are dropped before the message
+/// is even formatted.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+inline bool LogEnabled(LogLevel level) { return level >= MinLogLevel(); }
+
+/// Formats a record the way the default sink prints it:
+/// `W0805 14:03:22.120 buffer_pool.cc:17] message`.
+std::string FormatLogRecord(const LogRecord& record);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream expression so SIMSEL_LOG can be a ternary operand.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+}  // namespace simsel::obs
+
+/// Leveled logging with lazy formatting. `level` is one of kDebug, kInfo,
+/// kWarn, kError.
+#define SIMSEL_LOG(level)                                                  \
+  (!::simsel::obs::LogEnabled(::simsel::obs::LogLevel::level))             \
+      ? (void)0                                                            \
+      : ::simsel::obs::log_internal::Voidify() &                           \
+            ::simsel::obs::log_internal::LogMessage(                       \
+                ::simsel::obs::LogLevel::level, __FILE__, __LINE__)        \
+                .stream()
+
+/// Logs only when `cond` holds (same lazy-formatting guarantees).
+#define SIMSEL_LOG_IF(level, cond)                                         \
+  (!((cond) &&                                                             \
+     ::simsel::obs::LogEnabled(::simsel::obs::LogLevel::level)))           \
+      ? (void)0                                                            \
+      : ::simsel::obs::log_internal::Voidify() &                           \
+            ::simsel::obs::log_internal::LogMessage(                       \
+                ::simsel::obs::LogLevel::level, __FILE__, __LINE__)        \
+                .stream()
+
+#endif  // SIMSEL_OBS_LOG_H_

@@ -1,0 +1,169 @@
+#include "obs/metrics_registry.h"
+
+#include <bit>
+
+namespace simsel::obs {
+
+size_t Counter::ThreadShard() {
+  // One shard per thread, assigned round-robin on first use; threads only
+  // collide after kShards of them exist, and even then stay spread out.
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int exp = 63 - std::countl_zero(value);
+  int shift = exp - kSubBits;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int index = (exp - kSubBits + 1) * kSubBuckets + sub;
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  int block = index / kSubBuckets - 1;
+  int sub = index % kSubBuckets;
+  uint64_t lo = static_cast<uint64_t>(kSubBuckets + sub) << block;
+  uint64_t width = uint64_t{1} << block;
+  return lo + width - 1;
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = Count();
+  snap.sum = Sum();
+  snap.max = Max();
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size());
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (target < 1) target = 1;
+  if (target > count) target = count;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= target) {
+      uint64_t bound = Histogram::BucketUpperBound(static_cast<int>(i));
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+std::string MetricKey(std::string_view name, std::string_view labels) {
+  std::string key(name);
+  key.push_back('\x1f');
+  key.append(labels);
+  return key;
+}
+
+MetricsSnapshot::Key SplitKey(const std::string& key) {
+  size_t sep = key.find('\x1f');
+  return {key.substr(0, sep), key.substr(sep + 1)};
+}
+
+}  // namespace
+
+template <typename T>
+T* MetricsRegistry::GetOrCreate(
+    std::map<std::string, std::unique_ptr<T>>* family, std::string_view name,
+    std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = family->try_emplace(MetricKey(name, labels));
+  if (inserted) it->second = std::make_unique<T>();
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  return GetOrCreate(&counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  return GetOrCreate(&gauges_, name, labels);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels) {
+  return GetOrCreate(&histograms_, name, labels);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    snap.counters.emplace_back(SplitKey(key), counter->Value());
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges.emplace_back(SplitKey(key), gauge->Value());
+  }
+  for (const auto& [key, hist] : histograms_) {
+    snap.histograms.emplace_back(SplitKey(key), hist->Snapshot());
+  }
+  return snap;
+}
+
+std::string LabelPair(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace simsel::obs

@@ -1,0 +1,159 @@
+#ifndef SIMSEL_OBS_METRICS_REGISTRY_H_
+#define SIMSEL_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simsel::obs {
+
+/// \file
+/// Process-wide metrics substrate: named counters, gauges and log-bucketed
+/// latency histograms. All mutation paths are lock-free (relaxed atomics;
+/// counters additionally shard their cells across cache lines) so const
+/// queries running concurrently on the thread pool never serialize on a
+/// metric. Registration (GetCounter etc.) takes a mutex but is expected
+/// once per call site — cache the returned pointer, it is stable for the
+/// registry's lifetime.
+
+/// Monotonically increasing event count. Increment is a relaxed add on one
+/// of kShards cache-line-sized cells chosen per thread, so concurrent
+/// writers do not bounce a shared line; Value() sums the shards.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    cells_[ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ThreadShard();
+  Cell cells_[kShards];
+};
+
+/// Instantaneous signed value (queue depth, resident pages).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, mergeable across threads/processes
+/// and the unit the exporters consume. Quantiles are resolved to the upper
+/// bound of the containing bucket (relative error <= 1/kSubBuckets).
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;  // kNumBuckets cells
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  void Merge(const HistogramSnapshot& other);
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  uint64_t Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Log-bucketed histogram of non-negative integer observations (typically
+/// microseconds or item counts). Buckets subdivide each power of two into
+/// kSubBuckets linear steps, exact below kSubBuckets, so p50/p90/p99 carry
+/// at most 12.5% relative error over the whole 2^40 range. Observe is a
+/// handful of relaxed atomic operations; no locks anywhere.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 8 per octave
+  static constexpr int kMaxExponent = 40;
+  static constexpr int kNumBuckets = (kMaxExponent + 1) * kSubBuckets;
+
+  void Observe(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index holding `value` (dense, monotone in value).
+  static int BucketIndex(uint64_t value);
+  /// Largest value mapping to bucket `index` (the Prometheus `le` bound).
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Everything the registry knows at one instant, in deterministic
+/// (name, labels) order. Input to the Prometheus/JSON exporters.
+struct MetricsSnapshot {
+  struct Key {
+    std::string name;
+    std::string labels;  // rendered `k="v",...`, may be empty
+  };
+  std::vector<std::pair<Key, uint64_t>> counters;
+  std::vector<std::pair<Key, int64_t>> gauges;
+  std::vector<std::pair<Key, HistogramSnapshot>> histograms;
+};
+
+/// Named metric directory. Metrics are created on first Get and live as
+/// long as the registry; the same (name, labels) pair always returns the
+/// same pointer. `labels` is a pre-rendered Prometheus label body such as
+/// `algo="SF"` (see LabelPair); one metric name must keep one type.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance every built-in instrumentation site uses.
+  /// Never destroyed, so metrics stay usable during static teardown.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view labels = "");
+  Gauge* GetGauge(std::string_view name, std::string_view labels = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view labels = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>* family,
+                 std::string_view name, std::string_view labels);
+
+  mutable std::mutex mu_;
+  // Keyed by "name\x1f{labels}" so snapshots sort by family then labels.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders one `key="value"` label pair, escaping `\`, `"` and newlines as
+/// the exposition format requires. Join multiple pairs with ','.
+std::string LabelPair(std::string_view key, std::string_view value);
+
+}  // namespace simsel::obs
+
+#endif  // SIMSEL_OBS_METRICS_REGISTRY_H_

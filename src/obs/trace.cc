@@ -1,0 +1,66 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace simsel::obs {
+
+void QueryTrace::Clear() {
+  spans_.clear();
+  starts_.clear();
+  depth_ = 0;
+}
+
+size_t QueryTrace::OpenSpan(const char* name) {
+  Clock::time_point now = Clock::now();
+  if (spans_.empty()) epoch_ = now;
+  TraceSpan span;
+  span.name = name;
+  span.depth = depth_++;
+  span.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+  span.dur_ns = 0;
+  span.items = 0;
+  spans_.push_back(span);
+  starts_.push_back(now);
+  return spans_.size() - 1;
+}
+
+void QueryTrace::CloseSpan(size_t index, uint64_t items) {
+  SIMSEL_DCHECK(index < spans_.size());
+  SIMSEL_DCHECK(depth_ > 0);
+  spans_[index].dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           starts_[index])
+          .count());
+  spans_[index].items = items;
+  --depth_;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  if (spans_.empty()) return out;
+  double root_ns = static_cast<double>(spans_[0].dur_ns);
+  char line[256];
+  for (const TraceSpan& span : spans_) {
+    double pct = root_ns > 0.0 ? 100.0 * span.dur_ns / root_ns : 0.0;
+    int indent = static_cast<int>(span.depth) * 2;
+    int written;
+    if (span.items > 0) {
+      written = std::snprintf(
+          line, sizeof(line), "%*s%-*s %10.1f us  %5.1f%%  items=%llu\n",
+          indent, "", 24 - indent, span.name, span.dur_ns / 1e3, pct,
+          static_cast<unsigned long long>(span.items));
+    } else {
+      written = std::snprintf(line, sizeof(line),
+                              "%*s%-*s %10.1f us  %5.1f%%\n", indent, "",
+                              24 - indent, span.name, span.dur_ns / 1e3, pct);
+    }
+    if (written > 0) out.append(line, static_cast<size_t>(written));
+  }
+  return out;
+}
+
+}  // namespace simsel::obs

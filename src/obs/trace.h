@@ -1,0 +1,103 @@
+#ifndef SIMSEL_OBS_TRACE_H_
+#define SIMSEL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simsel::obs {
+
+/// \file
+/// Per-query phase tracing. A caller that wants a breakdown allocates a
+/// QueryTrace, points SelectOptions::trace at it and reads the spans (or
+/// ToString()) after the query returns; `simsel_cli --explain` is the
+/// canonical consumer. Instrumentation sites use the RAII TraceScope, which
+/// compiles to a null check plus two steady_clock reads when a trace is
+/// attached and to nothing measurable when `trace == nullptr` (the default
+/// for every query). Defining SIMSEL_DISABLE_TRACING (CMake option
+/// SIMSEL_DISABLE_TRACING=ON) compiles the whole mechanism out: spans are
+/// never recorded and TraceScope is an empty object.
+///
+/// Traces are single-threaded by design — one QueryTrace per query, owned
+/// by the issuing thread, matching the engine's one-thread-per-query
+/// execution model. The registry (metrics_registry.h) is the concurrent
+/// aggregate view; the trace is the per-query microscope.
+
+/// One timed phase. Spans form a tree encoded by depth in recording order
+/// (a span's children are the following spans with depth + 1).
+struct TraceSpan {
+  const char* name;   // static string supplied by the instrumentation site
+  uint32_t depth;     // 0 = root
+  uint64_t start_ns;  // offset from the trace's first span
+  uint64_t dur_ns;    // 0 while the span is still open
+  uint64_t items;     // phase-defined payload (postings, candidates, rounds)
+};
+
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+
+  /// Drops all spans so the object can be reused across queries.
+  void Clear();
+
+  /// Opens a span as a child of the innermost open span; returns its index.
+  size_t OpenSpan(const char* name);
+  /// Closes span `index`, recording its duration and payload count.
+  void CloseSpan(size_t index, uint64_t items);
+
+  bool empty() const { return spans_.empty(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Indented tree rendering: one line per span with duration, percentage
+  /// of the root span and the items payload.
+  std::string ToString() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::vector<TraceSpan> spans_;
+  std::vector<Clock::time_point> starts_;  // parallel to spans_, open times
+  uint32_t depth_ = 0;
+  Clock::time_point epoch_{};
+};
+
+#ifndef SIMSEL_DISABLE_TRACING
+
+/// RAII span. Does nothing when constructed with a null trace.
+class TraceScope {
+ public:
+  TraceScope(QueryTrace* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) index_ = trace_->OpenSpan(name);
+  }
+  ~TraceScope() {
+    if (trace_ != nullptr) trace_->CloseSpan(index_, items_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Sets the span's payload count (e.g. candidates touched this phase).
+  void SetItems(uint64_t n) { items_ = n; }
+  void AddItems(uint64_t n) { items_ += n; }
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  QueryTrace* trace_;
+  size_t index_ = 0;
+  uint64_t items_ = 0;
+};
+
+#else  // SIMSEL_DISABLE_TRACING
+
+class TraceScope {
+ public:
+  TraceScope(QueryTrace*, const char*) {}
+  void SetItems(uint64_t) {}
+  void AddItems(uint64_t) {}
+  bool active() const { return false; }
+};
+
+#endif  // SIMSEL_DISABLE_TRACING
+
+}  // namespace simsel::obs
+
+#endif  // SIMSEL_OBS_TRACE_H_

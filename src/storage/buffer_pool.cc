@@ -1,33 +1,45 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace simsel {
 
 BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
   SIMSEL_CHECK_MSG(capacity_ >= 1, "buffer pool needs at least one frame");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  hits_metric_ = reg.GetCounter("simsel_buffer_pool_hits_total");
+  misses_metric_ = reg.GetCounter("simsel_buffer_pool_misses_total");
+  evictions_metric_ = reg.GetCounter("simsel_buffer_pool_evictions_total");
+  resident_metric_ = reg.GetGauge("simsel_buffer_pool_resident_pages");
 }
 
 bool BufferPool::Touch(uint64_t key) {
   auto it = map_.find(key);
   if (it != map_.end()) {
     ++hits_;
+    hits_metric_->Increment();
     lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
   ++misses_;
+  misses_metric_->Increment();
   if (map_.size() >= capacity_) {
     uint64_t victim = lru_.back();
     lru_.pop_back();
     map_.erase(victim);
     ++evictions_;
+    evictions_metric_->Increment();
+    resident_metric_->Add(-1);
   }
   lru_.push_front(key);
   map_[key] = lru_.begin();
+  resident_metric_->Add(1);
   return false;
 }
 
 void BufferPool::Clear(bool reset_stats) {
+  resident_metric_->Add(-static_cast<int64_t>(map_.size()));
   lru_.clear();
   map_.clear();
   if (reset_stats) {

@@ -8,6 +8,11 @@
 
 namespace simsel {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 /// LRU buffer pool simulator.
 ///
 /// The paper's indexes are disk-resident and "caching [is left] up to the
@@ -56,6 +61,11 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  // Process-wide mirrors (simsel_buffer_pool_*), pooled across instances.
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Gauge* resident_metric_;
 };
 
 }  // namespace simsel

@@ -120,6 +120,73 @@ TEST(AccountingProbesTest, OnlyTaFamilyProbes) {
   EXPECT_GT(ta.counters.hash_probes, 0u);
 }
 
+// AccessCounters itself: Merge covers every field, PruningPower tolerates
+// the empty-query case, and ToString renders every field (the buffer-pool
+// tallies included) in the documented key=value order.
+TEST(AccessCountersTest, MergeCoversEveryField) {
+  AccessCounters a;
+  a.elements_read = 1;
+  a.elements_skipped = 2;
+  a.elements_total = 3;
+  a.seq_page_reads = 4;
+  a.rand_page_reads = 5;
+  a.hash_probes = 6;
+  a.candidate_inserts = 7;
+  a.candidate_prunes = 8;
+  a.candidate_scan_steps = 9;
+  a.rows_scanned = 10;
+  a.pool_hits = 11;
+  a.pool_misses = 12;
+  a.results = 13;
+  AccessCounters b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.elements_read, 2u);
+  EXPECT_EQ(b.elements_skipped, 4u);
+  EXPECT_EQ(b.elements_total, 6u);
+  EXPECT_EQ(b.seq_page_reads, 8u);
+  EXPECT_EQ(b.rand_page_reads, 10u);
+  EXPECT_EQ(b.hash_probes, 12u);
+  EXPECT_EQ(b.candidate_inserts, 14u);
+  EXPECT_EQ(b.candidate_prunes, 16u);
+  EXPECT_EQ(b.candidate_scan_steps, 18u);
+  EXPECT_EQ(b.rows_scanned, 20u);
+  EXPECT_EQ(b.pool_hits, 22u);
+  EXPECT_EQ(b.pool_misses, 24u);
+  EXPECT_EQ(b.results, 26u);
+}
+
+TEST(AccessCountersTest, PruningPowerGuardsZeroTotal) {
+  AccessCounters c;
+  EXPECT_EQ(c.PruningPower(), 0.0);
+  c.elements_total = 100;
+  c.elements_read = 25;
+  EXPECT_DOUBLE_EQ(c.PruningPower(), 0.75);
+  // Reads beyond the total (double-charged landings) clamp at zero pruning.
+  c.elements_read = 200;
+  EXPECT_EQ(c.PruningPower(), 0.0);
+}
+
+TEST(AccessCountersTest, ToStringLocksFormat) {
+  AccessCounters c;
+  c.elements_read = 1;
+  c.elements_skipped = 2;
+  c.elements_total = 4;
+  c.seq_page_reads = 5;
+  c.rand_page_reads = 6;
+  c.hash_probes = 7;
+  c.candidate_inserts = 8;
+  c.candidate_prunes = 9;
+  c.candidate_scan_steps = 10;
+  c.rows_scanned = 11;
+  c.pool_hits = 12;
+  c.pool_misses = 13;
+  c.results = 14;
+  EXPECT_EQ(c.ToString(),
+            "read=1 skipped=2 total=4 seq_pages=5 rand_pages=6 probes=7 "
+            "cand_ins=8 cand_prune=9 cand_scan=10 rows=11 pool_hits=12 "
+            "pool_misses=13 results=14 pruning=0.750");
+}
+
 // SQL accounting: rows scanned are bounded by the gram table rows of the
 // query's tokens.
 TEST(AccountingSqlTest, RowsBoundedByLists) {

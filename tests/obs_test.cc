@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace simsel {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::JsonWriter;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::QueryTrace;
+using obs::TraceScope;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(HistogramTest, ExactBelowSubBuckets) {
+  Histogram h;
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) h.Observe(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(Histogram::kSubBuckets));
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(s.buckets[Histogram::BucketIndex(v)], 1u) << v;
+    EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(HistogramTest, BucketIndexMonotoneAndConsistent) {
+  int prev = -1;
+  for (uint64_t v = 0; v < 100000; v = (v < 64 ? v + 1 : v + v / 7)) {
+    int idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << v;
+    EXPECT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx)) << v;
+    prev = idx;
+  }
+  // Each bucket's upper bound maps back into that bucket.
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i) << i;
+  }
+}
+
+TEST(HistogramTest, QuantilesOnUniformDistribution) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1001u / 2);
+  EXPECT_EQ(s.max, 1000u);
+  // Bucketed quantiles over-estimate by at most one sub-bucket (12.5%).
+  EXPECT_GE(s.Quantile(0.50), 500u);
+  EXPECT_LE(s.Quantile(0.50), 563u);
+  EXPECT_GE(s.Quantile(0.90), 900u);
+  EXPECT_LE(s.Quantile(0.90), 1013u);
+  EXPECT_GE(s.Quantile(0.99), 990u);
+  // Quantiles never exceed the observed maximum.
+  EXPECT_LE(s.Quantile(0.99), 1000u);
+  EXPECT_EQ(s.Quantile(1.0), 1000u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  HistogramSnapshot s;
+  EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SnapshotMergeMatchesCombinedObservation) {
+  Histogram a, b, combined;
+  for (uint64_t v = 1; v <= 500; ++v) {
+    a.Observe(v);
+    combined.Observe(v);
+  }
+  for (uint64_t v = 501; v <= 1000; ++v) {
+    b.Observe(v * 3);
+    combined.Observe(v * 3);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  HistogramSnapshot expect = combined.Snapshot();
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum, expect.sum);
+  EXPECT_EQ(merged.max, expect.max);
+  EXPECT_EQ(merged.buckets, expect.buckets);
+  EXPECT_EQ(merged.Quantile(0.9), expect.Quantile(0.9));
+}
+
+// ------------------------------------------------------- counters & gauges
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  ThreadPool pool(8);
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 10000;
+  for (int t = 0; t < kTasks; ++t) {
+    pool.Submit([&c] {
+      for (int i = 0; i < kPerTask; ++i) c.Increment();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kTasks) * kPerTask);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(42);
+  g.Add(-50);
+  EXPECT_EQ(g.Value(), -8);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, SameNameSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total");
+  Counter* b = reg.GetCounter("x_total");
+  Counter* c = reg.GetCounter("x_total", obs::LabelPair("algo", "SF"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(reg.GetGauge("g"), nullptr);
+  EXPECT_NE(reg.GetHistogram("h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b_total")->Increment(2);
+  reg.GetCounter("a_total", obs::LabelPair("algo", "SF"))->Increment(7);
+  reg.GetGauge("depth")->Set(-3);
+  reg.GetHistogram("lat_usec")->Observe(100);
+  MetricsSnapshot s = reg.Snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  // Sorted by name, then labels.
+  EXPECT_EQ(s.counters[0].first.name, "a_total");
+  EXPECT_EQ(s.counters[0].first.labels, "algo=\"SF\"");
+  EXPECT_EQ(s.counters[0].second, 7u);
+  EXPECT_EQ(s.counters[1].first.name, "b_total");
+  EXPECT_EQ(s.counters[1].second, 2u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].second, -3);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count, 1u);
+}
+
+TEST(MetricsRegistryTest, LabelPairEscapes) {
+  EXPECT_EQ(obs::LabelPair("k", "v"), "k=\"v\"");
+  EXPECT_EQ(obs::LabelPair("k", "a\"b\\c\nd"), "k=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(MetricsRegistryTest, GlobalHoldsBuiltInFamilies) {
+  // The library's instrumentation registers its families lazily; poke one
+  // so the global registry is non-empty regardless of test order.
+  MetricsRegistry::Global().GetCounter("obs_test_probe_total")->Increment();
+  MetricsSnapshot s = MetricsRegistry::Global().Snapshot();
+  EXPECT_FALSE(s.counters.empty());
+}
+
+// -------------------------------------------------------------------- trace
+
+#ifndef SIMSEL_DISABLE_TRACING
+TEST(TraceTest, SpanNestingByDepth) {
+  QueryTrace trace;
+  {
+    TraceScope root(&trace, "query");
+    {
+      TraceScope tok(&trace, "tokenize");
+      tok.SetItems(12);
+    }
+    {
+      TraceScope algo(&trace, "SF");
+      TraceScope inner(&trace, "rounds");
+      inner.AddItems(3);
+      inner.AddItems(4);
+    }
+  }
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_STREQ(trace.spans()[0].name, "query");
+  EXPECT_EQ(trace.spans()[0].depth, 0u);
+  EXPECT_STREQ(trace.spans()[1].name, "tokenize");
+  EXPECT_EQ(trace.spans()[1].depth, 1u);
+  EXPECT_EQ(trace.spans()[1].items, 12u);
+  EXPECT_STREQ(trace.spans()[2].name, "SF");
+  EXPECT_EQ(trace.spans()[2].depth, 1u);
+  EXPECT_STREQ(trace.spans()[3].name, "rounds");
+  EXPECT_EQ(trace.spans()[3].depth, 2u);
+  EXPECT_EQ(trace.spans()[3].items, 7u);
+  // Children close before parents; all spans have a recorded duration.
+  for (const obs::TraceSpan& span : trace.spans()) {
+    EXPECT_LE(span.start_ns + span.dur_ns,
+              trace.spans()[0].start_ns + trace.spans()[0].dur_ns + 1);
+  }
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("query"), std::string::npos);
+  EXPECT_NE(rendered.find("  tokenize"), std::string::npos);
+  EXPECT_NE(rendered.find("items=12"), std::string::npos);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+}
+#endif  // SIMSEL_DISABLE_TRACING
+
+TEST(TraceTest, NullTraceIsInert) {
+  TraceScope scope(nullptr, "noop");
+  scope.SetItems(5);
+  EXPECT_FALSE(scope.active());
+}
+
+// ---------------------------------------------------------------- exporters
+
+TEST(ExportTest, PrometheusTextFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("q_total", obs::LabelPair("algo", "SF"))->Increment(5);
+  reg.GetGauge("depth")->Set(2);
+  Histogram* h = reg.GetHistogram("lat");
+  h->Observe(1);
+  h->Observe(1);
+  h->Observe(300);
+  std::string text = obs::ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE q_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("q_total{algo=\"SF\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 302\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+  // Every non-comment line is `series value`.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);  // text ends with a newline
+    std::string line = text.substr(start, end - start);
+    if (line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(ExportTest, JsonIsBalancedAndCarriesQuantiles) {
+  MetricsRegistry reg;
+  reg.GetCounter("c_total")->Increment(9);
+  Histogram* h = reg.GetHistogram("lat");
+  for (uint64_t v = 1; v <= 100; ++v) h->Observe(v);
+  std::string json = obs::ToJson(reg.Snapshot());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"c_total\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(ExportTest, JsonWriterEscapesAndNests) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a\"b");
+  w.BeginArray();
+  w.Uint(1);
+  w.String("x\ny");
+  w.Bool(false);
+  w.Raw("{\"z\":2}");
+  w.EndArray();
+  w.Key("d");
+  w.Double(0.5);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":[1,\"x\\ny\",false,{\"z\":2}],\"d\":0.5}");
+}
+
+// ------------------------------------------------------------------ logging
+
+class CaptureSink : public obs::LogSink {
+ public:
+  void Write(const obs::LogRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<obs::LogRecord> records;
+};
+
+TEST(LogTest, LevelsFilterAndSinkReceives) {
+  CaptureSink sink;
+  obs::LogSink* prev = obs::SetLogSink(&sink);
+  obs::LogLevel prev_level = obs::MinLogLevel();
+  obs::SetMinLogLevel(obs::LogLevel::kInfo);
+
+  int evaluations = 0;
+  auto count_eval = [&evaluations] {
+    ++evaluations;
+    return 7;
+  };
+  SIMSEL_LOG(kDebug) << "dropped " << count_eval();
+  SIMSEL_LOG(kInfo) << "kept " << count_eval();
+  SIMSEL_LOG_IF(kError, false) << "conditional " << count_eval();
+
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].level, obs::LogLevel::kInfo);
+  EXPECT_EQ(sink.records[0].message, "kept 7");
+  EXPECT_EQ(evaluations, 1);  // lazy formatting: dropped levels never run
+
+  std::string line = obs::FormatLogRecord(sink.records[0]);
+  EXPECT_EQ(line[0], 'I');
+  EXPECT_NE(line.find("obs_test.cc:"), std::string::npos);
+  EXPECT_NE(line.find("] kept 7"), std::string::npos);
+
+  obs::SetMinLogLevel(prev_level);
+  obs::SetLogSink(prev);
+}
+
+}  // namespace
+}  // namespace simsel
