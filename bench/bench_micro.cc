@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_util.h"
 #include "btree/bplus_tree.h"
 #include "common/rng.h"
@@ -195,10 +197,16 @@ void BM_QGramTokenize(benchmark::State& state) {
 BENCHMARK(BM_QGramTokenize);
 
 // End-to-end single-query latency per algorithm on a small environment.
+// SIMSEL_BENCH_WORDS overrides the corpus size (the perf-smoke ctest run
+// uses a tiny one so the kernels are exercised in the tier-1 loop).
 struct QueryEnv {
   QueryEnv() {
     BenchEnvOptions opts;
     opts.num_words = 20000;
+    if (const char* words = std::getenv("SIMSEL_BENCH_WORDS")) {
+      int parsed = std::atoi(words);
+      if (parsed > 0) opts.num_words = static_cast<size_t>(parsed);
+    }
     opts.with_sql_baseline = true;
     env = MakeBenchEnv(opts);
     query = env.selector->Prepare(env.words[123]);

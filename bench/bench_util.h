@@ -124,12 +124,35 @@ inline std::vector<WorkloadStats> RunSweep(const SimilaritySelector& selector,
 /// Writes BENCH_<name>.json in the working directory: every table recorded
 /// by PrintTable plus a snapshot of the process-wide metrics registry, so a
 /// bench run leaves a diffable perf artifact next to its stdout report.
+/// A "meta" block (git SHA, compiler, CXX flags — stamped by the build via
+/// SIMSEL_GIT_SHA et al.) makes the artifact attributable across commits.
 /// Returns true on success.
 inline bool WriteBenchReport(const std::string& name) {
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("bench");
   w.String(name);
+  w.Key("meta");
+  w.BeginObject();
+  w.Key("git_sha");
+#ifdef SIMSEL_GIT_SHA
+  w.String(SIMSEL_GIT_SHA);
+#else
+  w.String("unknown");
+#endif
+  w.Key("compiler");
+#ifdef SIMSEL_COMPILER
+  w.String(SIMSEL_COMPILER);
+#else
+  w.String("unknown");
+#endif
+  w.Key("cxx_flags");
+#ifdef SIMSEL_CXX_FLAGS
+  w.String(SIMSEL_CXX_FLAGS);
+#else
+  w.String("unknown");
+#endif
+  w.EndObject();
   w.Key("tables");
   w.BeginArray();
   for (const BenchReport::Table& t : BenchReport::Global().tables()) {

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and fail on wall-clock regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Compares, between the two artifacts:
+
+  * every `simsel_query_latency_usec{...}` histogram in the metrics
+    snapshot (mean latency per algorithm), and
+  * every numeric cell of tables whose column name looks like a wall-clock
+    measure (contains "ms", "us", "sec", "time", "wall" or "latency"),
+    matched by table title + first-column row key.
+
+A comparison REGRESSES when the candidate is more than `--threshold`
+(default 10%) slower than the baseline. Exit status: 0 when nothing
+regressed, 1 on any regression, 2 on usage/format errors. Entries present
+in only one artifact are reported but never fail the run (benches evolve).
+
+Tiny absolute values are noise: rows where the baseline is below
+`--min-usec` (default 1.0) are skipped.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TIME_COLUMN = re.compile(r"(^|[^a-z])(ms|us|usec|msec|sec|s)([^a-z]|$)|time|wall|latency")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def latency_histograms(doc):
+    """name -> mean usec, for the per-algorithm query latency histograms."""
+    out = {}
+    hists = doc.get("metrics", {}).get("histograms", {})
+    for name, h in hists.items():
+        if "latency" not in name:
+            continue
+        if h.get("count", 0) > 0:
+            out[name] = float(h["mean"])
+    return out
+
+
+def table_times(doc):
+    """(title, row_key, column) -> value, for wall-clock-looking columns."""
+    out = {}
+    for table in doc.get("tables", []):
+        title = table.get("title", "")
+        columns = table.get("columns", [])
+        time_cols = [
+            c for c, col in enumerate(columns)
+            if c > 0 and TIME_COLUMN.search(col.lower())
+        ]
+        if not time_cols:
+            continue
+        for row in table.get("rows", []):
+            if not row:
+                continue
+            for c in time_cols:
+                if c >= len(row):
+                    continue
+                try:
+                    value = float(row[c])
+                except ValueError:
+                    continue
+                out[(title, row[0], columns[c])] = value
+    return out
+
+
+def compare(kind, base, cand, threshold, min_value):
+    regressions = []
+    for key in sorted(set(base) | set(cand), key=str):
+        b, c = base.get(key), cand.get(key)
+        if b is None or c is None:
+            side = "baseline" if c is None else "candidate"
+            print(f"  [{kind}] {key}: only in {side}, skipped")
+            continue
+        if b < min_value:
+            continue
+        delta = (c - b) / b
+        marker = " <-- REGRESSION" if delta > threshold else ""
+        print(f"  [{kind}] {key}: {b:.3f} -> {c:.3f} ({delta:+.1%}){marker}")
+        if delta > threshold:
+            regressions.append((kind, key, b, c, delta))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative slowdown that fails the run (default 0.10)")
+    ap.add_argument("--min-usec", type=float, default=1.0,
+                    help="ignore rows with a baseline below this value")
+    args = ap.parse_args()
+
+    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+    for name, doc in (("baseline", base_doc), ("candidate", cand_doc)):
+        meta = doc.get("meta", {})
+        sha = meta.get("git_sha", "unstamped")
+        compiler = meta.get("compiler", "?")
+        print(f"{name}: {doc.get('bench', '?')} @ {sha} ({compiler})")
+
+    regressions = []
+    regressions += compare("latency", latency_histograms(base_doc),
+                           latency_histograms(cand_doc),
+                           args.threshold, args.min_usec)
+    regressions += compare("table", table_times(base_doc),
+                           table_times(cand_doc),
+                           args.threshold, args.min_usec)
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} wall-clock regression(s) beyond "
+              f"{args.threshold:.0%}")
+        return 1
+    print("\nOK: no wall-clock regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

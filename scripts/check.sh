@@ -7,6 +7,15 @@
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
+#
+# Perf changes: guard wall-clock with scripts/bench_compare.py. Run the
+# bench twice — once on the pre-change tree, once on your change — and diff
+# the artifacts (fails on >10% regression):
+#
+#   (cd build/bench && ./bench_micro --benchmark_filter=BM_Query)
+#   mv build/bench/BENCH_micro.json BENCH_micro_baseline.json
+#   # ...apply your change, rebuild, rerun...
+#   scripts/bench_compare.py BENCH_micro_baseline.json build/bench/BENCH_micro.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,6 +1,7 @@
 #ifndef SIMSEL_COMMON_BITSET_H_
 #define SIMSEL_COMMON_BITSET_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,9 @@ class DynamicBitset {
     SIMSEL_DCHECK(i < n_);
     words_[i >> 6] &= ~(1ULL << (i & 63));
   }
+
+  /// Clears every bit without reallocating (cheap reuse in merge loops).
+  void ResetAll() { std::fill(words_.begin(), words_.end(), 0); }
 
   bool Test(size_t i) const {
     SIMSEL_DCHECK(i < n_);

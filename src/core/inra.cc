@@ -1,5 +1,6 @@
 #include "core/inra.h"
 
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <unordered_map>
@@ -57,6 +58,11 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
     if (prune_at > 0.0) lambda1 = total_weight / (prune_at * q.length);
   }
 
+  // Spans never exceed the hi bound, so exhaustion checks and span clipping
+  // share one float threshold (window.hi is +inf when bounding is off).
+  const float hi_bound =
+      options.length_bounding ? window.hi : ListCursor::kNoLengthBound;
+
   std::vector<ListCursor> cursors;
   std::vector<char> done(n, 0);
   cursors.reserve(n);
@@ -68,17 +74,14 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
                            &counters, options.buffer_pool,
                            options.posting_store);
       if (options.length_bounding) {
-        cursors.back().SeekLengthGE(window.lo);
-      } else {
-        cursors.back().Next();
+        cursors.back().SeekSpanStart(window.lo);
       }
     }
   }
 
   auto check_done = [&](size_t i) {
     if (done[i]) return true;
-    if (cursors[i].AtEnd() ||
-        (options.length_bounding && cursors[i].len() > window.hi)) {
+    if (cursors[i].FrontierPast(hi_bound)) {
       cursors[i].MarkComplete();
       done[i] = 1;
       return true;
@@ -107,8 +110,10 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
   };
 
   auto frontier_w = [&](size_t i) {
-    if (done[i] || cursors[i].AtEnd()) return 0.0;
-    return q.weights[i] / (static_cast<double>(cursors[i].len()) * q.length);
+    if (done[i]) return 0.0;
+    const float frontier = cursors[i].FrontierLen();
+    if (std::isinf(frontier)) return 0.0;
+    return q.weights[i] / (static_cast<double>(frontier) * q.length);
   };
 
   double f = 0.0;
@@ -119,6 +124,7 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
   recompute_f();
 
   obs::TraceScope rounds_span(options.trace, "rounds");
+  const size_t bp = index.block_postings();
   uint64_t rounds = 0;
   for (;;) {
     ++rounds;
@@ -126,45 +132,67 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
     for (size_t i = 0; i < n; ++i) {
       if (check_done(i)) continue;
       all_done = false;
-      uint32_t id = cursors[i].id();
-      float len = cursors[i].len();
-      cursors[i].Next();
-      check_done(i);
-      auto it = cands.find(id);
-      if (it == cands.end()) {
-        bool admit = !(options.f_cutoff && f < prune_at);
-        if (admit && options.magnitude_bound) {
-          // Property 2: best case assumes the set appears in every list.
-          double best = total_weight / (static_cast<double>(len) * q.length);
-          if (best < prune_at) {
-            ++counters.candidate_prunes;
-            admit = false;
+      // One block-sized span per list per round (the batched form of the
+      // paper's one-posting round-robin). f is recomputed per round either
+      // way, so admission within the batch uses the same — conservative —
+      // frontier sum the per-posting rounds would have started from.
+      float span_hi = hi_bound;
+      if (hybrid) {
+        // Algorithm 4's stop depth, applied as a span clip so the batched
+        // walk abandons at the same posting the one-at-a-time walk would:
+        // nothing deeper than max(λ₁, max_len(C)) can admit or resolve.
+        const double cap = std::max(lambda1, max_len_c());
+        if (std::isfinite(cap) && cap < static_cast<double>(span_hi)) {
+          float cap_f = static_cast<float>(cap);
+          if (static_cast<double>(cap_f) > cap) {
+            cap_f = std::nextafterf(cap_f,
+                                    -std::numeric_limits<float>::infinity());
+          }
+          span_hi = std::min(span_hi, cap_f);
+        }
+      }
+      PostingSpan span = cursors[i].NextSpan(bp, span_hi);
+      for (size_t s = 0; s < span.count; ++s) {
+        const uint32_t id = span.ids[s];
+        const float len = span.lens[s];
+        auto it = cands.find(id);
+        if (it == cands.end()) {
+          bool admit = !(options.f_cutoff && f < prune_at);
+          if (admit && options.magnitude_bound) {
+            // Property 2: best case assumes the set appears in every list.
+            double best =
+                total_weight / (static_cast<double>(len) * q.length);
+            if (best < prune_at) {
+              ++counters.candidate_prunes;
+              admit = false;
+            }
+          }
+          if (admit) {
+            Candidate cand;
+            cand.present = DynamicBitset(n);
+            cand.absent = DynamicBitset(n);
+            cand.len = len;
+            cand.missing_num = total_weight;
+            it = cands.emplace(id, std::move(cand)).first;
+            ++counters.candidate_inserts;
+            if (hybrid) origin[i].push_back(id);
           }
         }
-        if (admit) {
-          Candidate cand;
-          cand.present = DynamicBitset(n);
-          cand.absent = DynamicBitset(n);
-          cand.len = len;
-          cand.missing_num = total_weight;
-          it = cands.emplace(id, std::move(cand)).first;
-          ++counters.candidate_inserts;
-          if (hybrid) origin[i].push_back(id);
+        if (it != cands.end()) {
+          Candidate& cand = it->second;
+          if (!cand.present.Test(i) && !cand.absent.Test(i)) {
+            cand.present.Set(i);
+            cand.lb_num += q.weights[i];
+            cand.missing_num -= q.weights[i];
+          }
         }
       }
-      if (it != cands.end()) {
-        Candidate& cand = it->second;
-        if (!cand.present.Test(i) && !cand.absent.Test(i)) {
-          cand.present.Set(i);
-          cand.lb_num += q.weights[i];
-          cand.missing_num -= q.weights[i];
-        }
-      }
-      if (hybrid && !done[i] && !cursors[i].AtEnd()) {
+      check_done(i);
+      if (hybrid && !done[i]) {
         // Algorithm 4: abandon the list once its frontier is past every
         // candidate that could need resolution here and past the deepest
         // admissible new candidate (the λ₁ guard).
-        double frontier = cursors[i].len();
+        double frontier = cursors[i].FrontierLen();
         if (frontier > lambda1 && frontier > max_len_c()) {
           cursors[i].MarkComplete();
           done[i] = 1;
@@ -187,7 +215,7 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
           if (cand.present.Test(i) || cand.absent.Test(i)) continue;
           bool is_absent = done[i];
           if (!is_absent && options.order_preservation &&
-              cand.len < cursors[i].len()) {
+              cand.len < cursors[i].FrontierLen()) {
             is_absent = true;  // Property 1: it would have appeared already
           }
           if (is_absent) {

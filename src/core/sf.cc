@@ -1,6 +1,7 @@
 #include "core/sf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -92,17 +93,38 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
                                ? -std::numeric_limits<double>::infinity()
                                : cands.back().len;
       double stop = std::max(pending_max, mu);
+      // Largest float <= stop, so the float-keyed span bound admits exactly
+      // the postings with (double)len <= stop.
+      float stop_f = ListCursor::kNoLengthBound;
+      if (!std::isinf(stop)) {
+        stop_f = static_cast<float>(stop);
+        if (static_cast<double>(stop_f) > stop) {
+          stop_f = std::nextafterf(stop_f,
+                                   -std::numeric_limits<float>::infinity());
+        }
+      }
 
-      cursor.SeekLengthGE(window.lo);
+      cursor.SeekSpanStart(window.lo);
       next.clear();
       size_t ci = 0;
+      // Block-at-a-time merge: postings arrive in contiguous spans (charged
+      // once per span), candidates in the same (len, id) order.
+      const size_t bp = index.block_postings();
+      PostingSpan span;
+      size_t si = 0;
+      bool more = true;
       for (;;) {
-        bool have_p = cursor.positioned() &&
-                      static_cast<double>(cursor.len()) <= stop;
-        bool have_c = ci < cands.size();
+        if (si >= span.count && more) {
+          span = cursor.NextSpan(bp, stop_f);
+          si = 0;
+          more = !span.empty();
+        }
+        const bool have_p = si < span.count;
+        const bool have_c = ci < cands.size();
         if (!have_p && !have_c) break;
-        if (have_c &&
-            (!have_p || CandBefore(cands[ci], cursor.len(), cursor.id()))) {
+        const uint32_t pid = have_p ? span.ids[si] : 0;
+        const float plen = have_p ? span.lens[si] : 0.0f;
+        if (have_c && (!have_p || CandBefore(cands[ci], plen, pid))) {
           // The list moved past this candidate without containing it:
           // absent by Order Preservation; its potential drops.
           ++counters.candidate_scan_steps;
@@ -114,19 +136,19 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
             ++counters.candidate_prunes;
           }
           ++ci;
-        } else if (have_p && have_c && cands[ci].id == cursor.id() &&
-                   cands[ci].len == cursor.len()) {
+        } else if (have_p && have_c && cands[ci].id == pid &&
+                   cands[ci].len == plen) {
           ++counters.candidate_scan_steps;
           Candidate& c = cands[ci];
           c.present.Set(list);
           next.push_back(std::move(c));
           ++ci;
-          cursor.Next();
+          ++si;
         } else {
           // New set, first seen in this list.
           Candidate c;
-          c.id = cursor.id();
-          c.len = cursor.len();
+          c.id = pid;
+          c.len = plen;
           c.present = DynamicBitset(n);
           c.present.Set(list);
           c.potential_num = suffix[k];
@@ -136,7 +158,7 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
           } else {
             ++counters.candidate_prunes;
           }
-          cursor.Next();
+          ++si;
         }
       }
       cands.swap(next);

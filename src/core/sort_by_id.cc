@@ -21,7 +21,6 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
     const float* lens;
     size_t size;
     size_t pos = 0;
-    int64_t last_page = -1;
   };
   std::vector<ListState> lists(n);
   const size_t per_page = index.entries_per_page();
@@ -34,10 +33,12 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
     counters.elements_total += lists[i].size;
     tree.SetInitial(i, lists[i].size > 0 ? lists[i].ids[0] : 0,
                     lists[i].size > 0);
+    // The merge always drains every list, so the accounting is known up
+    // front: every posting is read, one sequential page charge per page.
+    // Hoisting it here keeps the merge loop to key comparisons only.
     if (lists[i].size > 0) {
-      ++counters.elements_read;
-      ++counters.seq_page_reads;
-      lists[i].last_page = 0;
+      counters.elements_read += lists[i].size;
+      counters.seq_page_reads += (lists[i].size + per_page - 1) / per_page;
     }
   }
   tree.Build();
@@ -53,7 +54,7 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
     if (!have_current) return;
     double score = measure.ScoreFromBits(q, bits, current_len);
     if (score >= tau) result.matches.push_back(Match{current, score});
-    bits = DynamicBitset(n);
+    bits.ResetAll();
   };
 
   while (!tree.empty()) {
@@ -66,18 +67,10 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
       have_current = true;
     }
     bits.Set(i);
-    // Advance list i.
+    // Advance list i (its reads were charged up front).
     ListState& ls = lists[i];
     ++ls.pos;
     bool valid = ls.pos < ls.size;
-    if (valid) {
-      ++counters.elements_read;
-      int64_t page = static_cast<int64_t>(ls.pos / per_page);
-      if (page != ls.last_page) {
-        ++counters.seq_page_reads;
-        ls.last_page = page;
-      }
-    }
     tree.Replace(valid ? ls.ids[ls.pos] : 0, valid);
   }
   flush();
@@ -114,7 +107,7 @@ QueryResult SortByIdCompressedSelect(const CompressedIdLists& lists,
     double score =
         measure.ScoreFromBits(q, bits, lists.set_length(current));
     if (score >= tau) result.matches.push_back(Match{current, score});
-    bits = DynamicBitset(n);
+    bits.ResetAll();
   };
 
   while (!tree.empty()) {

@@ -2,14 +2,47 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 #include "storage/codec.h"
 #include "storage/paged_file.h"
 
 namespace simsel {
+
+namespace {
+
+/// Below this many postings the per-token passes run serially: spawning
+/// workers would cost more than the work (the unit-test corpora all land
+/// here, which also keeps their builds deterministic under sanitizers).
+constexpr uint64_t kParallelBuildThreshold = 1u << 18;
+
+std::unique_ptr<ThreadPool> MakeBuildPool(const InvertedIndexOptions& options,
+                                          uint64_t total_postings) {
+  size_t threads = options.build_threads;
+  if (threads == 0) {
+    if (total_postings < kParallelBuildThreshold) return nullptr;
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(threads);
+}
+
+/// Runs fn(t) for every token, on the pool when one was made.
+void ForEachToken(ThreadPool* pool, size_t num_tokens,
+                  const std::function<void(size_t)>& fn) {
+  if (pool != nullptr) {
+    ParallelFor(pool, num_tokens, fn);
+  } else {
+    for (size_t t = 0; t < num_tokens; ++t) fn(t);
+  }
+}
+
+}  // namespace
 
 InvertedIndex InvertedIndex::Build(const Collection& collection,
                                    const IdfMeasure& measure,
@@ -56,13 +89,15 @@ InvertedIndex InvertedIndex::BuildWithLengths(
 
   // Pass 3: by-length lists = per-token stable sort of the by-id lists by
   // (len, id). Ids ascend within equal lengths because the sort is stable
-  // over an id-ascending input.
+  // over an id-ascending input. Tokens are independent, so the pass (and
+  // every derived structure below) parallelizes per token.
   index.len_ids_.resize(total);
   index.len_lens_.resize(total);
-  std::vector<uint32_t> order;
-  for (TokenId t = 0; t < num_tokens; ++t) {
+  std::unique_ptr<ThreadPool> pool = MakeBuildPool(options, total);
+  ForEachToken(pool.get(), num_tokens, [&index](size_t t) {
+    thread_local std::vector<uint32_t> order;
     const uint64_t begin = index.offsets_[t];
-    const size_t n = index.ListSize(t);
+    const size_t n = index.ListSize(static_cast<TokenId>(t));
     order.resize(n);
     std::iota(order.begin(), order.end(), 0);
     const float* lens = index.id_lens_.data() + begin;
@@ -74,7 +109,7 @@ InvertedIndex InvertedIndex::BuildWithLengths(
       index.len_ids_[begin + i] = index.id_ids_[begin + order[i]];
       index.len_lens_[begin + i] = index.id_lens_[begin + order[i]];
     }
-  }
+  });
 
   if (!options.build_id_lists) {
     index.id_ids_.clear();
@@ -89,30 +124,100 @@ InvertedIndex InvertedIndex::BuildWithLengths(
 
 void InvertedIndex::BuildDerived() {
   const size_t num_tokens = offsets_.size() - 1;
+  SIMSEL_CHECK_MSG(options_.block_postings >= 1, "block_postings must be >= 1");
   skips_.clear();
   hashes_.clear();
-  if (options_.build_skip) {
-    skips_.resize(num_tokens);
-    for (TokenId t = 0; t < num_tokens; ++t) {
-      size_t n = ListSize(t);
-      if (n > options_.skip_fanout) {
-        skips_[t] = std::make_unique<SkipIndex>(
-            len_lens_.data() + offsets_[t], n, options_.skip_fanout);
-      }
-    }
+  // Block summaries in CSR layout: ceil(size / block) blocks per token.
+  const size_t bp = options_.block_postings;
+  block_offsets_.assign(num_tokens + 1, 0);
+  for (size_t t = 0; t < num_tokens; ++t) {
+    block_offsets_[t + 1] = block_offsets_[t] + (ListSize(t) + bp - 1) / bp;
   }
-  if (options_.build_hash) {
-    hashes_.resize(num_tokens);
-    for (TokenId t = 0; t < num_tokens; ++t) {
-      size_t n = ListSize(t);
-      if (n == 0) continue;
+  blocks_.resize(block_offsets_[num_tokens]);
+  if (options_.build_skip) skips_.resize(num_tokens);
+  if (options_.build_hash) hashes_.resize(num_tokens);
+
+  std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(options_, total_postings());
+  ForEachToken(pool.get(), num_tokens, [this, bp](size_t t) {
+    const size_t n = ListSize(static_cast<TokenId>(t));
+    const uint32_t* ids = LenIds(static_cast<TokenId>(t));
+    const float* lens = LenLens(static_cast<TokenId>(t));
+    PostingBlockSummary* blocks = blocks_.data() + block_offsets_[t];
+    for (size_t first = 0, b = 0; first < n; first += bp, ++b) {
+      const size_t last = std::min(n, first + bp) - 1;
+      blocks[b] = PostingBlockSummary{lens[first], lens[last], ids[first],
+                                      ids[last]};
+    }
+    if (options_.build_skip && n > options_.skip_fanout) {
+      skips_[t] = std::make_unique<SkipIndex>(lens, n, options_.skip_fanout);
+    }
+    if (options_.build_hash && n > 0) {
       auto hash = std::make_unique<ExtendibleHash>(options_.hash_page_bytes);
-      const uint32_t* ids = LenIds(t);
-      const float* lens = LenLens(t);
       for (size_t i = 0; i < n; ++i) hash->Insert(ids[i], lens[i]);
       hashes_[t] = std::move(hash);
     }
+  });
+}
+
+size_t InvertedIndex::SeekFirstGE(TokenId t, float target,
+                                  uint64_t* probes) const {
+  const size_t n = ListSize(t);
+  if (n == 0) return 0;
+  const PostingBlockSummary* blocks = Blocks(t);
+  // First block whose max_len reaches the target; every earlier block lies
+  // wholly below it. max_len is non-decreasing across blocks.
+  size_t lo = 0, hi = NumBlocks(t);
+  uint64_t visited = 0;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++visited;
+    if (blocks[mid].max_len < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
   }
+  if (probes != nullptr) *probes += std::max<uint64_t>(visited, 1);
+  if (lo == NumBlocks(t)) return n;
+  const float* lens = LenLens(t);
+  const size_t first = lo * options_.block_postings;
+  const size_t last = std::min(n, first + options_.block_postings);
+  return static_cast<size_t>(
+      std::lower_bound(lens + first, lens + last, target) - lens);
+}
+
+size_t InvertedIndex::SeekFirstGT(TokenId t, float target,
+                                  uint64_t* probes) const {
+  const size_t n = ListSize(t);
+  if (n == 0) return 0;
+  const PostingBlockSummary* blocks = Blocks(t);
+  size_t lo = 0, hi = NumBlocks(t);
+  uint64_t visited = 0;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++visited;
+    if (blocks[mid].max_len <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (probes != nullptr) *probes += std::max<uint64_t>(visited, 1);
+  if (lo == NumBlocks(t)) return n;
+  const float* lens = LenLens(t);
+  const size_t first = lo * options_.block_postings;
+  const size_t last = std::min(n, first + options_.block_postings);
+  return static_cast<size_t>(
+      std::upper_bound(lens + first, lens + last, target) - lens);
+}
+
+PostingRange InvertedIndex::WindowSpan(TokenId t, float lo_len, float hi_len,
+                                       uint64_t* probes) const {
+  PostingRange range;
+  range.begin = SeekFirstGE(t, lo_len, probes);
+  range.end = std::max(range.begin, SeekFirstGT(t, hi_len, probes));
+  return range;
 }
 
 size_t InvertedIndex::ListBytesTotal() const {
@@ -177,6 +282,34 @@ bool InvertedIndex::Validate() const {
         }
       }
     }
+    // Block summaries: CSR shape, per-block extrema matching the data.
+    const size_t bp = options_.block_postings;
+    if (NumBlocks(t) != (n + bp - 1) / bp) {
+      std::fprintf(stderr, "InvertedIndex: block count mismatch (token %u)\n",
+                   t);
+      return false;
+    }
+    const PostingBlockSummary* blocks = Blocks(t);
+    for (size_t first = 0, b = 0; first < n; first += bp, ++b) {
+      const size_t last = std::min(n, first + bp) - 1;
+      if (blocks[b].min_len != llens[first] ||
+          blocks[b].max_len != llens[last] ||
+          blocks[b].first_id != lids[first] ||
+          blocks[b].last_id != lids[last]) {
+        std::fprintf(stderr, "InvertedIndex: block summary wrong "
+                             "(token %u block %zu)\n", t, b);
+        return false;
+      }
+    }
+    // The summary seeks must agree with a direct scan for a few probes.
+    for (size_t i = 0; i < n; i += std::max<size_t>(1, n / 8)) {
+      if (SeekFirstGE(t, llens[i]) > i ||
+          llens[SeekFirstGE(t, llens[i])] < llens[i]) {
+        std::fprintf(stderr, "InvertedIndex: block seek wrong (token %u)\n",
+                     t);
+        return false;
+      }
+    }
     const SkipIndex* s = skip(t);
     if (s != nullptr && n > 0) {
       // The skip index must locate the first entry for a handful of probes.
@@ -195,7 +328,9 @@ bool InvertedIndex::Validate() const {
 
 namespace {
 constexpr uint32_t kMagic = 0x53494E56;  // "SINV"
-constexpr uint32_t kVersion = 1;
+// Version 2 added block_postings to the serialized options (the block
+// summaries themselves are derived and rebuilt on Load).
+constexpr uint32_t kVersion = 2;
 }  // namespace
 
 Status InvertedIndex::Save(const std::string& path) const {
@@ -206,6 +341,7 @@ Status InvertedIndex::Save(const std::string& path) const {
   PutFixed64(&buf, options_.page_bytes);
   PutFixed64(&buf, options_.skip_fanout);
   PutFixed64(&buf, options_.hash_page_bytes);
+  PutFixed64(&buf, options_.block_postings);
   buf.push_back(options_.build_id_lists ? 1 : 0);
   buf.push_back(options_.build_skip ? 1 : 0);
   buf.push_back(options_.build_hash ? 1 : 0);
@@ -235,14 +371,17 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
     return Status::Corruption("unsupported index version in: " + path);
   }
   InvertedIndex index;
-  uint64_t page_bytes, skip_fanout, hash_page_bytes;
+  uint64_t page_bytes, skip_fanout, hash_page_bytes, block_postings;
   if (!GetFixed64(&dec, &page_bytes) || !GetFixed64(&dec, &skip_fanout) ||
-      !GetFixed64(&dec, &hash_page_bytes) || dec.remaining() < 3) {
+      !GetFixed64(&dec, &hash_page_bytes) ||
+      !GetFixed64(&dec, &block_postings) || block_postings == 0 ||
+      dec.remaining() < 3) {
     return Status::Corruption("truncated index options in: " + path);
   }
   index.options_.page_bytes = page_bytes;
   index.options_.skip_fanout = skip_fanout;
   index.options_.hash_page_bytes = hash_page_bytes;
+  index.options_.block_postings = block_postings;
   index.options_.build_id_lists = dec.data[dec.pos++] != 0;
   index.options_.build_skip = dec.data[dec.pos++] != 0;
   index.options_.build_hash = dec.data[dec.pos++] != 0;

@@ -23,12 +23,43 @@ struct InvertedIndexOptions {
   size_t skip_fanout = 64;
   /// Bucket page size of the per-list extendible hash (paper tuned 1 KiB).
   size_t hash_page_bytes = 1024;
+  /// Posting-block granularity of the per-block summaries: every by-length
+  /// list is covered by fixed-size blocks of this many postings, each with a
+  /// {min_len, max_len, first_id, last_id} summary. Length seeks binary-
+  /// search the summaries and span reads never cross a block boundary.
+  size_t block_postings = 128;
+  /// Worker threads for the per-token build passes (sorting, summaries,
+  /// skip indexes, hashes). 0 = auto: parallel only when the index is large
+  /// enough to amortize spawning workers. The result is identical either
+  /// way (every pass is per-token deterministic).
+  size_t build_threads = 0;
   /// Build the by-id sorted lists (needed by the sort-by-id baseline).
   bool build_id_lists = true;
   /// Build per-list skip indexes (needed for skip-enabled length bounding).
   bool build_skip = true;
   /// Build per-list extendible hashes (needed by TA/iTA random access).
   bool build_hash = true;
+};
+
+/// Summary of one fixed-size block of by-length postings. Because the list
+/// is sorted by (len, id), min/max_len of consecutive blocks are themselves
+/// sorted, so a binary search over summaries lands the Theorem-1 window in
+/// O(log #blocks); max_len also clips a span's length bound in O(1) when
+/// the whole block qualifies. first/last_id bound the ids a block can
+/// contribute (useful to merge candidates against a block at a time).
+struct PostingBlockSummary {
+  float min_len;
+  float max_len;
+  uint32_t first_id;
+  uint32_t last_id;
+};
+
+/// A half-open range [begin, end) of positions in one by-length list.
+struct PostingRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
 };
 
 /// The paper's specialized index (Section III-B): one inverted list per
@@ -85,6 +116,29 @@ class InvertedIndex {
     return skips_.empty() ? nullptr : skips_[t].get();
   }
 
+  /// Block-summary layer over the by-length lists (always built).
+  size_t block_postings() const { return options_.block_postings; }
+  size_t NumBlocks(TokenId t) const {
+    return block_offsets_[t + 1] - block_offsets_[t];
+  }
+  const PostingBlockSummary* Blocks(TokenId t) const {
+    return blocks_.data() + block_offsets_[t];
+  }
+
+  /// First position in `t`'s by-length list with len >= target (ListSize(t)
+  /// if none): binary search over the block summaries, then over the landing
+  /// block. `probes`, if non-null, is incremented by the number of summary
+  /// entries inspected (the random-access cost of the descent, which
+  /// callers convert to modeled page reads).
+  size_t SeekFirstGE(TokenId t, float target, uint64_t* probes = nullptr) const;
+  /// First position with len > target (the exclusive end of a length bound).
+  size_t SeekFirstGT(TokenId t, float target, uint64_t* probes = nullptr) const;
+
+  /// The Theorem-1 window [lo_len, hi_len] of token `t` as a contiguous
+  /// posting range, located entirely through the block summaries.
+  PostingRange WindowSpan(TokenId t, float lo_len, float hi_len,
+                          uint64_t* probes = nullptr) const;
+
   /// Extendible hash (set id -> len) over the list, or null if not built.
   const ExtendibleHash* hash(TokenId t) const {
     return hashes_.empty() ? nullptr : hashes_[t].get();
@@ -96,6 +150,9 @@ class InvertedIndex {
   size_t ListBytesTotal() const;
   size_t SkipBytes() const;
   size_t HashBytes() const;
+  size_t BlockSummaryBytes() const {
+    return blocks_.size() * sizeof(PostingBlockSummary);
+  }
 
   /// Serializes lists + options to `path` (skip/hash are derived structures
   /// and are rebuilt on Load).
@@ -120,6 +177,8 @@ class InvertedIndex {
   std::vector<float> id_lens_;
   std::vector<std::unique_ptr<SkipIndex>> skips_;
   std::vector<std::unique_ptr<ExtendibleHash>> hashes_;
+  std::vector<PostingBlockSummary> blocks_;  // concatenated per token
+  std::vector<uint64_t> block_offsets_;      // size num_tokens + 1
 };
 
 }  // namespace simsel

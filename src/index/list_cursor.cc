@@ -1,5 +1,7 @@
 #include "index/list_cursor.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "obs/metrics_registry.h"
 
@@ -30,10 +32,11 @@ const CursorMetrics& GetCursorMetrics() {
 ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
                        bool use_skip, AccessCounters* counters,
                        BufferPool* pool, const PostingStore* store)
-    : ids_(index.LenIds(token)),
+    : index_(&index),
+      ids_(index.LenIds(token)),
       lens_(index.LenLens(token)),
       size_(index.ListSize(token)),
-      skip_(use_skip ? index.skip(token) : nullptr),
+      use_skip_(use_skip),
       counters_(counters),
       pool_(pool),
       store_(store),
@@ -96,11 +99,57 @@ void ListCursor::ChargeRead() {
   }
 }
 
+void ListCursor::ChargeSpan(size_t start, size_t end) {
+  if (end <= start) return;
+  const size_t k = end - start;
+  local_reads_ += k;
+  bool random_landing = pending_random_;
+  pending_random_ = false;
+  if (counters_ == nullptr && pool_ == nullptr) return;
+  if (counters_ != nullptr) counters_->elements_read += k;
+  // Page accounting, identical to k consecutive ChargeRead() calls: one
+  // charge per page transition, except that a landing page reached through a
+  // summary seek is a random read (the seek path charged it already when
+  // random_landing, see SeekSpanStart) -- here the landing page is charged
+  // as random instead of sequential exactly when the jump repositioned the
+  // sequential window.
+  const int64_t first_page =
+      static_cast<int64_t>(start / entries_per_page_);
+  const int64_t last_span_page =
+      static_cast<int64_t>((end - 1) / entries_per_page_);
+  for (int64_t page = first_page; page <= last_span_page; ++page) {
+    if (page == first_page && random_landing) {
+      if (counters_ != nullptr) ++counters_->rand_page_reads;
+      TouchPool(page);
+      last_page_ = page;
+      continue;
+    }
+    if (page != last_page_) {
+      if (counters_ != nullptr) ++counters_->seq_page_reads;
+      TouchPool(page);
+      last_page_ = page;
+    }
+  }
+}
+
 void ListCursor::Next() {
   if (AtEnd()) return;
   ++pos_;
   if (!AtEnd()) {
-    EnsureBlock(/*random=*/false);
+    EnsureBlock(/*random=*/pending_random_);
+    if (pending_random_) {
+      // A span-seek landed just before this posting; its page is reached by
+      // a random jump, mirroring the landing read of SeekLengthGE.
+      pending_random_ = false;
+      ++local_reads_;
+      last_page_ = pos_ / static_cast<int64_t>(entries_per_page_);
+      TouchPool(last_page_);
+      if (counters_ != nullptr) {
+        ++counters_->elements_read;
+        ++counters_->rand_page_reads;
+      }
+      return;
+    }
     ChargeRead();
   }
 }
@@ -109,18 +158,17 @@ void ListCursor::SeekLengthGE(float target) {
   if (AtEnd()) return;
   if (pos_ >= 0 && len() >= target) return;  // already positioned past
   size_t start = static_cast<size_t>(pos_ + 1);
-  if (skip_ != nullptr) {
-    uint64_t nodes = 0;
-    size_t dest = skip_->SeekFirstGE(target, &nodes);
+  if (use_skip_) {
+    uint64_t probes = 0;
+    size_t dest = index_->SeekFirstGE(token_, target, &probes);
     if (dest < start) dest = start;  // forward only
     local_skipped_ += dest - start;
     if (counters_ != nullptr) {
       counters_->elements_skipped += dest - start;
-      // Skip nodes are 8 bytes; charge the pages the descent touched, at
-      // least one per seek that actually consulted the structure.
-      if (nodes > 0) {
-        counters_->rand_page_reads += 1 + (nodes * 8) / page_bytes_;
-      }
+      // The descent reads `probes` block summaries; charge the pages they
+      // occupy as random reads, at least one per consulted seek.
+      counters_->rand_page_reads +=
+          1 + (probes * sizeof(PostingBlockSummary)) / page_bytes_;
     }
     pos_ = static_cast<int64_t>(dest);
     if (!AtEnd()) {
@@ -136,13 +184,94 @@ void ListCursor::SeekLengthGE(float target) {
     }
     return;
   }
-  // No skip index: read-and-discard sequentially (the NSL ablation).
+  // No skips: read-and-discard sequentially (the NSL ablation).
   do {
     ++pos_;
     if (AtEnd()) return;
     EnsureBlock(/*random=*/false);
     ChargeRead();
   } while (len() < target);
+}
+
+void ListCursor::SeekSpanStart(float target) {
+  const size_t start = static_cast<size_t>(pos_ + 1);
+  if (start >= size_ || lens_[start] >= target) return;
+  if (use_skip_) {
+    uint64_t probes = 0;
+    size_t dest = index_->SeekFirstGE(token_, target, &probes);
+    if (dest < start) dest = start;  // forward only
+    local_skipped_ += dest - start;
+    if (counters_ != nullptr) {
+      counters_->elements_skipped += dest - start;
+      counters_->rand_page_reads +=
+          1 + (probes * sizeof(PostingBlockSummary)) / page_bytes_;
+    }
+    pos_ = static_cast<int64_t>(dest) - 1;
+    // The landing posting is not read here; the first page the next span
+    // (or Next) touches is the random-jump target.
+    pending_random_ = dest < size_;
+    return;
+  }
+  // NSL: the prefix below the window is read and discarded. One bulk charge,
+  // same totals as stepping through it.
+  const size_t dest = static_cast<size_t>(
+      std::lower_bound(lens_ + start, lens_ + size_, target) - lens_);
+  if (store_ != nullptr) {
+    // Pull the discarded pages through the store sequentially.
+    size_t p = start;
+    while (p < dest) {
+      pos_ = static_cast<int64_t>(p);
+      EnsureBlock(/*random=*/false);
+      p = blk_first_ + blk_count_;
+    }
+  }
+  ChargeSpan(start, dest);
+  pos_ = static_cast<int64_t>(dest) - 1;
+}
+
+PostingSpan ListCursor::NextSpan(size_t max_count, float max_len) {
+  PostingSpan span;
+  const size_t start = static_cast<size_t>(pos_ + 1);
+  if (start >= size_ || max_count == 0) return span;
+  if (lens_[start] > max_len) return span;
+
+  // Clip to the enclosing summary block so a span never straddles blocks.
+  const size_t bp = index_->block_postings();
+  size_t end = std::min(size_, (start / bp + 1) * bp);
+  end = std::min(end, start + max_count);
+  if (max_len != kNoLengthBound) {
+    const PostingBlockSummary& h = index_->Blocks(token_)[start / bp];
+    if (h.max_len > max_len) {
+      // Mixed block: find the true end of the qualifying run.
+      end = static_cast<size_t>(
+          std::upper_bound(lens_ + start, lens_ + end, max_len) - lens_);
+    }
+  }
+  if (end <= start) return span;
+
+  if (store_ != nullptr) {
+    // Disk mode: fetch the whole span out of the page image in one read, so
+    // span boundaries — and therefore every algorithm's batching decisions —
+    // are identical to memory mode.
+    const size_t count = end - start;
+    if (span_ids_.size() < count) {
+      span_ids_.resize(count);
+      span_lens_.resize(count);
+    }
+    size_t got = store_->ReadBlock(token_, start, count, span_ids_.data(),
+                                   span_lens_.data(), pending_random_);
+    SIMSEL_DCHECK(got == count);
+    (void)got;
+    span.ids = span_ids_.data();
+    span.lens = span_lens_.data();
+  } else {
+    span.ids = ids_ + start;
+    span.lens = lens_ + start;
+  }
+  span.count = end - start;
+  ChargeSpan(start, end);
+  pos_ = static_cast<int64_t>(end) - 1;
+  return span;
 }
 
 void ListCursor::MarkComplete() {

@@ -2,6 +2,7 @@
 #define SIMSEL_INDEX_LIST_CURSOR_H_
 
 #include <cstdint>
+#include <limits>
 
 #include <vector>
 
@@ -12,28 +13,52 @@
 
 namespace simsel {
 
+/// A borrowed, contiguous run of by-length postings handed out by
+/// ListCursor::NextSpan: parallel id/len arrays of `count` entries, already
+/// charged to the access counters. Valid until the next cursor call (disk
+/// mode reuses the cursor's block buffer).
+struct PostingSpan {
+  const uint32_t* ids = nullptr;
+  const float* lens = nullptr;
+  size_t count = 0;
+  bool empty() const { return count == 0; }
+};
+
 /// Forward cursor over one by-length inverted list with access accounting.
 ///
 /// The cursor models the disk behaviour of the paper's algorithms:
 ///  - Next() reads (decodes) the next posting: one element read, and a
 ///    sequential page read whenever a page boundary is crossed;
 ///  - SeekLengthGE() advances to the first posting with len >= target.
-///    With the skip index enabled the jumped-over postings are *skipped*
-///    (counted but never read) at the cost of a few random page reads; with
-///    it disabled (the paper's "NSL" ablation) the prefix is read
-///    sequentially and discarded.
+///    With skips enabled the jumped-over postings are *skipped* (counted
+///    but never read) at the cost of a few random page reads for the
+///    block-summary descent; with it disabled (the paper's "NSL" ablation)
+///    the prefix is read sequentially and discarded.
+///
+/// Block-at-a-time consumption (the fast path of SF/iNRA/Hybrid):
+///  - SeekSpanStart() lands just BEFORE the Theorem-1 window so the landing
+///    posting is consumed by the first span, not by the seek;
+///  - NextSpan() hands out a contiguous {ids, lens} slice capped at a
+///    summary-block boundary and at a length bound, with the element/page
+///    accounting charged once for the whole span (same totals as the
+///    equivalent Next() walk).
 ///
 /// A new cursor is positioned before the first posting; call Next() or
 /// SeekLengthGE() to load one. The constructor charges the list's size to
 /// counters->elements_total (the pruning-power denominator of Figure 7).
 class ListCursor {
  public:
-  /// `use_skip` enables the skip index if the index built one for `token`.
+  /// No length bound: spans stop only at block boundaries / list end.
+  static constexpr float kNoLengthBound =
+      std::numeric_limits<float>::infinity();
+
+  /// `use_skip` enables seeks through the block summaries ("skip" mode);
+  /// disabled is the paper's NSL ablation (prefixes read sequentially).
   /// `pool`, if non-null, receives a Touch per distinct page access and the
   /// hit/miss tallies are charged to `counters` (cold-cache simulation).
   /// `store`, if non-null, switches the cursor to disk mode: postings are
   /// fetched page-by-page out of the store's byte image instead of the
-  /// index's arrays (the skip index stays in memory, as in the paper).
+  /// index's arrays (the summaries stay in memory, as in the paper).
   ListCursor(const InvertedIndex& index, TokenId token, bool use_skip,
              AccessCounters* counters, BufferPool* pool = nullptr,
              const PostingStore* store = nullptr);
@@ -56,6 +81,20 @@ class ListCursor {
                              : lens_[pos_];
   }
 
+  /// Length of the next unconsumed posting, +inf when none remains. This is
+  /// the list frontier for threshold arithmetic; it charges nothing (the
+  /// bound is implied by the seek landing and the block summaries).
+  float FrontierLen() const {
+    const size_t next = static_cast<size_t>(pos_ + 1);
+    return next < size_ ? lens_[next] : kNoLengthBound;
+  }
+  /// True when no unconsumed posting with len <= max_len remains (the list
+  /// is exhausted or its frontier left the length window).
+  bool FrontierPast(float max_len) const {
+    const size_t next = static_cast<size_t>(pos_ + 1);
+    return next >= size_ || lens_[next] > max_len;
+  }
+
   /// Advances to (and reads) the next posting. No-op when AtEnd.
   void Next();
 
@@ -63,12 +102,32 @@ class ListCursor {
   /// if the current posting already qualifies). The landing posting is read.
   void SeekLengthGE(float target);
 
+  /// Positions the cursor just before the first posting with len >= target,
+  /// so the next NextSpan() starts exactly at the window. The jumped-over
+  /// prefix is skipped (summary mode) or read-and-discarded (NSL mode); the
+  /// landing posting itself is NOT read. Forward only; no-op if the next
+  /// unconsumed posting already qualifies.
+  void SeekSpanStart(float target);
+
+  /// Reads the next run of consecutive postings: at most `max_count`, none
+  /// with len > max_len, never crossing a summary-block boundary (nor a
+  /// store-page boundary in disk mode). The whole span is charged as read
+  /// in one step — identical element/page totals as consuming it through
+  /// Next(). Afterwards the cursor is positioned on the span's last
+  /// posting. Returns an empty span (cursor unmoved, nothing charged) when
+  /// the list is exhausted or the frontier exceeds max_len.
+  PostingSpan NextSpan(size_t max_count, float max_len = kNoLengthBound);
+
   /// Stops consuming this list: the remaining unread suffix is charged to
   /// elements_skipped so pruning-power accounting sees it as pruned.
   void MarkComplete();
 
  private:
   void ChargeRead();
+  /// Charges postings [start, end) as read in one step: elements, page
+  /// transitions (the first page as a random read when the span lands after
+  /// a summary seek), and buffer-pool touches.
+  void ChargeSpan(size_t start, size_t end);
   void TouchPool(int64_t page);
   /// Mirrors the per-cursor read/skip tallies into the process-wide metrics
   /// registry (simsel_postings_read_total / simsel_postings_skipped_total),
@@ -78,10 +137,11 @@ class ListCursor {
   /// marks the fetch as a seek landing rather than a sequential refill.
   void EnsureBlock(bool random);
 
+  const InvertedIndex* index_;
   const uint32_t* ids_;
   const float* lens_;
   size_t size_;
-  const SkipIndex* skip_;
+  bool use_skip_;
   AccessCounters* counters_;
   BufferPool* pool_;
   const PostingStore* store_;
@@ -92,15 +152,22 @@ class ListCursor {
   int64_t last_page_ = -1;
   bool completed_ = false;
   bool metrics_flushed_ = false;
+  // The next span landing follows a summary jump: its first page is charged
+  // as a random read, like the old landing read after a skip descent.
+  bool pending_random_ = false;
   // Per-cursor tallies mirrored into the metrics registry by MarkComplete
   // (plain ints on the hot path; one atomic add per list at flush time).
   uint64_t local_reads_ = 0;
   uint64_t local_skipped_ = 0;
-  // Disk-mode block buffer (one modeled page of postings).
+  // Disk-mode block buffer (one modeled page of postings) for Next()/seeks.
   std::vector<uint32_t> blk_ids_;
   std::vector<float> blk_lens_;
   size_t blk_first_ = 0;
   size_t blk_count_ = 0;
+  // Disk-mode span staging: NextSpan fetches its whole range here so span
+  // boundaries match memory mode exactly (no store-page clipping).
+  std::vector<uint32_t> span_ids_;
+  std::vector<float> span_lens_;
 };
 
 }  // namespace simsel
