@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Developer gate: builds the tree with warnings-as-errors and
-# AddressSanitizer, then runs the full test suite. Usage:
+# Developer gate: two sanitizer legs, both required.
 #
-#   scripts/check.sh              # ASan build + ctest in build-asan/
-#   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # ThreadSanitizer instead
+#   1. AddressSanitizer: warnings-as-errors build + the full test suite
+#      (build-asan/).
+#   2. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
+#      buffer_pool_test, parallel_test and the concurrency_test soak, which
+#      runs mixed algorithms in disk and memory mode against one shared
+#      index/store/pool — must produce zero race reports (build-tsan/).
+#
+# Usage:
+#
+#   scripts/check.sh                       # ASan full suite + TSan -L concurrency
+#   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # widen the TSan leg to the full suite
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
@@ -19,16 +27,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+jobs="$(nproc)"
+
+echo "== check.sh leg 1/2: AddressSanitizer, full suite =="
+cmake -B build-asan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_ASAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== check.sh leg 2/2: ThreadSanitizer =="
+cmake -B build-tsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$jobs"
+# TSan makes any report fatal (halt_on_error) so a race fails ctest even if
+# the test's assertions would have passed.
 if [[ "${SIMSEL_CHECK_TSAN:-0}" == "1" ]]; then
-  build_dir=build-tsan
-  san_flag=-DSIMSEL_ENABLE_TSAN=ON
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 else
-  build_dir=build-asan
-  san_flag=-DSIMSEL_ENABLE_ASAN=ON
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 fi
 
-cmake -B "$build_dir" -S . -DSIMSEL_WERROR=ON "$san_flag" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
-echo "check.sh: all tests passed ($build_dir)"
+echo "check.sh: all legs passed (build-asan + build-tsan)"

@@ -15,8 +15,13 @@ std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
                                      const SelectOptions& options,
                                      ThreadPool* pool) {
   std::vector<QueryResult> results(queries.size());
+  // One QueryTrace records one query on one thread; a trace shared across
+  // the batch would race. Strip it — callers wanting spans trace single
+  // queries through Select directly.
+  SelectOptions per_query = options;
+  per_query.trace = nullptr;
   ParallelFor(pool, queries.size(), [&](size_t i) {
-    results[i] = selector.Select(queries[i], tau, kind, options);
+    results[i] = selector.Select(queries[i], tau, kind, per_query);
   });
   return results;
 }
@@ -57,8 +62,8 @@ namespace {
 
 // Merges one id range [lo_id, hi_id) of the query's id-sorted lists.
 void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
-                  const PreparedQuery& q, double tau, uint32_t lo_id,
-                  uint32_t hi_id, QueryResult* out) {
+                  const PreparedQuery& q, double tau, uint64_t lo_id,
+                  uint64_t hi_id, QueryResult* out) {
   const size_t n = q.tokens.size();
   struct ListSlice {
     const uint32_t* ids;
@@ -90,7 +95,7 @@ void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
     if (!have_current) return;
     double score = measure.ScoreFromBits(q, bits, current_len);
     if (score >= tau) out->matches.push_back(Match{current, score});
-    bits = DynamicBitset(n);
+    bits.ResetAll();
   };
   while (!tree.empty()) {
     size_t i = tree.top_source();
@@ -136,12 +141,9 @@ QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
   if (!any) return result;
 
   const size_t shards = std::max<size_t>(1, pool->num_threads());
-  const uint32_t span = max_id / static_cast<uint32_t>(shards) + 1;
   std::vector<QueryResult> partial(shards);
   ParallelFor(pool, shards, [&](size_t s) {
-    uint32_t lo = static_cast<uint32_t>(s) * span;
-    uint32_t hi = (s + 1 == shards) ? max_id + 1
-                                    : static_cast<uint32_t>(s + 1) * span;
+    auto [lo, hi] = internal::SortByIdShardRange(max_id, shards, s);
     MergeIdRange(index, measure, q, tau, lo, hi, &partial[s]);
   });
   for (QueryResult& p : partial) {
@@ -152,5 +154,20 @@ QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
   result.counters.results = result.matches.size();
   return result;
 }
+
+namespace internal {
+
+std::pair<uint64_t, uint64_t> SortByIdShardRange(uint32_t max_id,
+                                                 size_t shards, size_t shard) {
+  // 64-bit end-to-end: uint32_t arithmetic wraps the last shard's exclusive
+  // bound to 0 when max_id == UINT32_MAX.
+  const uint64_t end = static_cast<uint64_t>(max_id) + 1;
+  const uint64_t span = static_cast<uint64_t>(max_id) / shards + 1;
+  uint64_t lo = std::min(end, shard * span);
+  uint64_t hi = (shard + 1 == shards) ? end : std::min(end, (shard + 1) * span);
+  return {lo, std::max(lo, hi)};
+}
+
+}  // namespace internal
 
 }  // namespace simsel

@@ -1,6 +1,8 @@
 #ifndef SIMSEL_CORE_PARALLEL_H_
 #define SIMSEL_CORE_PARALLEL_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -44,6 +46,19 @@ QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
                                    const IdfMeasure& measure,
                                    const PreparedQuery& q, double tau,
                                    ThreadPool* pool);
+
+namespace internal {
+
+/// Half-open id range [lo, hi) that shard `shard` of `shards` merges when
+/// the largest id in any query list is `max_id`. 64-bit bounds: the last
+/// shard's exclusive bound is max_id + 1, which would wrap to 0 in uint32_t
+/// when max_id == UINT32_MAX and silently drop every match in that shard.
+/// Ranges are clamped so lo <= hi <= max_id + 1 even when shards outnumber
+/// ids. Exposed for regression testing.
+std::pair<uint64_t, uint64_t> SortByIdShardRange(uint32_t max_id,
+                                                 size_t shards, size_t shard);
+
+}  // namespace internal
 
 }  // namespace simsel
 

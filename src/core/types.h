@@ -56,18 +56,23 @@ struct SelectOptions {
   /// Optional cache simulator: when set, every list page and hash bucket
   /// the inverted-list algorithms touch goes through this LRU and the
   /// hit/miss counts land in QueryResult counters (see
-  /// storage/buffer_pool.h). Borrowed, not owned; not thread-safe — use one
-  /// pool per query stream.
+  /// storage/buffer_pool.h). Borrowed, not owned. Thread-safe (sharded):
+  /// one pool may back any number of concurrent queries, modeling a shared
+  /// server-wide page cache.
   BufferPool* buffer_pool = nullptr;
   /// Optional disk mode: when set, cursors fetch postings block-by-block
   /// out of this page-aligned store (real byte copies, page-granular I/O
   /// accounting) instead of the in-memory arrays (see
   /// storage/posting_store.h). Must have been built from the same index.
+  /// Reads are side-effect-free on the image (per-cursor accounting), so
+  /// one store serves concurrent queries.
   const PostingStore* posting_store = nullptr;
   /// Optional per-phase trace: when set, the selector and algorithms record
   /// timed spans (tokenize, planning, list rounds, verification) into it
-  /// (see obs/trace.h). Owned by the caller, one trace per query; null (the
-  /// default) costs a single pointer test per phase.
+  /// (see obs/trace.h). Owned by the caller, strictly one trace per query
+  /// per thread — never share one across concurrent queries (BatchSelect
+  /// strips it for that reason); null (the default) costs a single pointer
+  /// test per phase.
   obs::QueryTrace* trace = nullptr;
 };
 

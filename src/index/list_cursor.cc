@@ -62,7 +62,7 @@ void ListCursor::EnsureBlock(bool random) {
   size_t block = blk_ids_.size();
   blk_first_ = pos - pos % block;
   blk_count_ = store_->ReadBlock(token_, blk_first_, block, blk_ids_.data(),
-                                 blk_lens_.data(), random);
+                                 blk_lens_.data(), random, &store_reads_);
   SIMSEL_DCHECK(blk_count_ > 0);
 }
 
@@ -259,7 +259,8 @@ PostingSpan ListCursor::NextSpan(size_t max_count, float max_len) {
       span_lens_.resize(count);
     }
     size_t got = store_->ReadBlock(token_, start, count, span_ids_.data(),
-                                   span_lens_.data(), pending_random_);
+                                   span_lens_.data(), pending_random_,
+                                   &store_reads_);
     SIMSEL_DCHECK(got == count);
     (void)got;
     span.ids = span_ids_.data();

@@ -168,6 +168,9 @@ class ListCursor {
   // boundaries match memory mode exactly (no store-page clipping).
   std::vector<uint32_t> span_ids_;
   std::vector<float> span_lens_;
+  // Disk-mode per-cursor physical read accounting: the store's page image is
+  // shared across concurrent queries, so the sequential window lives here.
+  PageReadStats store_reads_;
 };
 
 }  // namespace simsel

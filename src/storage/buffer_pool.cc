@@ -1,12 +1,29 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.h"
 #include "obs/metrics_registry.h"
 
 namespace simsel {
 
-BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
+BufferPool::BufferPool(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
   SIMSEL_CHECK_MSG(capacity_ >= 1, "buffer pool needs at least one frame");
+  if (num_shards == 0) {
+    num_shards = std::min(kMaxShards, capacity_ / kFramesPerShard);
+    if (num_shards == 0) num_shards = 1;
+  }
+  num_shards = std::min(num_shards, capacity_);
+  num_shards = std::bit_floor(num_shards);  // power of two for ShardIndex
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[i]->capacity =
+        capacity_ / num_shards + (i < capacity_ % num_shards ? 1 : 0);
+  }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   hits_metric_ = reg.GetCounter("simsel_buffer_pool_hits_total");
   misses_metric_ = reg.GetCounter("simsel_buffer_pool_misses_total");
@@ -14,38 +31,72 @@ BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
   resident_metric_ = reg.GetGauge("simsel_buffer_pool_resident_pages");
 }
 
+BufferPool::~BufferPool() {
+  // Reconcile the process-wide gauge: a destroyed pool holds no pages.
+  resident_metric_->Add(-static_cast<int64_t>(size()));
+}
+
 bool BufferPool::Touch(uint64_t key) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    ++hits_;
+  Shard& shard = *shards_[ShardIndex(key)];
+  bool evicted = false;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hit = true;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      if (shard.map.size() >= shard.capacity) {
+        uint64_t victim = shard.lru.back();
+        shard.lru.pop_back();
+        shard.map.erase(victim);
+        evicted = true;
+      }
+      shard.lru.push_front(key);
+      shard.map[key] = shard.lru.begin();
+    }
+  }
+  // Tallies outside the shard lock: they are atomics / lock-free metrics.
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     hits_metric_->Increment();
-    lru_.splice(lru_.begin(), lru_, it->second);
     return true;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   misses_metric_->Increment();
-  if (map_.size() >= capacity_) {
-    uint64_t victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
-    ++evictions_;
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     evictions_metric_->Increment();
-    resident_metric_->Add(-1);
+    // Net resident change is zero: one page out, one page in.
+  } else {
+    resident_metric_->Add(1);
   }
-  lru_.push_front(key);
-  map_[key] = lru_.begin();
-  resident_metric_->Add(1);
   return false;
 }
 
+size_t BufferPool::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
 void BufferPool::Clear(bool reset_stats) {
-  resident_metric_->Add(-static_cast<int64_t>(map_.size()));
-  lru_.clear();
-  map_.clear();
+  int64_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += static_cast<int64_t>(shard->map.size());
+    shard->lru.clear();
+    shard->map.clear();
+  }
+  resident_metric_->Add(-dropped);
   if (reset_stats) {
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,10 +1,14 @@
 #ifndef SIMSEL_STORAGE_BUFFER_POOL_H_
 #define SIMSEL_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace simsel {
 
@@ -24,15 +28,34 @@ class Gauge;
 /// behave under different cache sizes — the bench_buffer_pool harness does
 /// exactly that.
 ///
-/// Thread-compatible (one pool per thread / query stream); not thread-safe.
+/// Thread-safe: the frame table is sharded by key hash with one mutex and
+/// one LRU chain per shard (capacity split evenly across shards), so
+/// concurrent queries sharing one pool serialize only when their pages land
+/// in the same shard. Hit/miss/eviction tallies are relaxed atomics. Small
+/// pools (fewer than 2 * kFramesPerShard frames) keep a single shard, i.e.
+/// exact global LRU order; large serving pools trade that for concurrency —
+/// eviction is then LRU *within* the victim page's shard, which for a
+/// hash-spread working set is statistically indistinguishable from global
+/// LRU.
 class BufferPool {
  public:
-  /// `capacity` frames (pages). Must be >= 1.
-  explicit BufferPool(size_t capacity);
+  /// Frames per shard the auto-sharding policy aims for, and the cap on the
+  /// number of shards.
+  static constexpr size_t kFramesPerShard = 64;
+  static constexpr size_t kMaxShards = 16;
+
+  /// `capacity` frames (pages), must be >= 1. `num_shards` 0 picks
+  /// max(1, min(kMaxShards, capacity / kFramesPerShard)) rounded down to a
+  /// power of two.
+  explicit BufferPool(size_t capacity, size_t num_shards = 0);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
 
   /// Touches page `key` (any stable 64-bit page identity). Returns true on
   /// a cache hit; on a miss the page is faulted in, evicting the LRU page
-  /// if the pool is full.
+  /// of the key's shard if that shard is full. Safe to call concurrently.
   bool Touch(uint64_t key);
 
   /// Composes a page identity from a file/structure id and page number.
@@ -41,26 +64,47 @@ class BufferPool {
   }
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// Resident pages right now (locks each shard briefly; a snapshot, not a
+  /// linearizable count, under concurrent Touch traffic).
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   double HitRate() const {
-    uint64_t total = hits_ + misses_;
-    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+    uint64_t h = hits();
+    uint64_t total = h + misses();
+    return total == 0 ? 0.0 : static_cast<double>(h) / total;
   }
 
-  /// Empties the pool (cold cache) and optionally the statistics.
+  /// Empties the pool (cold cache) and optionally the instance statistics.
+  /// The process-wide resident-pages gauge is reconciled (decremented by the
+  /// dropped page count); the simsel_buffer_pool_* counters are monotone
+  /// process totals and are never reset.
   void Clear(bool reset_stats = true);
 
  private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<uint64_t> lru;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map;
+    size_t capacity = 0;
+  };
+
+  size_t ShardIndex(uint64_t key) const {
+    // Fibonacci mix so sequential page numbers spread across shards.
+    return ((key * 0x9E3779B97F4A7C15ull) >> 32) & shard_mask_;
+  }
+
   size_t capacity_;
-  // Front = most recently used.
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  size_t shard_mask_;  // num shards - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   // Process-wide mirrors (simsel_buffer_pool_*), pooled across instances.
   obs::Counter* hits_metric_;
   obs::Counter* misses_metric_;

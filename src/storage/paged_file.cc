@@ -18,30 +18,25 @@ uint64_t PagedFile::Append(const void* data, size_t len) {
   return offset;
 }
 
-Status PagedFile::ReadAt(uint64_t offset, size_t len, void* dst, bool random) {
+Status PagedFile::ReadAt(uint64_t offset, size_t len, void* dst, bool random,
+                         PageReadStats* stats) const {
   if (offset + len > data_.size()) {
     return Status::OutOfRange("read past end of paged file");
   }
   uint64_t first = offset / page_size_;
   uint64_t last = len == 0 ? first : (offset + len - 1) / page_size_;
   if (random) {
-    rand_reads_ += last - first + 1;
+    stats->rand_reads += last - first + 1;
     // A random read repositions the head; the sequential window is lost.
-    last_seq_page_ = last;
+    stats->last_seq_page = last;
   } else {
     for (uint64_t p = first; p <= last; ++p) {
-      if (p != last_seq_page_) ++seq_reads_;
-      last_seq_page_ = p;
+      if (p != stats->last_seq_page) ++stats->seq_reads;
+      stats->last_seq_page = p;
     }
   }
   if (len > 0) std::memcpy(dst, data_.data() + offset, len);
   return Status::Ok();
-}
-
-void PagedFile::ResetCounters() {
-  seq_reads_ = 0;
-  rand_reads_ = 0;
-  last_seq_page_ = UINT64_MAX;
 }
 
 Status PagedFile::SaveToFile(const std::string& path) const {

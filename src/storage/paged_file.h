@@ -9,6 +9,25 @@
 
 namespace simsel {
 
+/// Per-reader page-read accounting: the sequential/random tallies plus the
+/// sequential-window page the OS-readahead simulation depends on. The window
+/// is *reader* state, not file state — two query threads scanning the same
+/// file each have their own notion of "the page under the head" — so each
+/// concurrent reader owns one of these and passes it to the const ReadAt
+/// overload. Shareable PagedFile images stay immutable under reads.
+struct PageReadStats {
+  uint64_t seq_reads = 0;
+  uint64_t rand_reads = 0;
+  // Last page charged by a sequential read; reads within it are free.
+  uint64_t last_seq_page = UINT64_MAX;
+
+  void Reset() {
+    seq_reads = 0;
+    rand_reads = 0;
+    last_seq_page = UINT64_MAX;
+  }
+};
+
 /// In-memory image of a disk file with page-granular read accounting.
 ///
 /// The paper's indexes are disk-resident; their cost model is dominated by
@@ -17,6 +36,12 @@ namespace simsel {
 /// stay on an already-charged page are free, mirroring OS readahead of a
 /// hot page. Save/Load persist the image with an FNV-1a checksum so that
 /// corruption is detected at load time.
+///
+/// Thread safety: the const ReadAt overload never mutates the file — all
+/// accounting lands in the caller's PageReadStats — so any number of readers
+/// may share one image concurrently. The convenience overload without a
+/// stats argument charges the file's own instance stats and is for
+/// single-threaded use (tests, tools). Append/Save/Load are exclusive.
 class PagedFile {
  public:
   static constexpr size_t kDefaultPageSize = 4096;
@@ -32,17 +57,25 @@ class PagedFile {
   /// Appends `len` bytes and returns the offset they were written at.
   uint64_t Append(const void* data, size_t len);
 
-  /// Reads `len` bytes at `offset` into `dst`. `random` selects the counter
-  /// the touched pages are charged to. Returns OutOfRange past EOF.
-  Status ReadAt(uint64_t offset, size_t len, void* dst, bool random = false);
+  /// Reads `len` bytes at `offset` into `dst`, charging the touched pages to
+  /// `*stats` (`random` selects the counter and resets the sequential
+  /// window). Const and side-effect-free on the file: safe to call from any
+  /// number of threads concurrently, each with its own stats.
+  Status ReadAt(uint64_t offset, size_t len, void* dst, bool random,
+                PageReadStats* stats) const;
+
+  /// Single-threaded convenience: charges the file's instance stats.
+  Status ReadAt(uint64_t offset, size_t len, void* dst, bool random = false) {
+    return ReadAt(offset, len, dst, random, &stats_);
+  }
 
   /// Raw view for zero-copy decoding (does not count page reads).
   const std::vector<uint8_t>& contents() const { return data_; }
   std::vector<uint8_t>* mutable_contents() { return &data_; }
 
-  uint64_t sequential_page_reads() const { return seq_reads_; }
-  uint64_t random_page_reads() const { return rand_reads_; }
-  void ResetCounters();
+  uint64_t sequential_page_reads() const { return stats_.seq_reads; }
+  uint64_t random_page_reads() const { return stats_.rand_reads; }
+  void ResetCounters() { stats_.Reset(); }
 
   /// Writes `page_size | payload | fnv64(payload)` to `path`.
   Status SaveToFile(const std::string& path) const;
@@ -54,10 +87,8 @@ class PagedFile {
  private:
   size_t page_size_;
   std::vector<uint8_t> data_;
-  uint64_t seq_reads_ = 0;
-  uint64_t rand_reads_ = 0;
-  // Last page charged by a sequential read; reads within it are free.
-  uint64_t last_seq_page_ = UINT64_MAX;
+  // Accounting for the stats-less ReadAt overload only.
+  PageReadStats stats_;
 };
 
 }  // namespace simsel

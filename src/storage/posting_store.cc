@@ -38,7 +38,6 @@ PostingStore PostingStore::Build(const InvertedIndex& index,
     }
     store.file_.Append(buf.data(), buf.size());
   }
-  store.file_.ResetCounters();
   return store;
 }
 
@@ -49,16 +48,25 @@ uint64_t PostingStore::total_postings() const {
 }
 
 size_t PostingStore::ReadBlock(uint32_t token, size_t first, size_t count,
-                               uint32_t* ids, float* lens,
-                               bool random) const {
+                               uint32_t* ids, float* lens, bool random,
+                               PageReadStats* reader) const {
   SIMSEL_DCHECK(token < counts_.size());
   const size_t n = counts_[token];
   if (first >= n) return 0;
   count = std::min(count, n - first);
   std::vector<uint8_t> raw(count * kPostingBytes);
+  // Stats-less callers get a fresh window per call: every read then charges
+  // its first page, which is the conservative (seek-per-call) model.
+  PageReadStats one_shot;
+  PageReadStats* rs = reader != nullptr ? reader : &one_shot;
+  const uint64_t seq_before = rs->seq_reads;
+  const uint64_t rand_before = rs->rand_reads;
   Status st = file_.ReadAt(offsets_[token] + first * kPostingBytes,
-                           raw.size(), raw.data(), random);
+                           raw.size(), raw.data(), random, rs);
   SIMSEL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  seq_reads_.fetch_add(rs->seq_reads - seq_before, std::memory_order_relaxed);
+  rand_reads_.fetch_add(rs->rand_reads - rand_before,
+                        std::memory_order_relaxed);
   Decoder dec{raw.data(), raw.size(), 0};
   for (size_t i = 0; i < count; ++i) {
     GetFixed32(&dec, &ids[i]);
@@ -118,7 +126,6 @@ Result<PostingStore> PostingStore::Load(const std::string& path) {
   }
   store.file_ = PagedFile(file->page_size());
   store.file_.Append(buf.data(), dir_start);
-  store.file_.ResetCounters();
   return store;
 }
 

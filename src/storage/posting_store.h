@@ -1,6 +1,7 @@
 #ifndef SIMSEL_STORAGE_POSTING_STORE_H_
 #define SIMSEL_STORAGE_POSTING_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -19,9 +20,15 @@ class InvertedIndex;
 /// (fixed32 id + float len) into a PagedFile, lists page-aligned so one
 /// list's scan never pays for a neighbor's pages. Cursors read through
 /// ReadBlock — an honest byte copy out of the page image, charged to the
-/// PagedFile's sequential/random counters — instead of dereferencing the
-/// in-memory arrays. Wire a store into SelectOptions::posting_store (with
-/// an optional BufferPool) to run any algorithm in disk mode.
+/// caller's PageReadStats — instead of dereferencing the in-memory arrays.
+/// Wire a store into SelectOptions::posting_store (with an optional
+/// BufferPool) to run any algorithm in disk mode.
+///
+/// Thread safety: ReadBlock never mutates the page image. Each reader (one
+/// ListCursor per list per query) passes its own PageReadStats so the
+/// sequential-window simulation stays per-reader; the store-level
+/// sequential/random totals are relaxed atomics, so one store serves any
+/// number of concurrent queries. Build/Save/Load are exclusive.
 ///
 /// Persistence: the underlying PagedFile round-trips via Save/Load with the
 /// list directory re-encoded in the image header.
@@ -30,6 +37,18 @@ class PostingStore {
   /// Serializes `index`'s by-length lists. `page_bytes` is the modeled disk
   /// page size (defaults to the index's).
   static PostingStore Build(const InvertedIndex& index, size_t page_bytes = 0);
+
+  PostingStore(PostingStore&& other) noexcept { *this = std::move(other); }
+  PostingStore& operator=(PostingStore&& other) noexcept {
+    file_ = std::move(other.file_);
+    offsets_ = std::move(other.offsets_);
+    counts_ = std::move(other.counts_);
+    seq_reads_.store(other.seq_reads_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    rand_reads_.store(other.rand_reads_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
 
   size_t num_tokens() const { return counts_.size(); }
   size_t ListSize(uint32_t token) const { return counts_[token]; }
@@ -42,15 +61,26 @@ class PostingStore {
   /// Copies postings [first, first + count) of `token`'s list out of the
   /// page image. `random` charges the touched pages as a random read (the
   /// first fetch after a seek); sequential continuation reads are free
-  /// within an already-charged page. Returns the number of postings read.
+  /// within an already-charged page. `reader`, when non-null, carries the
+  /// caller's sequential window across calls (one per cursor; required for
+  /// faithful accounting under concurrency — a null reader treats each call
+  /// as freshly positioned). Returns the number of postings read.
   size_t ReadBlock(uint32_t token, size_t first, size_t count, uint32_t* ids,
-                   float* lens, bool random = false) const;
+                   float* lens, bool random = false,
+                   PageReadStats* reader = nullptr) const;
 
+  /// Aggregate physical page reads across every reader of this store
+  /// (relaxed atomics; exact once readers have quiesced).
   uint64_t sequential_page_reads() const {
-    return file_.sequential_page_reads();
+    return seq_reads_.load(std::memory_order_relaxed);
   }
-  uint64_t random_page_reads() const { return file_.random_page_reads(); }
-  void ResetCounters() const { file_.ResetCounters(); }
+  uint64_t random_page_reads() const {
+    return rand_reads_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() const {
+    seq_reads_.store(0, std::memory_order_relaxed);
+    rand_reads_.store(0, std::memory_order_relaxed);
+  }
 
   /// Persists / restores the image (checksummed; see PagedFile).
   Status Save(const std::string& path) const;
@@ -61,9 +91,12 @@ class PostingStore {
 
   static constexpr size_t kPostingBytes = 8;
 
-  mutable PagedFile file_;
+  PagedFile file_;
   std::vector<uint64_t> offsets_;  // byte offset of each list
   std::vector<uint32_t> counts_;
+  // Store-wide totals pooled across concurrent readers.
+  mutable std::atomic<uint64_t> seq_reads_{0};
+  mutable std::atomic<uint64_t> rand_reads_{0};
 };
 
 }  // namespace simsel

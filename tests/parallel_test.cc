@@ -114,6 +114,45 @@ TEST(ParallelSortByIdTest, EmptyQueryAndNoMatches) {
                   .matches.empty());
 }
 
+TEST(SortByIdShardRangeTest, LastShardReachesPastMaxUint32WithoutWrap) {
+  // Regression: the shard bounds were computed in uint32_t, so the last
+  // shard's exclusive bound max_id + 1 wrapped to 0 when max_id was
+  // UINT32_MAX — the shard became empty and its matches were dropped.
+  for (size_t shards : {1u, 2u, 7u, 16u}) {
+    auto [lo, hi] =
+        internal::SortByIdShardRange(UINT32_MAX, shards, shards - 1);
+    EXPECT_EQ(hi, static_cast<uint64_t>(UINT32_MAX) + 1) << shards;
+    EXPECT_LT(lo, hi) << shards;  // the boundary id itself is covered
+  }
+}
+
+TEST(SortByIdShardRangeTest, ShardsPartitionTheIdSpace) {
+  for (uint32_t max_id : {0u, 1u, 7u, 1000u, UINT32_MAX}) {
+    for (size_t shards : {1u, 2u, 3u, 8u, 16u}) {
+      uint64_t prev = 0;
+      for (size_t s = 0; s < shards; ++s) {
+        auto [lo, hi] = internal::SortByIdShardRange(max_id, shards, s);
+        EXPECT_EQ(lo, prev) << "max_id=" << max_id << " shard " << s;
+        EXPECT_LE(lo, hi) << "max_id=" << max_id << " shard " << s;
+        prev = hi;
+      }
+      EXPECT_EQ(prev, static_cast<uint64_t>(max_id) + 1)
+          << "max_id=" << max_id << " shards=" << shards;
+    }
+  }
+}
+
+TEST(SortByIdShardRangeTest, MoreShardsThanIdsYieldsEmptyTailRanges) {
+  // max_id = 1 with 4 shards: the tail shards must come out empty
+  // (lo == hi), never inverted — an inverted range underflowed the
+  // elements_total accounting before the bounds were clamped.
+  for (size_t s = 0; s < 4; ++s) {
+    auto [lo, hi] = internal::SortByIdShardRange(1, 4, s);
+    EXPECT_LE(lo, hi) << "shard " << s;
+    EXPECT_LE(hi, 2u) << "shard " << s;
+  }
+}
+
 TEST(ConcurrencyTest, ConstQueriesAreThreadCompatible) {
   // Hammer one selector from many threads; all runs must agree with the
   // single-threaded answer (the selector is never mutated after Build).
