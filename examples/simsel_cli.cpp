@@ -7,8 +7,11 @@
 //
 //   simsel_cli query <records.txt> <index.simsel> <text> [--tau=75]
 //              [--algo=sf|inra|hybrid|ita|sortbyid|pf] [--k=N]
+//              [--deadline-ms=N] [--max-elements=N]
 //       Loads the saved index (verifying it matches the records) and runs
-//       one selection (or top-k when --k is given).
+//       one selection (or top-k when --k is given). --deadline-ms and
+//       --max-elements bound the query; a tripped run prints its partial
+//       result with the termination reason.
 //
 //   simsel_cli repl <records.txt> <index.simsel>
 //       Interactive loop: one query per stdin line.
@@ -30,8 +33,11 @@
 //       Prometheus text exposition format.
 //
 // --tau accepts either form everywhere: a fraction (`--tau 0.8`,
-// `--tau=0.8`) or a percentage (`--tau=75`).
+// `--tau=0.8`) or a percentage (`--tau=75`). Anything else — trailing
+// junk, non-finite values, τ <= 0, τ > 100 — is a usage error; the CLI is
+// strict so a typo like `--tau=abc` cannot silently query at some default.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,7 +67,11 @@ int Usage() {
                "       simsel_cli stats <records.txt> <index.simsel>\n"
                "       simsel_cli --explain \"<text>\" [--tau 0.8] "
                "[--words=N] [--stats]\n"
-               "       simsel_cli --stats\n");
+               "       simsel_cli --stats\n"
+               "options: --tau takes a fraction in (0,1] or a percentage in "
+               "(1,100]\n"
+               "         --deadline-ms=N / --max-elements=N bound a query "
+               "(partial results)\n");
   return 2;
 }
 
@@ -72,19 +82,38 @@ bool HasFlag(int argc, char** argv, const char* flag) {
   return false;
 }
 
-/// Parses --tau in either `--tau=X` or `--tau X` form. A value <= 1 is a
-/// fraction; a value > 1 is a percentage (the historical `--tau=75` form).
-double ParseTau(int argc, char** argv, double fallback) {
-  double raw = -1.0;
+/// Parses --tau in either `--tau=X` or `--tau X` form into `*tau`. A value
+/// in (0, 1] is a fraction; one in (1, 100] is a percentage (the historical
+/// `--tau=75` form). Returns false — with a diagnostic printed — on any
+/// malformed value: non-numeric text, trailing junk, non-finite values, or
+/// a value outside (0, 100]. The flag being absent is not an error (`*tau`
+/// keeps the fallback).
+bool ParseTau(int argc, char** argv, double fallback, double* tau) {
+  *tau = fallback;
+  const char* value = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--tau=", 6) == 0) {
-      raw = std::atof(argv[i] + 6);
+      value = argv[i] + 6;
     } else if (std::strcmp(argv[i], "--tau") == 0 && i + 1 < argc) {
-      raw = std::atof(argv[i + 1]);
+      value = argv[i + 1];
     }
   }
-  if (raw <= 0.0) return fallback;
-  return raw > 1.0 ? raw / 100.0 : raw;
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  double raw = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(raw)) {
+    std::fprintf(stderr, "bad --tau value \"%s\": not a number\n", value);
+    return false;
+  }
+  if (raw <= 0.0 || raw > 100.0) {
+    std::fprintf(stderr,
+                 "bad --tau value \"%s\": need a fraction in (0,1] or a "
+                 "percentage in (1,100]\n",
+                 value);
+    return false;
+  }
+  *tau = raw > 1.0 ? raw / 100.0 : raw;
+  return true;
 }
 
 AlgorithmKind ParseAlgo(int argc, char** argv) {
@@ -119,6 +148,13 @@ void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
               r.matches.size(), elapsed_ms,
               (unsigned long long)r.counters.elements_read,
               (unsigned long long)r.counters.elements_total);
+  if (!r.status.ok()) {
+    std::printf("  !! query failed: %s\n", r.status.ToString().c_str());
+  } else if (r.termination != Termination::kCompleted) {
+    std::printf("  !! partial result (%s tripped) — matches shown are exact "
+                "but may be incomplete\n",
+                TerminationName(r.termination));
+  }
   size_t shown = 0;
   for (const Match& m : r.matches) {
     if (shown++ >= 20) {
@@ -131,10 +167,18 @@ void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
 }
 
 int RunQuery(const SimilaritySelector& sel, const std::string& text,
-             double tau, AlgorithmKind kind, size_t k, bool explain = false) {
+             double tau, AlgorithmKind kind, size_t k, bool explain = false,
+             size_t deadline_ms = 0, size_t max_elements = 0) {
   obs::QueryTrace trace;
   SelectOptions options;
   if (explain) options.trace = &trace;
+  // The deadline is absolute, so anchor it here, per call — in the repl
+  // every line gets its own `deadline_ms` of wall time.
+  if (deadline_ms > 0) {
+    options.control.deadline =
+        QueryControl::DeadlineAfterMillis(static_cast<int64_t>(deadline_ms));
+  }
+  options.control.max_elements_read = max_elements;
   WallTimer timer;
   QueryResult r = (k > 0) ? sel.SelectTopK(text, k, options)
                           : sel.Select(text, tau, kind, options);
@@ -166,7 +210,8 @@ int RunExplain(int argc, char** argv) {
     if (!text.empty()) text += ' ';
     text += argv[i];
   }
-  double tau = ParseTau(argc, argv, 0.8);
+  double tau;
+  if (!ParseTau(argc, argv, 0.8, &tau)) return Usage();
   BenchEnvOptions env_opts;
   env_opts.num_words = FlagValue(argc, argv, "words", 20000);
   std::fprintf(stderr, "building demo index over %zu word occurrences...\n",
@@ -261,10 +306,13 @@ int main(int argc, char** argv) {
       std::printf("extendible hash   %10zu bytes\n", sizes.extendible_hash);
       return 0;
     }
-    double tau = ParseTau(argc, argv, 0.75);
+    double tau;
+    if (!ParseTau(argc, argv, 0.75, &tau)) return Usage();
     size_t k = FlagValue(argc, argv, "k", 0);
     AlgorithmKind kind = ParseAlgo(argc, argv);
     bool explain = HasFlag(argc, argv, "--explain");
+    size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
+    size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
     if (cmd == "join") {
       WallTimer timer;
       SelfJoinResult joined = SelfJoin(*sel, tau);
@@ -303,7 +351,8 @@ int main(int argc, char** argv) {
         }
       }
       if (text.empty()) return Usage();
-      return RunQuery(*sel, text, tau, kind, k, explain);
+      return RunQuery(*sel, text, tau, kind, k, explain, deadline_ms,
+                      max_elements);
     }
     // repl
     std::printf("tau=%.2f algo=%s%s — one query per line, ctrl-d to exit\n",
@@ -312,7 +361,8 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
-      RunQuery(*sel, line, tau, kind, k);
+      RunQuery(*sel, line, tau, kind, k, /*explain=*/false, deadline_ms,
+               max_elements);
     }
     return 0;
   }

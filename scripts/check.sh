@@ -1,41 +1,46 @@
 #!/usr/bin/env bash
-# Developer gate: two sanitizer legs, both required.
+# Developer gate: three legs, all required.
 #
 #   1. AddressSanitizer: warnings-as-errors build + the full test suite
 #      (build-asan/).
 #   2. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
-#      buffer_pool_test, parallel_test and the concurrency_test soak, which
-#      runs mixed algorithms in disk and memory mode against one shared
-#      index/store/pool — must produce zero race reports (build-tsan/).
+#      buffer_pool_test, parallel_test, query_control_test (which cancels
+#      in-flight queries on a shared selector) and the concurrency_test
+#      soak, which runs mixed algorithms in disk and memory mode against
+#      one shared index/store/pool — must produce zero race reports
+#      (build-tsan/).
+#   3. Perf regression: a plain RelWithDebInfo build runs
+#      bench_micro --benchmark_filter=BM_Query and scripts/bench_compare.py
+#      diffs the artifact against the committed baseline
+#      (bench/baselines/BENCH_micro.json); >10% wall-clock regression on
+#      any query benchmark fails the gate.
 #
 # Usage:
 #
-#   scripts/check.sh                       # ASan full suite + TSan -L concurrency
+#   scripts/check.sh                       # all three legs
 #   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # widen the TSan leg to the full suite
+#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 3 (e.g. loaded CI box)
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
 #
-# Perf changes: guard wall-clock with scripts/bench_compare.py. Run the
-# bench twice — once on the pre-change tree, once on your change — and diff
-# the artifacts (fails on >10% regression):
+# Refreshing the perf baseline (only for intentional perf-profile changes —
+# explain the shift in the same commit):
 #
-#   (cd build/bench && ./bench_micro --benchmark_filter=BM_Query)
-#   mv build/bench/BENCH_micro.json BENCH_micro_baseline.json
-#   # ...apply your change, rebuild, rerun...
-#   scripts/bench_compare.py BENCH_micro_baseline.json build/bench/BENCH_micro.json
+#   (cd build-bench/bench && ./bench_micro --benchmark_filter=BM_Query)
+#   cp build-bench/bench/BENCH_micro.json bench/baselines/BENCH_micro.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 
-echo "== check.sh leg 1/2: AddressSanitizer, full suite =="
+echo "== check.sh leg 1/3: AddressSanitizer, full suite =="
 cmake -B build-asan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== check.sh leg 2/2: ThreadSanitizer =="
+echo "== check.sh leg 2/3: ThreadSanitizer =="
 cmake -B build-tsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs"
@@ -49,4 +54,16 @@ else
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 fi
 
-echo "check.sh: all legs passed (build-asan + build-tsan)"
+if [[ "${SIMSEL_CHECK_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== check.sh leg 3/3: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
+else
+  echo "== check.sh leg 3/3: perf regression vs bench/baselines/BENCH_micro.json =="
+  # Sanitizer builds are useless for timing: a separate plain build.
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-bench -j "$jobs" --target bench_micro
+  (cd build-bench/bench && ./bench_micro --benchmark_filter=BM_Query)
+  scripts/bench_compare.py bench/baselines/BENCH_micro.json \
+      build-bench/bench/BENCH_micro.json
+fi
+
+echo "check.sh: all legs passed"

@@ -19,6 +19,9 @@ enum class StatusCode {
   kCorruption,
   kInternal,
   kUnimplemented,
+  /// Transient failure (an injected or real I/O hiccup); the operation is
+  /// safe to retry. The only code BatchSelect's bounded retry loop retries.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -55,6 +58,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// True for transient failures that a retry may clear.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -42,10 +42,12 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
                             const IdfMeasure& measure, const PreparedQuery& q,
                             double tau, const SelectOptions& options,
                             bool hybrid) {
+  tau = ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
+  ControlPoller poller(options.control, counters);
   const double prune_at = PruneThreshold(tau);
   LengthWindow window;
   double total_weight = 0.0;
@@ -55,7 +57,8 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
     bounds_span.SetItems(n);
     window = ComputeLengthWindow(q, tau, options.length_bounding);
     total_weight = TotalWeight(q);
-    if (prune_at > 0.0) lambda1 = total_weight / (prune_at * q.length);
+    // ClampTau guarantees prune_at > 0, so λ₁ is always defined.
+    lambda1 = total_weight / (prune_at * q.length);
   }
 
   // Spans never exceed the hi bound, so exhaustion checks and span clipping
@@ -126,12 +129,18 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
   obs::TraceScope rounds_span(options.trace, "rounds");
   const size_t bp = index.block_postings();
   uint64_t rounds = 0;
+  bool tripped = false;
   for (;;) {
     ++rounds;
     bool all_done = true;
     for (size_t i = 0; i < n; ++i) {
       if (check_done(i)) continue;
       all_done = false;
+      // Control poll, once per span fetch (off the per-posting path).
+      if (poller.ShouldStop()) {
+        tripped = true;
+        break;
+      }
       // One block-sized span per list per round (the batched form of the
       // paper's one-posting round-robin). f is recomputed per round either
       // way, so admission within the batch uses the same — conservative —
@@ -199,6 +208,7 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
         }
       }
     }
+    if (tripped) break;
     recompute_f();
 
     const bool do_scan =
@@ -206,6 +216,13 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
     if (do_scan) {
       for (auto it = cands.begin(); it != cands.end();) {
         ++counters.candidate_scan_steps;
+        // Control poll once per scan batch: the sweep itself can dominate
+        // on huge candidate sets.
+        if ((counters.candidate_scan_steps & 1023u) == 0 &&
+            poller.ShouldStop()) {
+          tripped = true;
+          break;
+        }
         Candidate& cand = it->second;
         // Resolve absences: exhausted/abandoned lists, and Order
         // Preservation against each frontier.
@@ -245,15 +262,31 @@ QueryResult NraFamilySelect(const InvertedIndex& index,
         ++it;
       }
     }
+    if (tripped) break;
 
     if (all_done && cands.empty()) break;
     if (!all_done && f < prune_at && cands.empty()) break;
   }
   rounds_span.SetItems(rounds);
 
-  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  Status io_status;
+  for (size_t i = 0; i < n; ++i) {
+    cursors[i].MarkComplete();
+    if (io_status.ok() && !cursors[i].ok()) io_status = cursors[i].status();
+  }
+  if (tripped) {
+    // The matches reported so far were fully resolved (exact scores); the
+    // surviving candidates have incomplete bitmaps, so each gets one exact
+    // verification before being reported.
+    result.termination = poller.termination();
+    std::vector<uint32_t> ids;
+    ids.reserve(cands.size());
+    for (const auto& [id, cand] : cands) ids.push_back(id);
+    VerifyPartialCandidates(measure, q, tau, ids, &result);
+  }
   counters.results = result.matches.size();
   internal::SortMatches(&result.matches);
+  if (!io_status.ok()) FailResult(std::move(io_status), &result);
   return result;
 }
 

@@ -1,12 +1,23 @@
 #include "core/linear_scan.h"
 
+#include "core/internal.h"
+
 namespace simsel {
 
 QueryResult LinearScanSelect(const SimilarityMeasure& measure,
                              const Collection& collection,
-                             const PreparedQuery& q, double tau) {
+                             const PreparedQuery& q, double tau,
+                             const SelectOptions& options) {
+  tau = internal::ClampTau(tau);
   QueryResult result;
+  internal::ControlPoller poller(options.control, result.counters);
   for (SetId s = 0; s < collection.size(); ++s) {
+    // Control poll once per batch of rows; a trip leaves the literal
+    // id-prefix [0, s) scanned so far, every score exact.
+    if ((s & 1023u) == 0 && poller.ShouldStop()) {
+      result.termination = poller.termination();
+      break;
+    }
     ++result.counters.rows_scanned;
     double score = measure.Score(q, s);
     if (score >= tau) result.matches.push_back(Match{s, score});

@@ -9,10 +9,12 @@ namespace simsel {
 /// Exhaustive baseline: scores every database set against the query and
 /// reports those with score >= tau. No index is used; this is the ground
 /// truth the property tests compare every other algorithm against, and the
-/// scorer behind the Table I precision experiment.
+/// scorer behind the Table I precision experiment. Only `options.control`
+/// is honored; a trip yields the literal id-prefix scanned so far.
 QueryResult LinearScanSelect(const SimilarityMeasure& measure,
                              const Collection& collection,
-                             const PreparedQuery& q, double tau);
+                             const PreparedQuery& q, double tau,
+                             const SelectOptions& options = {});
 
 }  // namespace simsel
 

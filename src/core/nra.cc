@@ -22,10 +22,12 @@ QueryResult NraSelect(const InvertedIndex& index, const IdfMeasure& measure,
                       const PreparedQuery& q, double tau,
                       const SelectOptions& options) {
   using internal::PruneThreshold;
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
   const double prune_at = PruneThreshold(tau);
 
   std::vector<ListCursor> cursors;
@@ -52,7 +54,10 @@ QueryResult NraSelect(const InvertedIndex& index, const IdfMeasure& measure,
   };
   recompute_f();
 
+  bool tripped = false;
   for (;;) {
+    // Control poll once per round-robin pass.
+    if (poller.ShouldStop()) break;
     bool all_done = true;
     for (size_t i = 0; i < n; ++i) {
       if (cursors[i].AtEnd()) continue;
@@ -81,6 +86,11 @@ QueryResult NraSelect(const InvertedIndex& index, const IdfMeasure& measure,
     if (do_scan) {
       for (auto it = cands.begin(); it != cands.end();) {
         ++counters.candidate_scan_steps;
+        if ((counters.candidate_scan_steps & 1023u) == 0 &&
+            poller.ShouldStop()) {
+          tripped = true;
+          break;
+        }
         Candidate& cand = it->second;
         // Upper bound: known contributions plus each missing list's
         // frontier contribution w_i(f_i) (0 once the list is exhausted).
@@ -109,13 +119,27 @@ QueryResult NraSelect(const InvertedIndex& index, const IdfMeasure& measure,
       }
     }
 
+    if (tripped) break;
+
     if (all_done) break;
     if (f < prune_at && cands.empty()) break;
   }
 
-  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  Status io_status;
+  for (size_t i = 0; i < n; ++i) {
+    cursors[i].MarkComplete();
+    if (io_status.ok() && !cursors[i].ok()) io_status = cursors[i].status();
+  }
+  if (poller.termination() != Termination::kCompleted) {
+    result.termination = poller.termination();
+    std::vector<uint32_t> ids;
+    ids.reserve(cands.size());
+    for (const auto& [id, cand] : cands) ids.push_back(id);
+    internal::VerifyPartialCandidates(measure, q, tau, ids, &result);
+  }
   counters.results = result.matches.size();
   internal::SortMatches(&result.matches);
+  if (!io_status.ok()) internal::FailResult(std::move(io_status), &result);
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/bitset.h"
 #include "common/logging.h"
@@ -17,11 +19,24 @@ std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
   std::vector<QueryResult> results(queries.size());
   // One QueryTrace records one query on one thread; a trace shared across
   // the batch would race. Strip it — callers wanting spans trace single
-  // queries through Select directly.
+  // queries through Select directly. The control stays: its fields are
+  // shareable (the cancel token is atomic, the rest read-only) and the
+  // absolute deadline is exactly what bounds a whole batch.
   SelectOptions per_query = options;
   per_query.trace = nullptr;
+  constexpr int kMaxAttempts = 3;
+  constexpr auto kBackoffBase = std::chrono::microseconds(100);
   ParallelFor(pool, queries.size(), [&](size_t i) {
-    results[i] = selector.Select(queries[i], tau, kind, per_query);
+    for (int attempt = 0;; ++attempt) {
+      results[i] = selector.Select(queries[i], tau, kind, per_query);
+      const Status& st = results[i].status;
+      if (st.ok() || !st.IsTransient() || attempt + 1 >= kMaxAttempts) break;
+      if (per_query.control.has_deadline() &&
+          QueryControl::Clock::now() >= per_query.control.deadline) {
+        break;  // no time left to retry; surface the transient failure
+      }
+      std::this_thread::sleep_for(kBackoffBase * (1 << attempt));
+    }
   });
   return results;
 }
@@ -29,7 +44,9 @@ std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
 QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
                                      const Collection& collection,
                                      const PreparedQuery& q, double tau,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool,
+                                     const SelectOptions& options) {
+  tau = internal::ClampTau(tau);
   const size_t num_shards = std::max<size_t>(1, pool->num_threads());
   const size_t n = collection.size();
   const size_t shard_size = (n + num_shards - 1) / num_shards;
@@ -39,7 +56,12 @@ QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
     SetId begin = static_cast<SetId>(std::min(n, shard * shard_size));
     SetId end = static_cast<SetId>(std::min(n, (shard + 1) * shard_size));
     QueryResult& out = shards[shard];
+    internal::ControlPoller poller(options.control, out.counters);
     for (SetId s = begin; s < end; ++s) {
+      if (((s - begin) & 1023u) == 0 && poller.ShouldStop()) {
+        out.termination = poller.termination();
+        break;
+      }
       ++out.counters.rows_scanned;
       double score = measure.Score(q, s);
       if (score >= tau) out.matches.push_back(Match{s, score});
@@ -51,6 +73,10 @@ QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
     result.counters.Merge(shard.counters);
     result.matches.insert(result.matches.end(), shard.matches.begin(),
                           shard.matches.end());
+    // Any tripped shard makes the whole result partial.
+    if (shard.termination != Termination::kCompleted) {
+      result.termination = shard.termination;
+    }
   }
   // Shards are id-disjoint and internally sorted; a merge by id suffices,
   // and shard order is already ascending-id order.
@@ -63,8 +89,10 @@ namespace {
 // Merges one id range [lo_id, hi_id) of the query's id-sorted lists.
 void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
                   const PreparedQuery& q, double tau, uint64_t lo_id,
-                  uint64_t hi_id, QueryResult* out) {
+                  uint64_t hi_id, const QueryControl& control,
+                  QueryResult* out) {
   const size_t n = q.tokens.size();
+  internal::ControlPoller poller(control, out->counters);
   struct ListSlice {
     const uint32_t* ids;
     const float* lens;
@@ -97,7 +125,21 @@ void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
     if (score >= tau) out->matches.push_back(Match{current, score});
     bits.ResetAll();
   };
+  uint64_t pops = 0;
   while (!tree.empty()) {
+    if ((++pops & 1023u) == 0 && poller.ShouldStop()) {
+      // Flushed matches are complete (shard ranges are id-disjoint); the
+      // merge head's bitmap is incomplete, so exact-verify it. The unread
+      // slice tails count as skipped.
+      out->termination = poller.termination();
+      for (const ListSlice& ls : lists) {
+        out->counters.elements_skipped += ls.end - ls.pos;
+      }
+      if (have_current) {
+        internal::VerifyPartialCandidates(measure, q, tau, {current}, out);
+      }
+      return;
+    }
     size_t i = tree.top_source();
     uint32_t id = tree.top_key();
     if (!have_current || id != current) {
@@ -121,7 +163,9 @@ void MergeIdRange(const InvertedIndex& index, const IdfMeasure& measure,
 QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
                                    const IdfMeasure& measure,
                                    const PreparedQuery& q, double tau,
-                                   ThreadPool* pool) {
+                                   ThreadPool* pool,
+                                   const SelectOptions& options) {
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
@@ -144,12 +188,16 @@ QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
   std::vector<QueryResult> partial(shards);
   ParallelFor(pool, shards, [&](size_t s) {
     auto [lo, hi] = internal::SortByIdShardRange(max_id, shards, s);
-    MergeIdRange(index, measure, q, tau, lo, hi, &partial[s]);
+    MergeIdRange(index, measure, q, tau, lo, hi, options.control,
+                 &partial[s]);
   });
   for (QueryResult& p : partial) {
     result.counters.Merge(p.counters);
     result.matches.insert(result.matches.end(), p.matches.begin(),
                           p.matches.end());
+    if (p.termination != Termination::kCompleted) {
+      result.termination = p.termination;
+    }
   }
   result.counters.results = result.matches.size();
   return result;

@@ -23,6 +23,14 @@ namespace simsel {
 
 /// Runs one selection per query string concurrently on `pool`. Results are
 /// positionally aligned with `queries`.
+///
+/// `options.control` applies to every query of the batch: the deadline is
+/// absolute, so queries dispatched later simply inherit less remaining time,
+/// and one cancel token stops the whole batch. A query whose result carries
+/// a transient failure Status (kUnavailable — e.g. an injected storage
+/// fault) is retried up to two more times with bounded exponential backoff,
+/// unless the deadline has already passed; the final attempt's Status is
+/// surfaced in its QueryResult rather than crashing the batch.
 std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
                                      const std::vector<std::string>& queries,
                                      double tau, AlgorithmKind kind,
@@ -31,10 +39,15 @@ std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
 
 /// Exhaustive scan sharded over the pool; exact same result (ids, canonical
 /// scores, ascending id order) as LinearScanSelect. Counters are pooled.
+/// Only `options.control` is honored. Deadline and cancellation are polled
+/// by every shard; the element budget is checked against each shard's own
+/// counters (a per-shard approximation — a parallel scan may read up to
+/// `shards` times the budget before every worker trips).
 QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
                                      const Collection& collection,
                                      const PreparedQuery& q, double tau,
-                                     ThreadPool* pool);
+                                     ThreadPool* pool,
+                                     const SelectOptions& options = {});
 
 /// Intra-query parallel sort-by-id merge: the id space is partitioned into
 /// one contiguous range per worker, each worker binary-searches its range's
@@ -42,10 +55,15 @@ QueryResult ParallelLinearScanSelect(const SimilarityMeasure& measure,
 /// over its slice. Ranges are disjoint, so results concatenate in id order
 /// with no cross-thread coordination — the "parallel version" of the
 /// paper's Section III-B baseline. Exact same matches as SortByIdSelect.
+/// Only `options.control` is honored, with the same per-shard budget
+/// approximation as ParallelLinearScanSelect; a tripped shard reports its
+/// flushed matches (complete — shard id ranges are disjoint) plus an
+/// exact-verified merge head.
 QueryResult ParallelSortByIdSelect(const InvertedIndex& index,
                                    const IdfMeasure& measure,
                                    const PreparedQuery& q, double tau,
-                                   ThreadPool* pool);
+                                   ThreadPool* pool,
+                                   const SelectOptions& options = {});
 
 namespace internal {
 

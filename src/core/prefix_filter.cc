@@ -16,10 +16,12 @@ QueryResult PrefixFilterSelect(const InvertedIndex& index,
   using internal::ComputeLengthWindow;
   using internal::kPruneSlack;
   using internal::LengthWindow;
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
   const LengthWindow window =
       ComputeLengthWindow(q, tau, options.length_bounding);
 
@@ -35,7 +37,7 @@ QueryResult PrefixFilterSelect(const InvertedIndex& index,
   // so floating point can never shrink the prefix too far). Without length
   // bounding there is no usable bound: the prefix is the whole query.
   size_t prefix = n;
-  if (options.length_bounding && tau > 0.0) {
+  if (options.length_bounding) {  // ClampTau guarantees tau > 0
     double budget =
         tau * (tau * (1.0 - kPruneSlack)) * q.length * q.length;
     double suffix_weight = 0.0;
@@ -49,18 +51,34 @@ QueryResult PrefixFilterSelect(const InvertedIndex& index,
 
   // Candidate generation: union of the prefix lists inside the window.
   std::unordered_set<uint32_t> candidates;
-  for (size_t k = 0; k < prefix; ++k) {
+  Status io_status;
+  bool tripped = false;
+  uint64_t gen_steps = 0;
+  for (size_t k = 0; k < prefix && !tripped; ++k) {
+    // Per-list poll (mirrors SF's per-span cadence): a control that tripped
+    // before or between lists stops generation without opening the next one.
+    if (poller.ShouldStop()) {
+      tripped = true;
+      break;
+    }
     ListCursor cursor(index, q.tokens[perm[k]], options.use_skip_index,
                       &counters, options.buffer_pool,
                       options.posting_store);
     cursor.SeekLengthGE(window.lo);
     while (cursor.positioned() && cursor.len() <= window.hi) {
+      // Control poll per batch; a trip jumps straight to verification of
+      // the candidates collected so far (already the exact-score path).
+      if ((++gen_steps & 511u) == 0 && poller.ShouldStop()) {
+        tripped = true;
+        break;
+      }
       if (candidates.insert(cursor.id()).second) {
         ++counters.candidate_inserts;
       }
       cursor.Next();
     }
     cursor.MarkComplete();
+    if (io_status.ok() && !cursor.ok()) io_status = cursor.status();
   }
   // Count the unopened suffix lists toward the pruning denominator, like
   // every other algorithm (their elements are never touched).
@@ -72,7 +90,17 @@ QueryResult PrefixFilterSelect(const InvertedIndex& index,
   // Verification: exact canonical score per candidate (a record fetch).
   std::vector<uint32_t> ordered(candidates.begin(), candidates.end());
   std::sort(ordered.begin(), ordered.end());
+  // A generation trip makes this loop the partial-result epilogue (like
+  // VerifyPartialCandidates elsewhere): it runs to completion over the
+  // collected candidates. Only an un-tripped run polls here, so a trip
+  // during full verification stops with the sound prefix reported so far.
+  const bool gen_tripped = tripped;
+  uint64_t verify_steps = 0;
   for (uint32_t id : ordered) {
+    if (!gen_tripped && (++verify_steps & 255u) == 0 && poller.ShouldStop()) {
+      tripped = true;
+      break;
+    }
     ++counters.rows_scanned;
     double score = measure.Score(q, id);
     if (score >= tau) {
@@ -81,7 +109,9 @@ QueryResult PrefixFilterSelect(const InvertedIndex& index,
       ++counters.candidate_prunes;
     }
   }
+  if (tripped) result.termination = poller.termination();
   counters.results = result.matches.size();
+  if (!io_status.ok()) internal::FailResult(std::move(io_status), &result);
   return result;
 }
 

@@ -155,6 +155,20 @@ QueryResult SimilaritySelector::SelectPrepared(
   m.queries->Increment();
   m.latency_usec->Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
   FlushQueryCounters(result.counters);
+  if (result.termination != Termination::kCompleted) {
+    // One counter per trip reason; resolved lazily (tripped queries are the
+    // exception, completed ones pay nothing here).
+    obs::MetricsRegistry::Global()
+        .GetCounter("simsel_query_terminations_total",
+                    obs::LabelPair("reason",
+                                   TerminationName(result.termination)))
+        ->Increment();
+  }
+  if (!result.status.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("simsel_query_failures_total")
+        ->Increment();
+  }
   return result;
 }
 
@@ -164,13 +178,13 @@ QueryResult SimilaritySelector::Dispatch(const PreparedQuery& q, double tau,
   obs::TraceScope span(options.trace, AlgorithmKindName(kind));
   switch (kind) {
     case AlgorithmKind::kLinearScan:
-      return LinearScanSelect(*measure_, *collection_, q, tau);
+      return LinearScanSelect(*measure_, *collection_, q, tau, options);
     case AlgorithmKind::kSql:
       SIMSEL_CHECK_MSG(gram_table_ != nullptr,
                        "SQL baseline requires build_sql_baseline");
       return SqlBaselineSelect(*gram_table_, *measure_, q, tau, options);
     case AlgorithmKind::kSortById:
-      return SortByIdSelect(*index_, *measure_, q, tau);
+      return SortByIdSelect(*index_, *measure_, q, tau, options);
     case AlgorithmKind::kTa:
       // Classic TA: semantic-property flags forced off, but environment
       // options (buffer pool, posting store) still apply.

@@ -67,6 +67,13 @@ class SimilaritySelector {
 
   /// Selection: every set with IDF similarity >= tau, via `kind`
   /// (default SF, the paper's overall winner).
+  ///
+  /// τ ≤ 0 (or any non-finite value) is clamped, identically by every
+  /// algorithm, to the smallest supported threshold — see
+  /// internal::ClampTau; τ > 1 is mathematically unsatisfiable for the
+  /// normalized IDF measure and yields an empty result. `options.control`
+  /// bounds the run (deadline / element budget / cancellation); a tripped
+  /// query returns a sound partial result with QueryResult::termination set.
   QueryResult Select(std::string_view query, double tau,
                      AlgorithmKind kind = AlgorithmKind::kSf,
                      const SelectOptions& options = SelectOptions()) const;

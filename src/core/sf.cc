@@ -39,10 +39,13 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
   using internal::kPruneSlack;
   using internal::LengthWindow;
   using internal::PruneThreshold;
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
+  Status io_status;
   const double prune_at = PruneThreshold(tau);
   LengthWindow window;
   std::vector<size_t> perm(n);
@@ -80,12 +83,10 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
                         options.posting_store);
       // λ_k: the deepest length at which a set first seen here could still
       // reach τ, assuming it appears in this and every later list
-      // (Equation 2). Unbounded when τ = 0: everything matches. Uses the
-      // same slacked threshold as viable() so admission and scan depth
-      // agree exactly across lists.
-      double lambda = prune_at > 0.0
-                          ? suffix[k] / (prune_at * q.length)
-                          : std::numeric_limits<double>::infinity();
+      // (Equation 2). ClampTau guarantees prune_at > 0, so the division is
+      // always defined. Uses the same slacked threshold as viable() so
+      // admission and scan depth agree exactly across lists.
+      double lambda = suffix[k] / (prune_at * q.length);
       // All depth arithmetic in double so no float rounding can cut the
       // scan short of the admission bound.
       double mu = std::min<double>(lambda, window.hi);
@@ -113,8 +114,14 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
       PostingSpan span;
       size_t si = 0;
       bool more = true;
+      bool tripped = false;
       for (;;) {
         if (si >= span.count && more) {
+          // Control poll, once per span (off the per-posting path).
+          if (poller.ShouldStop()) {
+            tripped = true;
+            break;
+          }
           span = cursor.NextSpan(bp, stop_f);
           si = 0;
           more = !span.empty();
@@ -161,20 +168,39 @@ QueryResult SfSelect(const InvertedIndex& index, const IdfMeasure& measure,
           ++si;
         }
       }
-      cands.swap(next);
       cursor.MarkComplete();
+      if (io_status.ok() && !cursor.ok()) io_status = cursor.status();
+      if (tripped) {
+        // Trip epilogue: candidates in flight are `next` (already merged
+        // this round) plus the unmerged tail of `cands`; their bitmaps are
+        // incomplete, so report them through exact verification only.
+        next.insert(next.end(), std::make_move_iterator(cands.begin() + ci),
+                    std::make_move_iterator(cands.end()));
+        cands.swap(next);
+        break;
+      }
+      cands.swap(next);
       list_span.SetItems(cands.size());
     }
   }
 
   obs::TraceScope verify_span(options.trace, "verify");
   verify_span.SetItems(cands.size());
-  for (const Candidate& c : cands) {
-    double score = measure.ScoreFromBits(q, c.present, c.len);
-    if (score >= tau) result.matches.push_back(Match{c.id, score});
+  if (poller.termination() != Termination::kCompleted) {
+    result.termination = poller.termination();
+    std::vector<uint32_t> ids;
+    ids.reserve(cands.size());
+    for (const Candidate& c : cands) ids.push_back(c.id);
+    internal::VerifyPartialCandidates(measure, q, tau, ids, &result);
+  } else {
+    for (const Candidate& c : cands) {
+      double score = measure.ScoreFromBits(q, c.present, c.len);
+      if (score >= tau) result.matches.push_back(Match{c.id, score});
+    }
   }
   counters.results = result.matches.size();
   internal::SortMatches(&result.matches);
+  if (!io_status.ok()) internal::FailResult(std::move(io_status), &result);
   return result;
 }
 

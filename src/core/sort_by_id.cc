@@ -9,7 +9,8 @@ namespace simsel {
 
 QueryResult SortByIdSelect(const InvertedIndex& index,
                            const IdfMeasure& measure, const PreparedQuery& q,
-                           double tau) {
+                           double tau, const SelectOptions& options) {
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
@@ -25,6 +26,12 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
   std::vector<ListState> lists(n);
   const size_t per_page = index.entries_per_page();
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
+  // Without a control the merge always drains every list, so the accounting
+  // is known up front and the merge loop stays key comparisons only. With
+  // an active control the charges move into the loop so a budget poll (and
+  // a tripped result) sees the work actually done, not the projection.
+  const bool hoist_accounting = !options.control.active();
 
   LoserTree<uint32_t> tree(n);
   for (size_t i = 0; i < n; ++i) {
@@ -33,10 +40,7 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
     counters.elements_total += lists[i].size;
     tree.SetInitial(i, lists[i].size > 0 ? lists[i].ids[0] : 0,
                     lists[i].size > 0);
-    // The merge always drains every list, so the accounting is known up
-    // front: every posting is read, one sequential page charge per page.
-    // Hoisting it here keeps the merge loop to key comparisons only.
-    if (lists[i].size > 0) {
+    if (hoist_accounting && lists[i].size > 0) {
       counters.elements_read += lists[i].size;
       counters.seq_page_reads += (lists[i].size + per_page - 1) / per_page;
     }
@@ -49,6 +53,7 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
   uint32_t current = 0;
   float current_len = 0.0f;
   bool have_current = false;
+  bool tripped = false;
 
   auto flush = [&]() {
     if (!have_current) return;
@@ -57,7 +62,12 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
     bits.ResetAll();
   };
 
+  uint64_t pops = 0;
   while (!tree.empty()) {
+    if ((++pops & 1023u) == 0 && poller.ShouldStop()) {
+      tripped = true;
+      break;
+    }
     size_t i = tree.top_source();
     uint32_t id = tree.top_key();
     if (!have_current || id != current) {
@@ -67,13 +77,29 @@ QueryResult SortByIdSelect(const InvertedIndex& index,
       have_current = true;
     }
     bits.Set(i);
-    // Advance list i (its reads were charged up front).
+    // Advance list i.
     ListState& ls = lists[i];
+    if (!hoist_accounting) {
+      ++counters.elements_read;
+      if (ls.pos % per_page == 0) ++counters.seq_page_reads;
+    }
     ++ls.pos;
     bool valid = ls.pos < ls.size;
     tree.Replace(valid ? ls.ids[ls.pos] : 0, valid);
   }
-  flush();
+  if (tripped) {
+    // The id under the merge head has an incomplete bitmap; exact-verify it.
+    // Unconsumed list tails count as skipped, like a pruned suffix.
+    result.termination = poller.termination();
+    for (const ListState& ls : lists) {
+      counters.elements_skipped += ls.size - ls.pos;
+    }
+    if (have_current) {
+      internal::VerifyPartialCandidates(measure, q, tau, {current}, &result);
+    }
+  } else {
+    flush();
+  }
 
   counters.results = result.matches.size();
   internal::SortMatches(&result.matches);

@@ -13,10 +13,12 @@ namespace simsel {
 /// list is read completely — the algorithm performs no pruning, so its cost
 /// is flat in the threshold — but sets sharing no token with the query are
 /// never touched. Requires the index to have been built with
-/// `build_id_lists`.
+/// `build_id_lists`. Only `options.control` is honored (the merge has no
+/// use for the pruning toggles); with an active control the read accounting
+/// switches from hoisted to per-posting so budget trips see true totals.
 QueryResult SortByIdSelect(const InvertedIndex& index,
                            const IdfMeasure& measure, const PreparedQuery& q,
-                           double tau);
+                           double tau, const SelectOptions& options = {});
 
 /// The same merge over delta-varint compressed lists (see
 /// index/compressed_lists.h): identical results, ~3-5x fewer list bytes, at

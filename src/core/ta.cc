@@ -17,12 +17,14 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
                            const IdfMeasure& measure, const PreparedQuery& q,
                            double tau, const SelectOptions& options,
                            bool improved) {
+  tau = ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   SIMSEL_CHECK_MSG(index.options().build_hash,
                    "TA needs an index built with build_hash");
   AccessCounters& counters = result.counters;
+  ControlPoller poller(options.control, counters);
 
   const bool use_lb = improved && options.length_bounding;
   const bool use_skip = improved && options.use_skip_index;
@@ -71,6 +73,13 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
   uint64_t rounds = 0;
   for (;;) {
     ++rounds;
+    // Control poll once per round (n postings + their probes): every match
+    // reported so far is fully resolved, so a trip needs no extra
+    // verification.
+    if (poller.ShouldStop()) {
+      result.termination = poller.termination();
+      break;
+    }
     bool all_done = true;
     for (size_t i = 0; i < n; ++i) {
       if (list_done(i)) continue;
@@ -120,9 +129,14 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
   }
   rounds_span.SetItems(rounds);
 
-  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  Status io_status;
+  for (size_t i = 0; i < n; ++i) {
+    cursors[i].MarkComplete();
+    if (io_status.ok() && !cursors[i].ok()) io_status = cursors[i].status();
+  }
   counters.results = result.matches.size();
   SortMatches(&result.matches);
+  if (!io_status.ok()) FailResult(std::move(io_status), &result);
   return result;
 }
 

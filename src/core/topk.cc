@@ -63,6 +63,7 @@ QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
   const size_t n = q.tokens.size();
   if (n == 0 || k == 0) return result;
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
   const double total_weight = internal::TotalWeight(q);
 
   std::vector<ListCursor> cursors;
@@ -122,6 +123,13 @@ QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
   size_t round = 0;
   for (;;) {
     ++round;
+    // Control poll once per round. A top-k trip returns the current pool:
+    // every entry is a genuinely completed set with its exact score, though
+    // not necessarily the global best k (see Termination).
+    if (poller.ShouldStop()) {
+      result.termination = poller.termination();
+      break;
+    }
     // Adaptive Length Boundedness: skip every list forward to the lower
     // bound implied by the current threshold.
     if (options.length_bounding && threshold > 0.0) {
@@ -221,7 +229,11 @@ QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
     }
   }
 
-  for (size_t i = 0; i < n; ++i) cursors[i].MarkComplete();
+  Status io_status;
+  for (size_t i = 0; i < n; ++i) {
+    cursors[i].MarkComplete();
+    if (io_status.ok() && !cursors[i].ok()) io_status = cursors[i].status();
+  }
   result.matches.assign(pool.begin(), pool.end());
   std::sort(result.matches.begin(), result.matches.end(),
             [](const Match& a, const Match& b) {
@@ -229,6 +241,7 @@ QueryResult TopKSelect(const InvertedIndex& index, const IdfMeasure& measure,
               return a.id < b.id;
             });
   counters.results = result.matches.size();
+  if (!io_status.ok()) internal::FailResult(std::move(io_status), &result);
   return result;
 }
 

@@ -1,11 +1,14 @@
 #ifndef SIMSEL_CORE_TYPES_H_
 #define SIMSEL_CORE_TYPES_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "index/collection.h"
 
 namespace simsel {
@@ -23,14 +26,86 @@ struct Match {
   double score;
 };
 
+/// How a query run ended. Anything other than kCompleted means the result is
+/// a *partial*: every reported match is a true match with its exact
+/// canonical score (a sound subset of the complete answer), but further
+/// matches may have been cut off by the tripped limit.
+enum class Termination : uint8_t {
+  kCompleted = 0,  ///< ran to the end; the result is the complete answer
+  kDeadline,       ///< QueryControl::deadline passed mid-query
+  kBudget,         ///< QueryControl::max_elements_read exceeded
+  kCancelled,      ///< QueryControl::cancel token observed true
+};
+
+inline const char* TerminationName(Termination t) {
+  switch (t) {
+    case Termination::kCompleted:
+      return "completed";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kBudget:
+      return "budget";
+    case Termination::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Per-query execution limits. All limits are optional and compose; the
+/// algorithms poll them once per posting span / candidate-scan batch (off
+/// the per-posting hot path), so a tripped control stops the query within
+/// one block of extra work and returns a valid partial QueryResult with
+/// `termination` set. The default-constructed control never trips.
+struct QueryControl {
+  using Clock = std::chrono::steady_clock;
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// Absolute wall-clock deadline on the monotonic clock. Absolute rather
+  /// than a duration so one value bounds a whole retry/batch pipeline:
+  /// queries dispatched later in a batch inherit the remaining time.
+  Clock::time_point deadline = kNoDeadline;
+  /// Budget on work done: elements_read + rows_scanned (postings decoded
+  /// plus base-table/B-tree rows fetched, the dominant per-algorithm work
+  /// unit). 0 means unlimited. The budget is a trip wire, not a hard cap:
+  /// the query stops at the first poll after crossing it, so overshoot is
+  /// bounded by one posting span / scan batch.
+  uint64_t max_elements_read = 0;
+  /// Caller-owned cancellation token (borrowed; may be shared by any number
+  /// of concurrent queries). Set it to true from any thread and every query
+  /// polling it stops at its next poll with kCancelled.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool has_deadline() const { return deadline != kNoDeadline; }
+  /// True when any limit is set (the poller short-circuits otherwise).
+  bool active() const {
+    return has_deadline() || max_elements_read > 0 || cancel != nullptr;
+  }
+  /// Convenience: a deadline `ms` milliseconds from now.
+  static Clock::time_point DeadlineAfterMillis(int64_t ms) {
+    return Clock::now() + std::chrono::milliseconds(ms);
+  }
+};
+
 /// Output of one selection query: matches sorted by ascending id, plus the
 /// access accounting the benchmarks aggregate.
 struct QueryResult {
   std::vector<Match> matches;
   AccessCounters counters;
+  /// How the run ended. Anything but kCompleted marks a partial result (see
+  /// Termination); counters always reflect the work actually performed.
+  Termination termination = Termination::kCompleted;
+  /// Non-OK when a storage read failed mid-query (see FaultInjector).
+  /// `matches` is then cleared — a failed read means the result can no
+  /// longer be trusted — and callers (BatchSelect) retry transient codes.
+  Status status;
   /// The per-phase trace this query was run with (== SelectOptions::trace),
   /// filled by the time the result is returned; null when tracing was off.
   const obs::QueryTrace* trace = nullptr;
+
+  /// True when this is the full, trustworthy answer.
+  bool complete() const {
+    return termination == Termination::kCompleted && status.ok();
+  }
 };
 
 /// Feature toggles of the selection algorithms. Defaults enable everything
@@ -74,6 +149,11 @@ struct SelectOptions {
   /// strips it for that reason); null (the default) costs a single pointer
   /// test per phase.
   obs::QueryTrace* trace = nullptr;
+  /// Per-query deadline/budget/cancellation limits. Default: no limits.
+  /// Unlike the trace, the control may be shared across concurrent queries
+  /// (the cancel token is an atomic, the other fields are read-only), so
+  /// BatchSelect passes it through unchanged.
+  QueryControl control;
 };
 
 /// The algorithms of the paper's evaluation (Section VIII).

@@ -15,6 +15,7 @@ struct CursorMetrics {
   obs::Counter* lists_opened;
   obs::Counter* postings_read;
   obs::Counter* postings_skipped;
+  obs::Counter* read_faults;
 };
 
 const CursorMetrics& GetCursorMetrics() {
@@ -22,7 +23,8 @@ const CursorMetrics& GetCursorMetrics() {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     return CursorMetrics{reg.GetCounter("simsel_lists_opened_total"),
                          reg.GetCounter("simsel_postings_read_total"),
-                         reg.GetCounter("simsel_postings_skipped_total")};
+                         reg.GetCounter("simsel_postings_skipped_total"),
+                         reg.GetCounter("simsel_cursor_read_faults_total")};
   }();
   return m;
 }
@@ -53,17 +55,41 @@ ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
   }
 }
 
-void ListCursor::EnsureBlock(bool random) {
-  if (store_ == nullptr) return;
+bool ListCursor::EnsureBlock(bool random) {
+  if (store_ == nullptr) return true;
   size_t pos = static_cast<size_t>(pos_);
   if (blk_count_ > 0 && pos >= blk_first_ && pos < blk_first_ + blk_count_) {
-    return;
+    return true;
   }
   size_t block = blk_ids_.size();
   blk_first_ = pos - pos % block;
+  Status st;
   blk_count_ = store_->ReadBlock(token_, blk_first_, block, blk_ids_.data(),
-                                 blk_lens_.data(), random, &store_reads_);
+                                 blk_lens_.data(), random, &store_reads_, &st);
+  if (!st.ok()) {
+    Fail(std::move(st), pos);
+    return false;
+  }
   SIMSEL_DCHECK(blk_count_ > 0);
+  return true;
+}
+
+void ListCursor::Fail(Status st, size_t first_unread) {
+  status_ = std::move(st);
+  GetCursorMetrics().read_faults->Increment();
+  blk_count_ = 0;
+  if (!completed_) {
+    completed_ = true;
+    if (first_unread < size_) {
+      local_skipped_ += size_ - first_unread;
+      if (counters_ != nullptr) {
+        counters_->elements_skipped += size_ - first_unread;
+      }
+    }
+    FlushMetrics();
+  }
+  // Park at end: AtEnd() true, frontier +inf, every further call a no-op.
+  pos_ = static_cast<int64_t>(size_);
 }
 
 void ListCursor::TouchPool(int64_t page) {
@@ -136,7 +162,7 @@ void ListCursor::Next() {
   if (AtEnd()) return;
   ++pos_;
   if (!AtEnd()) {
-    EnsureBlock(/*random=*/pending_random_);
+    if (!EnsureBlock(/*random=*/pending_random_)) return;
     if (pending_random_) {
       // A span-seek landed just before this posting; its page is reached by
       // a random jump, mirroring the landing read of SeekLengthGE.
@@ -173,7 +199,7 @@ void ListCursor::SeekLengthGE(float target) {
     pos_ = static_cast<int64_t>(dest);
     if (!AtEnd()) {
       // Landing after a random jump repositions the sequential window.
-      EnsureBlock(/*random=*/true);
+      if (!EnsureBlock(/*random=*/true)) return;
       last_page_ = pos_ / static_cast<int64_t>(entries_per_page_);
       TouchPool(last_page_);
       ++local_reads_;
@@ -188,7 +214,7 @@ void ListCursor::SeekLengthGE(float target) {
   do {
     ++pos_;
     if (AtEnd()) return;
-    EnsureBlock(/*random=*/false);
+    if (!EnsureBlock(/*random=*/false)) return;
     ChargeRead();
   } while (len() < target);
 }
@@ -221,7 +247,13 @@ void ListCursor::SeekSpanStart(float target) {
     size_t p = start;
     while (p < dest) {
       pos_ = static_cast<int64_t>(p);
-      EnsureBlock(/*random=*/false);
+      if (!EnsureBlock(/*random=*/false)) {
+        // Fail() charged [p, size) as skipped; charge the part actually
+        // pulled before the fault so read+skipped still covers the list.
+        ChargeSpan(start, p);
+        pos_ = static_cast<int64_t>(size_);
+        return;
+      }
       p = blk_first_ + blk_count_;
     }
   }
@@ -258,9 +290,14 @@ PostingSpan ListCursor::NextSpan(size_t max_count, float max_len) {
       span_ids_.resize(count);
       span_lens_.resize(count);
     }
+    Status st;
     size_t got = store_->ReadBlock(token_, start, count, span_ids_.data(),
                                    span_lens_.data(), pending_random_,
-                                   &store_reads_);
+                                   &store_reads_, &st);
+    if (!st.ok()) {
+      Fail(std::move(st), start);
+      return span;  // empty; the caller's loop sees an exhausted list
+    }
     SIMSEL_DCHECK(got == count);
     (void)got;
     span.ids = span_ids_.data();

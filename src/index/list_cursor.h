@@ -122,6 +122,14 @@ class ListCursor {
   /// elements_skipped so pruning-power accounting sees it as pruned.
   void MarkComplete();
 
+  /// Non-OK after a disk-mode read failed (see FaultInjector). A failed
+  /// cursor fails *soft*: it reads as exhausted (AtEnd, +inf frontier) so
+  /// algorithm loops wind down naturally, the unread suffix is charged to
+  /// elements_skipped, and the algorithm collects this status at exit to
+  /// surface in QueryResult::status.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
  private:
   void ChargeRead();
   /// Charges postings [start, end) as read in one step: elements, page
@@ -135,7 +143,13 @@ class ListCursor {
   void FlushMetrics();
   /// Disk mode: ensures the block holding `pos_` is buffered. `random`
   /// marks the fetch as a seek landing rather than a sequential refill.
-  void EnsureBlock(bool random);
+  /// Returns false — with the cursor failed soft (see Fail) — when the
+  /// store read failed; callers must bail out without touching the buffer.
+  bool EnsureBlock(bool random);
+  /// Fails the cursor soft: records `st`, charges [first_unread, size) to
+  /// elements_skipped, and parks the cursor at end so every further call is
+  /// a no-op.
+  void Fail(Status st, size_t first_unread);
 
   const InvertedIndex* index_;
   const uint32_t* ids_;
@@ -171,6 +185,8 @@ class ListCursor {
   // Disk-mode per-cursor physical read accounting: the store's page image is
   // shared across concurrent queries, so the sequential window lives here.
   PageReadStats store_reads_;
+  // First read failure observed on this cursor (sticky; OK while healthy).
+  Status status_;
 };
 
 }  // namespace simsel

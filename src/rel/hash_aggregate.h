@@ -27,6 +27,16 @@ class HashAggregate {
   /// Number of groups accumulated so far.
   size_t num_groups() const { return groups_.size(); }
 
+  /// Ids of every group accumulated so far (arbitrary order). Used by the
+  /// query-control trip path to exact-verify in-flight groups whose bitmaps
+  /// are still incomplete.
+  std::vector<uint32_t> Ids() const {
+    std::vector<uint32_t> ids;
+    ids.reserve(groups_.size());
+    for (const auto& [id, group] : groups_) ids.push_back(id);
+    return ids;
+  }
+
   /// Scores every group and returns the sets passing the threshold, sorted
   /// by ascending id.
   std::vector<Match> Finalize(const IdfMeasure& measure,

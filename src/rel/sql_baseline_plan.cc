@@ -11,26 +11,47 @@ QueryResult ExecuteSqlPlan(const GramTable& table, const IdfMeasure& measure,
                            const SelectOptions& options) {
   using internal::ComputeLengthWindow;
   using internal::LengthWindow;
+  tau = internal::ClampTau(tau);
   QueryResult result;
   const size_t n = q.tokens.size();
   if (n == 0) return result;
   AccessCounters& counters = result.counters;
+  internal::ControlPoller poller(options.control, counters);
   const LengthWindow window =
       ComputeLengthWindow(q, tau, options.length_bounding);
 
   HashAggregate aggregate(n);
-  for (size_t i = 0; i < n; ++i) {
+  bool tripped = false;
+  for (size_t i = 0; i < n && !tripped; ++i) {
     const TokenId gram = q.tokens[i];
     GramKey start{gram, window.lo, 0};
+    // Control poll between grams and once per batch of scanned rows.
+    if (poller.ShouldStop()) {
+      tripped = true;
+      break;
+    }
     for (auto scan = table.index().SeekGE(start, &counters); scan.Valid();
          scan.Next()) {
       const GramKey& key = scan.key();
       if (key.gram != gram || key.len > window.hi) break;
       ++counters.rows_scanned;
+      if ((counters.rows_scanned & 511u) == 0 && poller.ShouldStop()) {
+        tripped = true;
+        break;
+      }
       aggregate.Add(key.id, i, key.len);
     }
   }
-  result.matches = aggregate.Finalize(measure, q, tau);
+  if (tripped) {
+    // Groups accumulated so far have incomplete bitmaps (later grams were
+    // never scanned); exact-verify each instead of running Finalize.
+    result.termination = poller.termination();
+    internal::VerifyPartialCandidates(measure, q, tau, aggregate.Ids(),
+                                      &result);
+    internal::SortMatches(&result.matches);
+  } else {
+    result.matches = aggregate.Finalize(measure, q, tau);
+  }
   counters.results = result.matches.size();
   return result;
 }

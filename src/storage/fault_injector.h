@@ -1,0 +1,71 @@
+#ifndef SIMSEL_STORAGE_FAULT_INJECTOR_H_
+#define SIMSEL_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace simsel {
+
+/// Scripted transient-read-failure source for tests. A PagedFile consults an
+/// attached injector at the top of every ReadAt; while the injector is armed
+/// the read fails with Status::Unavailable *before* any accounting or byte
+/// copy happens, exactly like a storage layer returning EAGAIN. Arm it with
+/// FailNextReads(n) to fail the next n reads (use a huge n for a persistent
+/// outage), then let BatchSelect's bounded retry — or the test itself —
+/// observe the recovery.
+///
+/// Thread safety: fully atomic; one injector may sit under any number of
+/// concurrent query threads, and the countdown hands out exactly n failures
+/// across all of them.
+class FaultInjector {
+ public:
+  /// Arms the injector: the next `n` reads fail. Replaces (not adds to) any
+  /// previous arming.
+  void FailNextReads(uint64_t n) {
+    remaining_.store(static_cast<int64_t>(n), std::memory_order_relaxed);
+  }
+
+  /// Consult point for the storage layer: returns Unavailable and decrements
+  /// the countdown while armed, OK otherwise.
+  Status MaybeFail() {
+    // Fast path: a disarmed injector is one relaxed load.
+    if (remaining_.load(std::memory_order_relaxed) <= 0) return Status::Ok();
+    // Claim one failure; the CAS loop keeps the handed-out count exact under
+    // concurrency (never more than the armed n).
+    int64_t cur = remaining_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (remaining_.compare_exchange_weak(cur, cur - 1,
+                                           std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Unavailable("injected transient read failure");
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Total failures injected since construction/Reset.
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Reads still armed to fail.
+  uint64_t remaining() const {
+    int64_t r = remaining_.load(std::memory_order_relaxed);
+    return r > 0 ? static_cast<uint64_t>(r) : 0;
+  }
+
+  void Reset() {
+    remaining_.store(0, std::memory_order_relaxed);
+    injected_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> remaining_{0};
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_STORAGE_FAULT_INJECTOR_H_

@@ -20,6 +20,10 @@ uint64_t PagedFile::Append(const void* data, size_t len) {
 
 Status PagedFile::ReadAt(uint64_t offset, size_t len, void* dst, bool random,
                          PageReadStats* stats) const {
+  if (fault_injector_ != nullptr) {
+    Status st = fault_injector_->MaybeFail();
+    if (!st.ok()) return st;
+  }
   if (offset + len > data_.size()) {
     return Status::OutOfRange("read past end of paged file");
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/fault_injector.h"
 
 namespace simsel {
 
@@ -84,11 +85,22 @@ class PagedFile {
   /// checksum or truncated file.
   static Result<PagedFile> LoadFromFile(const std::string& path);
 
+  /// Attaches a scripted fault source (borrowed, may be null to detach).
+  /// While armed, ReadAt fails with Unavailable before touching accounting
+  /// or the destination buffer. Tests only; production images leave this
+  /// null, which costs one pointer test per read.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
  private:
   size_t page_size_;
   std::vector<uint8_t> data_;
   // Accounting for the stats-less ReadAt overload only.
   PageReadStats stats_;
+  // Borrowed test hook; consulted at the top of ReadAt.
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace simsel

@@ -49,8 +49,9 @@ uint64_t PostingStore::total_postings() const {
 
 size_t PostingStore::ReadBlock(uint32_t token, size_t first, size_t count,
                                uint32_t* ids, float* lens, bool random,
-                               PageReadStats* reader) const {
+                               PageReadStats* reader, Status* status) const {
   SIMSEL_DCHECK(token < counts_.size());
+  if (status != nullptr) *status = Status::Ok();
   const size_t n = counts_[token];
   if (first >= n) return 0;
   count = std::min(count, n - first);
@@ -63,7 +64,13 @@ size_t PostingStore::ReadBlock(uint32_t token, size_t first, size_t count,
   const uint64_t rand_before = rs->rand_reads;
   Status st = file_.ReadAt(offsets_[token] + first * kPostingBytes,
                            raw.size(), raw.data(), random, rs);
-  SIMSEL_CHECK_MSG(st.ok(), st.ToString().c_str());
+  if (!st.ok()) {
+    if (status == nullptr) {
+      SIMSEL_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+    *status = std::move(st);
+    return 0;
+  }
   seq_reads_.fetch_add(rs->seq_reads - seq_before, std::memory_order_relaxed);
   rand_reads_.fetch_add(rs->rand_reads - rand_before,
                         std::memory_order_relaxed);

@@ -65,9 +65,15 @@ class PostingStore {
   /// caller's sequential window across calls (one per cursor; required for
   /// faithful accounting under concurrency — a null reader treats each call
   /// as freshly positioned). Returns the number of postings read.
+  /// `status`, when non-null, receives the read outcome (OK, or the injected
+  /// / real failure) and a failed call returns 0 postings with the
+  /// destination buffers untouched. A null `status` keeps the historical
+  /// contract: an unexpected read failure is a checked programming error
+  /// (crash), appropriate for callers with no recovery path.
   size_t ReadBlock(uint32_t token, size_t first, size_t count, uint32_t* ids,
                    float* lens, bool random = false,
-                   PageReadStats* reader = nullptr) const;
+                   PageReadStats* reader = nullptr,
+                   Status* status = nullptr) const;
 
   /// Aggregate physical page reads across every reader of this store
   /// (relaxed atomics; exact once readers have quiesced).
@@ -85,6 +91,12 @@ class PostingStore {
   /// Persists / restores the image (checksummed; see PagedFile).
   Status Save(const std::string& path) const;
   static Result<PostingStore> Load(const std::string& path);
+
+  /// Attaches a scripted fault source to the underlying file (borrowed; null
+  /// detaches). See FaultInjector.
+  void set_fault_injector(FaultInjector* injector) {
+    file_.set_fault_injector(injector);
+  }
 
  private:
   PostingStore() : file_(PagedFile::kDefaultPageSize) {}

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "storage/posting_store.h"
+#include "test_util.h"
+
+// Boundary queries: the threshold and input edge cases every algorithm must
+// agree on — τ = 1.0 exact match, a τ that equals a match's score exactly,
+// the empty query, an all-out-of-vocabulary query, a single-token query —
+// plus the τ-clamping contract (τ ≤ 0 / NaN / > 1 handled identically by
+// every public Select entry). Linear scan is the ground truth throughout.
+
+namespace simsel {
+namespace {
+
+using testing_util::ExpectSameMatches;
+using testing_util::MakeSelector;
+
+const SimilaritySelector& Selector() {
+  static const SimilaritySelector* selector = new SimilaritySelector(
+      MakeSelector(400, /*seed=*/131, /*with_sql=*/true));
+  return *selector;
+}
+
+const PostingStore& Store() {
+  static const PostingStore* store =
+      new PostingStore(PostingStore::Build(Selector().index()));
+  return *store;
+}
+
+const AlgorithmKind kAllKinds[] = {
+    AlgorithmKind::kLinearScan, AlgorithmKind::kSql,
+    AlgorithmKind::kSortById,   AlgorithmKind::kTa,
+    AlgorithmKind::kNra,        AlgorithmKind::kIta,
+    AlgorithmKind::kInra,       AlgorithmKind::kSf,
+    AlgorithmKind::kHybrid,     AlgorithmKind::kPrefixFilter};
+
+class BoundaryModeParam : public ::testing::TestWithParam<bool> {
+ protected:
+  SelectOptions Options() const {
+    SelectOptions o;
+    if (GetParam()) o.posting_store = &Store();
+    return o;
+  }
+  std::string Context(AlgorithmKind kind) const {
+    return std::string(AlgorithmKindName(kind)) +
+           (GetParam() ? " disk" : " mem");
+  }
+};
+
+TEST_P(BoundaryModeParam, TauOneIsExactMatch) {
+  // τ = 1.0: only sets token-identical to the query can qualify. The
+  // canonical score normalizes by a float set length, so a self-score may
+  // round to just below 1.0 — pick a record whose self-score computes to
+  // exactly 1.0 so the truth set is non-trivial, then demand every
+  // algorithm reproduce it bit-for-bit.
+  const SimilaritySelector& sel = Selector();
+  SetId qid = 0;
+  bool found_exact = false;
+  for (SetId s = 0; s < sel.collection().size() && !found_exact; ++s) {
+    PreparedQuery q = sel.Prepare(sel.collection().text(s));
+    if (sel.measure().Score(q, s) >= 1.0) {
+      qid = s;
+      found_exact = true;
+    }
+  }
+  ASSERT_TRUE(found_exact)
+      << "fixture needs a record whose self-score reaches 1.0";
+  const std::string query = sel.collection().text(qid);
+  QueryResult truth =
+      sel.Select(query, 1.0, AlgorithmKind::kLinearScan, Options());
+  ASSERT_FALSE(truth.matches.empty());
+  bool found_self = false;
+  for (const Match& m : truth.matches) {
+    EXPECT_GE(m.score, 1.0);
+    found_self |= (m.id == qid);
+  }
+  EXPECT_TRUE(found_self);
+  for (AlgorithmKind kind : kAllKinds) {
+    QueryResult r = sel.Select(query, 1.0, kind, Options());
+    EXPECT_TRUE(r.complete()) << Context(kind);
+    ExpectSameMatches(truth.matches, r.matches, Context(kind) + " tau=1");
+  }
+}
+
+TEST_P(BoundaryModeParam, ScoreExactlyAtTauIsReported) {
+  // Run once at a loose threshold, then re-query with τ set to a reported
+  // score double: that set sits exactly on the boundary and a strict `>`
+  // anywhere in the pruning or reporting path would drop it.
+  const SimilaritySelector& sel = Selector();
+  std::string query;
+  double tau = 0.0;
+  SetId boundary_id = 0;
+  bool found = false;
+  for (SetId qid = 0; qid < 100 && !found; ++qid) {
+    query = sel.collection().text(qid);
+    QueryResult probe =
+        sel.Select(query, 0.5, AlgorithmKind::kLinearScan, Options());
+    for (const Match& m : probe.matches) {
+      if (m.score < 1.0 && (!found || m.score < tau)) {
+        tau = m.score;
+        boundary_id = m.id;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "fixture needs a non-exact match";
+  QueryResult truth =
+      sel.Select(query, tau, AlgorithmKind::kLinearScan, Options());
+  for (AlgorithmKind kind : kAllKinds) {
+    QueryResult r = sel.Select(query, tau, kind, Options());
+    ExpectSameMatches(truth.matches, r.matches,
+                      Context(kind) + " tau==score");
+    bool reported = false;
+    for (const Match& m : r.matches) reported |= (m.id == boundary_id);
+    EXPECT_TRUE(reported)
+        << Context(kind) << ": set " << boundary_id
+        << " with score == tau was dropped";
+  }
+}
+
+TEST_P(BoundaryModeParam, EmptyQueryYieldsEmptyResult) {
+  const SimilaritySelector& sel = Selector();
+  for (AlgorithmKind kind : kAllKinds) {
+    QueryResult r = sel.Select("", 0.5, kind, Options());
+    EXPECT_TRUE(r.complete()) << Context(kind);
+    EXPECT_TRUE(r.matches.empty()) << Context(kind);
+    EXPECT_EQ(r.counters.elements_read, 0u) << Context(kind);
+  }
+}
+
+TEST_P(BoundaryModeParam, AllOovQueryYieldsEmptyResult) {
+  // Digits never appear in the generated word corpus, so every gram is
+  // out-of-vocabulary and dropped at Prepare time.
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery q = sel.Prepare("0123456789");
+  ASSERT_TRUE(q.tokens.empty()) << "fixture corpus unexpectedly has digits";
+  for (AlgorithmKind kind : kAllKinds) {
+    QueryResult r = sel.Select("0123456789", 0.5, kind, Options());
+    EXPECT_TRUE(r.complete()) << Context(kind);
+    EXPECT_TRUE(r.matches.empty()) << Context(kind);
+  }
+}
+
+TEST_P(BoundaryModeParam, SingleTokenQueryAgreesEverywhere) {
+  // A query of exactly one token: prefix/suffix splits degenerate, list
+  // rounds have one list, every algorithm must still agree with the scan.
+  // The padding tokenizer never emits a lone gram, so the query is built
+  // directly at the PreparedQuery layer (the semantics are defined there:
+  // Score only consults tokens/weights/length).
+  const SimilaritySelector& sel = Selector();
+  PreparedQuery full = sel.Prepare(sel.collection().text(3));
+  ASSERT_FALSE(full.tokens.empty());
+  PreparedQuery q;
+  q.tokens = {full.tokens[0]};
+  q.tfs = {full.tfs[0]};
+  q.weights = {full.weights[0]};
+  q.length = std::sqrt(full.weights[0]);
+  q.multiset_size = 1;
+  for (double tau : {0.2, 0.9}) {
+    QueryResult truth =
+        sel.SelectPrepared(q, tau, AlgorithmKind::kLinearScan, Options());
+    for (AlgorithmKind kind : kAllKinds) {
+      QueryResult r = sel.SelectPrepared(q, tau, kind, Options());
+      EXPECT_TRUE(r.complete()) << Context(kind);
+      ExpectSameMatches(truth.matches, r.matches,
+                        Context(kind) + " single-token tau=" +
+                            std::to_string(tau));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BoundaryModeParam, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "DiskMode" : "MemoryMode";
+                         });
+
+TEST(TauClampTest, OutOfRangeTauIsClampedIdentically) {
+  // τ ≤ 0 and non-finite values clamp to the same minimal threshold at
+  // every public entry — no algorithm may crash, loop, or diverge from the
+  // scan. (The old behavior leaned on scattered internal `tau > 0` guards
+  // with per-algorithm outcomes.)
+  const SimilaritySelector& sel = Selector();
+  const std::string query = sel.collection().text(9);
+  const double bad_taus[] = {0.0, -1.0, -1e30,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             -std::numeric_limits<double>::infinity()};
+  for (double tau : bad_taus) {
+    QueryResult truth =
+        sel.Select(query, tau, AlgorithmKind::kLinearScan, {});
+    // The clamped threshold is positive: only sets with actual overlap.
+    for (const Match& m : truth.matches) EXPECT_GT(m.score, 0.0);
+    for (AlgorithmKind kind : kAllKinds) {
+      QueryResult r = sel.Select(query, tau, kind, {});
+      EXPECT_TRUE(r.complete()) << AlgorithmKindName(kind);
+      ExpectSameMatches(truth.matches, r.matches,
+                        std::string(AlgorithmKindName(kind)) + " tau=" +
+                            std::to_string(tau));
+    }
+  }
+}
+
+TEST(TauClampTest, ImpossibleTauYieldsEmptyEverywhere) {
+  // IDF similarity never exceeds 1: τ > 1 passes through the clamp (the
+  // upper range is measure-dependent — BM25 runs above 1) and every
+  // algorithm naturally reports nothing.
+  const SimilaritySelector& sel = Selector();
+  const std::string query = sel.collection().text(9);
+  for (double tau : {1.5, 100.0}) {
+    for (AlgorithmKind kind : kAllKinds) {
+      QueryResult r = sel.Select(query, tau, kind, {});
+      EXPECT_TRUE(r.complete()) << AlgorithmKindName(kind);
+      EXPECT_TRUE(r.matches.empty())
+          << AlgorithmKindName(kind) << " tau=" << tau;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simsel
