@@ -22,6 +22,12 @@
 //   simsel_cli join <records.txt> <index.simsel> [--tau=75]
 //       Self-join: lists duplicate clusters among the records.
 //
+//   simsel_cli serve <records.txt> ["<text>"] [--shards=N] [--cache-mb=M]
+//       Scatter-gather serving: partitions the records into N shards, runs
+//       each query across them on a thread pool and caches complete answers
+//       in a versioned LRU result cache (see docs/ARCHITECTURE.md). One
+//       query when <text> is given, otherwise a repl.
+//
 //   simsel_cli --explain "<text>" [--tau 0.8] [--words=N] [--stats]
 //       Builds a self-contained demo environment, runs the query with SF,
 //       iNRA and Hybrid, and prints the per-phase trace (durations, item
@@ -43,7 +49,9 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/selector.h"
 #include "core/self_join.h"
@@ -53,25 +61,52 @@
 #include "obs/export.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "serve/sharded_selector.h"
 
 namespace {
 
 using namespace simsel;
 
+// One help text for both paths: `--help` prints it on stdout and exits 0;
+// a usage error prints it on stderr and exits 2. scripts/check_docs.py
+// cross-checks every flag the documentation mentions against this output.
+constexpr char kHelp[] =
+    "usage: simsel_cli <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  build <records.txt> <index.simsel>        tokenize the records (one\n"
+    "                                            per line) and save the index\n"
+    "  query <records.txt> <index.simsel> <text> run one selection\n"
+    "  repl  <records.txt> <index.simsel>        one query per stdin line\n"
+    "  stats <records.txt> <index.simsel>        index size breakdown\n"
+    "  join  <records.txt> <index.simsel>        self-join duplicate clusters\n"
+    "  serve <records.txt> [<text>]              sharded scatter-gather\n"
+    "                                            serving with a result cache;\n"
+    "                                            runs one query when <text>\n"
+    "                                            is given, else a repl\n"
+    "  --explain \"<text>\"                        self-contained demo: per-\n"
+    "                                            phase trace for SF/iNRA/\n"
+    "                                            Hybrid on a synthetic corpus\n"
+    "  --stats                                   demo workload, then dump the\n"
+    "                                            metrics registry\n"
+    "\n"
+    "options:\n"
+    "  --tau=X           threshold: a fraction in (0,1] or a percentage in\n"
+    "                    (1,100]; `--tau X` also accepted (default 0.75)\n"
+    "  --algo=NAME       sf|inra|hybrid|ita|ta|nra|sortbyid|pf|scan\n"
+    "  --k=N             top-k mode instead of a threshold query\n"
+    "  --deadline-ms=N   wall-clock bound; a tripped query returns its exact\n"
+    "                    partial result with the termination reason\n"
+    "  --max-elements=N  posting-read budget; partial results as above\n"
+    "  --shards=N        (serve) number of index shards, default 4\n"
+    "  --cache-mb=M      (serve) result cache capacity in MiB; 0 disables,\n"
+    "                    default 64\n"
+    "  --words=N         synthetic corpus size for --explain / --stats\n"
+    "  --explain         with `query`: print the per-phase trace\n"
+    "  --help            print this help and exit\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: simsel_cli build <records.txt> <index.simsel>\n"
-               "       simsel_cli query <records.txt> <index.simsel> <text> "
-               "[--tau=0.8] [--algo=sf] [--k=N] [--explain]\n"
-               "       simsel_cli repl  <records.txt> <index.simsel>\n"
-               "       simsel_cli stats <records.txt> <index.simsel>\n"
-               "       simsel_cli --explain \"<text>\" [--tau 0.8] "
-               "[--words=N] [--stats]\n"
-               "       simsel_cli --stats\n"
-               "options: --tau takes a fraction in (0,1] or a percentage in "
-               "(1,100]\n"
-               "         --deadline-ms=N / --max-elements=N bound a query "
-               "(partial results)\n");
+  std::fputs(kHelp, stderr);
   return 2;
 }
 
@@ -142,7 +177,7 @@ Result<SimilaritySelector> LoadSelector(const std::string& records_path,
   return SimilaritySelector::BuildWithSavedIndex(corpus->records, index_path);
 }
 
-void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
+void PrintMatches(const Collection& collection, const QueryResult& r,
                   double elapsed_ms) {
   std::printf("%zu matches in %.2f ms (read %llu/%llu postings)\n",
               r.matches.size(), elapsed_ms,
@@ -161,7 +196,7 @@ void PrintMatches(const SimilaritySelector& sel, const QueryResult& r,
       std::printf("  ... and %zu more\n", r.matches.size() - shown + 1);
       break;
     }
-    std::printf("  [%u] %-40s %.3f\n", m.id, sel.collection().text(m.id).c_str(),
+    std::printf("  [%u] %-40s %.3f\n", m.id, collection.text(m.id).c_str(),
                 m.score);
   }
 }
@@ -182,7 +217,7 @@ int RunQuery(const SimilaritySelector& sel, const std::string& text,
   WallTimer timer;
   QueryResult r = (k > 0) ? sel.SelectTopK(text, k, options)
                           : sel.Select(text, tau, kind, options);
-  PrintMatches(sel, r, timer.ElapsedMillis());
+  PrintMatches(sel.collection(), r, timer.ElapsedMillis());
   if (explain) {
     std::printf("%s", trace.ToString().c_str());
     std::printf("counters: %s\n", r.counters.ToString().c_str());
@@ -258,9 +293,94 @@ int RunStats(int argc, char** argv) {
   return 0;
 }
 
+/// `serve <records.txt> [<text>]`: the serving-layer front end. Builds a
+/// ShardedSelector over the records (global statistics, per-shard indexes),
+/// attaches a thread pool sized to the machine and a versioned result
+/// cache, then answers one query (when <text> is given) or a repl loop.
+/// Prints the cache's cumulative hit/miss line after every query so the
+/// effect of repeats is visible interactively.
+int RunServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<Corpus> corpus = LoadCorpusFromFile(argv[2]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  double tau;
+  if (!ParseTau(argc, argv, 0.75, &tau)) return Usage();
+  AlgorithmKind kind = ParseAlgo(argc, argv);
+  const size_t shards = FlagValue(argc, argv, "shards", 4);
+  const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
+  const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
+  const size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
+
+  serve::ShardedSelectorOptions so;
+  so.num_shards = shards;
+  so.cache_bytes = cache_mb << 20;
+  WallTimer build_timer;
+  serve::ShardedSelector sel =
+      serve::ShardedSelector::Build(corpus->records, so);
+  const unsigned hw = std::thread::hardware_concurrency();
+  ThreadPool pool(std::max(1u, (hw == 0 ? 2u : hw) - 1));
+  sel.set_thread_pool(&pool);
+  std::fprintf(stderr,
+               "serving %zu records over %zu shards (%zu MiB cache) — built "
+               "in %.2fs\n",
+               corpus->records.size(), sel.num_shards(), cache_mb,
+               build_timer.ElapsedSeconds());
+
+  auto run_one = [&](const std::string& text) {
+    SelectOptions options;
+    if (deadline_ms > 0) {
+      options.control.deadline =
+          QueryControl::DeadlineAfterMillis(static_cast<int64_t>(deadline_ms));
+    }
+    options.control.max_elements_read = max_elements;
+    WallTimer timer;
+    QueryResult r = sel.Select(text, tau, kind, options);
+    PrintMatches(sel.collection(), r, timer.ElapsedMillis());
+    if (sel.result_cache() != nullptr) {
+      const serve::ResultCache& cache = *sel.result_cache();
+      std::printf("  cache: %llu hits / %llu misses (%.1f%% hit rate, "
+                  "%zu entries)\n",
+                  (unsigned long long)cache.hits(),
+                  (unsigned long long)cache.misses(), 100.0 * cache.HitRate(),
+                  cache.entries());
+    }
+  };
+
+  // Non-flag arguments after the records path form a one-shot query.
+  std::string text;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tau") == 0) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  if (!text.empty()) {
+    run_one(text);
+    return 0;
+  }
+  std::printf("tau=%.2f algo=%s shards=%zu — one query per line, ctrl-d to "
+              "exit\n",
+              tau, AlgorithmKindName(kind), sel.num_shards());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty()) run_one(line);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--help")) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
 
@@ -268,6 +388,7 @@ int main(int argc, char** argv) {
     return RunExplain(argc, argv);
   }
   if (cmd == "--stats") return RunStats(argc, argv);
+  if (cmd == "serve") return RunServe(argc, argv);
 
   if (cmd == "build") {
     if (argc < 4) return Usage();

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Developer gate: three legs, all required.
+# Developer gate: four legs, all required.
 #
 #   1. AddressSanitizer: warnings-as-errors build + the full test suite
 #      (build-asan/).
-#   2. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
+#   2. Docs: scripts/check_docs.py verifies every internal markdown link in
+#      docs/*.md, README.md, DESIGN.md, EXPERIMENTS.md and ROADMAP.md, and
+#      that every simsel_cli flag the docs mention exists in the built
+#      binary's --help output (uses build-asan's simsel_cli from leg 1).
+#   3. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
 #      buffer_pool_test, parallel_test, query_control_test (which cancels
-#      in-flight queries on a shared selector) and the concurrency_test
+#      in-flight queries on a shared selector), the concurrency_test
 #      soak, which runs mixed algorithms in disk and memory mode against
-#      one shared index/store/pool — must produce zero race reports
-#      (build-tsan/).
-#   3. Perf regression: a plain RelWithDebInfo build runs
+#      one shared index/store/pool, and serving_test's scatter-gather +
+#      result-cache soak — must produce zero race reports (build-tsan/).
+#   4. Perf regression: a plain RelWithDebInfo build runs
 #      bench_micro --benchmark_filter=BM_Query and scripts/bench_compare.py
 #      diffs the artifact against the committed baseline
 #      (bench/baselines/BENCH_micro.json); >10% wall-clock regression on
@@ -17,9 +21,9 @@
 #
 # Usage:
 #
-#   scripts/check.sh                       # all three legs
+#   scripts/check.sh                       # all four legs
 #   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # widen the TSan leg to the full suite
-#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 3 (e.g. loaded CI box)
+#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 4 (e.g. loaded CI box)
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
@@ -34,13 +38,16 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 
-echo "== check.sh leg 1/3: AddressSanitizer, full suite =="
+echo "== check.sh leg 1/4: AddressSanitizer, full suite =="
 cmake -B build-asan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== check.sh leg 2/3: ThreadSanitizer =="
+echo "== check.sh leg 2/4: documentation links and CLI flags =="
+scripts/check_docs.py --cli build-asan/examples/simsel_cli
+
+echo "== check.sh leg 3/4: ThreadSanitizer =="
 cmake -B build-tsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs"
@@ -55,9 +62,9 @@ else
 fi
 
 if [[ "${SIMSEL_CHECK_SKIP_BENCH:-0}" == "1" ]]; then
-  echo "== check.sh leg 3/3: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
+  echo "== check.sh leg 4/4: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
 else
-  echo "== check.sh leg 3/3: perf regression vs bench/baselines/BENCH_micro.json =="
+  echo "== check.sh leg 4/4: perf regression vs bench/baselines/BENCH_micro.json =="
   # Sanitizer builds are useless for timing: a separate plain build.
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-bench -j "$jobs" --target bench_micro

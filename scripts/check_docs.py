@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs gate for scripts/check.sh.
+
+Two checks, both required:
+
+  1. Internal links: every relative markdown link in the scanned docs
+     (docs/*.md plus README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) must
+     point at a file or directory that exists in the repo. Anchors and
+     external (http/https/mailto) links are ignored.
+
+  2. CLI flags: every `--flag` named on a line that invokes simsel_cli in
+     the scanned docs must appear in `simsel_cli --help` output, so the
+     documentation can never advertise a flag the binary dropped.
+
+Usage: scripts/check_docs.py [--cli <path/to/simsel_cli>]
+
+Without --cli the flag check is skipped (link checking needs no build).
+Exits 0 when every check passes, 1 otherwise, listing each failure as
+`file:line: message`.
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SCANNED = sorted(glob.glob(os.path.join(REPO, "docs", "*.md"))) + [
+    os.path.join(REPO, name)
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def check_links(path, lines, errors):
+    base = os.path.dirname(path)
+    for lineno, line in enumerate(lines, 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            if not os.path.exists(resolved):
+                errors.append(
+                    "%s:%d: broken link -> %s"
+                    % (os.path.relpath(path, REPO), lineno, target)
+                )
+
+
+def check_flags(path, lines, help_flags, errors):
+    for lineno, line in enumerate(lines, 1):
+        if "simsel_cli" not in line:
+            continue
+        for flag in FLAG_RE.findall(line):
+            if flag not in help_flags:
+                errors.append(
+                    "%s:%d: flag %s not in simsel_cli --help"
+                    % (os.path.relpath(path, REPO), lineno, flag)
+                )
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", help="path to a built simsel_cli binary")
+    args = parser.parse_args()
+
+    help_flags = None
+    if args.cli:
+        proc = subprocess.run(
+            [args.cli, "--help"], capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            print(
+                "check_docs: `%s --help` exited %d (must print help on "
+                "stdout and exit 0)" % (args.cli, proc.returncode)
+            )
+            return 1
+        help_flags = set(FLAG_RE.findall(proc.stdout))
+        if not help_flags:
+            print("check_docs: no flags found in --help output")
+            return 1
+
+    errors = []
+    for path in SCANNED:
+        if not os.path.exists(path):
+            errors.append("%s: scanned doc missing" % os.path.relpath(path, REPO))
+            continue
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        check_links(path, lines, errors)
+        if help_flags is not None:
+            check_flags(path, lines, help_flags, errors)
+
+    for err in errors:
+        print("check_docs: %s" % err)
+    scanned = ", ".join(os.path.relpath(p, REPO) for p in SCANNED)
+    if errors:
+        print("check_docs: FAILED (%d problems) over %s" % (len(errors), scanned))
+        return 1
+    print(
+        "check_docs: OK — links%s verified over %s"
+        % ("" if help_flags is None else " and simsel_cli flags", scanned)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

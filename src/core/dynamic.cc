@@ -47,6 +47,7 @@ SetId DynamicSelector::AddRecord(std::string text) {
   all_texts_.push_back(text);
   delta_texts_.push_back(std::move(text));
   delta_records_.push_back(std::move(rec));
+  ++version_;
   return id;
 }
 
@@ -98,6 +99,7 @@ void DynamicSelector::Rebuild() {
   main_size_ = all_texts_.size();
   delta_texts_.clear();
   delta_records_.clear();
+  ++version_;
 }
 
 }  // namespace simsel

@@ -58,6 +58,13 @@ class DynamicSelector {
   /// Afterwards results are identical to a fresh Build over all records.
   void Rebuild();
 
+  /// Monotone content version: bumped by every AddRecord and Rebuild. A
+  /// cached query answer stamped with the version at execution time is valid
+  /// exactly while the version is unchanged — this is the epoch the serving
+  /// layer's result cache keys on (serve/result_cache.h), so one integer
+  /// compare invalidates every stale entry without scanning the cache.
+  uint64_t version() const { return version_; }
+
   const SimilaritySelector& main() const { return *main_; }
 
  private:
@@ -69,6 +76,7 @@ class DynamicSelector {
   DeltaRecord Analyze(const std::string& text) const;
 
   BuildOptions options_;
+  uint64_t version_ = 0;
   std::unique_ptr<SimilaritySelector> main_;
   size_t main_size_ = 0;
   std::vector<std::string> all_texts_;       // every record, id order

@@ -89,8 +89,10 @@ class ControlPoller {
   bool ShouldStop() {
     if (!active_) return false;
     if (termination_ != Termination::kCompleted) return true;
-    if (control_.cancel != nullptr &&
-        control_.cancel->load(std::memory_order_relaxed)) {
+    if ((control_.cancel != nullptr &&
+         control_.cancel->load(std::memory_order_relaxed)) ||
+        (control_.cancel2 != nullptr &&
+         control_.cancel2->load(std::memory_order_relaxed))) {
       termination_ = Termination::kCancelled;
     } else if (control_.max_elements_read > 0 &&
                counters_.elements_read + counters_.rows_scanned >

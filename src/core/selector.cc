@@ -86,6 +86,32 @@ void FlushQueryCounters(const AccessCounters& c) {
 
 }  // namespace
 
+namespace internal {
+
+void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
+                        uint64_t latency_usec) {
+  const PerAlgoMetrics& m = AlgoMetrics(kind);
+  m.queries->Increment();
+  m.latency_usec->Observe(latency_usec);
+  FlushQueryCounters(result.counters);
+  if (result.termination != Termination::kCompleted) {
+    // One counter per trip reason; resolved lazily (tripped queries are the
+    // exception, completed ones pay nothing here).
+    obs::MetricsRegistry::Global()
+        .GetCounter("simsel_query_terminations_total",
+                    obs::LabelPair("reason",
+                                   TerminationName(result.termination)))
+        ->Increment();
+  }
+  if (!result.status.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("simsel_query_failures_total")
+        ->Increment();
+  }
+}
+
+}  // namespace internal
+
 SimilaritySelector SimilaritySelector::Build(
     const std::vector<std::string>& records, const BuildOptions& options) {
   SimilaritySelector sel;
@@ -151,24 +177,8 @@ QueryResult SimilaritySelector::SelectPrepared(
   WallTimer timer;
   QueryResult result = Dispatch(q, tau, kind, options);
   result.trace = options.trace;
-  const PerAlgoMetrics& m = AlgoMetrics(kind);
-  m.queries->Increment();
-  m.latency_usec->Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
-  FlushQueryCounters(result.counters);
-  if (result.termination != Termination::kCompleted) {
-    // One counter per trip reason; resolved lazily (tripped queries are the
-    // exception, completed ones pay nothing here).
-    obs::MetricsRegistry::Global()
-        .GetCounter("simsel_query_terminations_total",
-                    obs::LabelPair("reason",
-                                   TerminationName(result.termination)))
-        ->Increment();
-  }
-  if (!result.status.ok()) {
-    obs::MetricsRegistry::Global()
-        .GetCounter("simsel_query_failures_total")
-        ->Increment();
-  }
+  internal::RecordQueryMetrics(kind, result,
+                               static_cast<uint64_t>(timer.ElapsedMicros()));
   return result;
 }
 

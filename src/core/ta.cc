@@ -101,9 +101,11 @@ QueryResult TaEngineSelect(const InvertedIndex& index,
       bits.Set(i);
       for (size_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        ++counters.hash_probes;
         const ExtendibleHash* hash = index.hash(q.tokens[j]);
-        SIMSEL_DCHECK(hash != nullptr);
+        // A token with an empty posting list has no hash (shard indexes over
+        // a global dictionary hit this routinely): absence means non-member.
+        if (hash == nullptr) continue;
+        ++counters.hash_probes;
         if (options.buffer_pool != nullptr) {
           bool hit = options.buffer_pool->Touch(
               reinterpret_cast<uint64_t>(hash->ProbePageId(id)));

@@ -74,11 +74,17 @@ struct QueryControl {
   /// of concurrent queries). Set it to true from any thread and every query
   /// polling it stops at its next poll with kCancelled.
   const std::atomic<bool>* cancel = nullptr;
+  /// Secondary cancellation token, polled exactly like `cancel`. Exists so a
+  /// layer that fans one query out (the serving layer's scatter-gather) can
+  /// combine the caller's token with its own sibling-cancel token without
+  /// wrapping or copying atomics; either token tripping cancels the query.
+  const std::atomic<bool>* cancel2 = nullptr;
 
   bool has_deadline() const { return deadline != kNoDeadline; }
   /// True when any limit is set (the poller short-circuits otherwise).
   bool active() const {
-    return has_deadline() || max_elements_read > 0 || cancel != nullptr;
+    return has_deadline() || max_elements_read > 0 || cancel != nullptr ||
+           cancel2 != nullptr;
   }
   /// Convenience: a deadline `ms` milliseconds from now.
   static Clock::time_point DeadlineAfterMillis(int64_t ms) {

@@ -59,13 +59,32 @@ InvertedIndex InvertedIndex::BuildWithLengths(
     InvertedIndexOptions options) {
   SIMSEL_CHECK_MSG(set_lengths.size() == collection.size(),
                    "one length per set required");
+  return BuildRangeWithLengths(collection, set_lengths, 0,
+                               static_cast<SetId>(collection.size()), options);
+}
+
+InvertedIndex InvertedIndex::BuildShard(const Collection& collection,
+                                        const IdfMeasure& measure, SetId begin,
+                                        SetId end, InvertedIndexOptions options) {
+  SIMSEL_CHECK_MSG(begin <= end && end <= collection.size(),
+                   "shard range out of bounds");
+  // Lengths come from the global measure; only the range is ever read, but
+  // the vector is indexed by global id to keep the fill loop uniform.
+  std::vector<float> lengths(collection.size(), 0.0f);
+  for (SetId s = begin; s < end; ++s) lengths[s] = measure.set_length(s);
+  return BuildRangeWithLengths(collection, lengths, begin, end, options);
+}
+
+InvertedIndex InvertedIndex::BuildRangeWithLengths(
+    const Collection& collection, const std::vector<float>& set_lengths,
+    SetId range_begin, SetId range_end, InvertedIndexOptions options) {
   InvertedIndex index;
   index.options_ = options;
   const size_t num_tokens = collection.dictionary().size();
 
   // Pass 1: list sizes -> CSR offsets.
   index.offsets_.assign(num_tokens + 1, 0);
-  for (SetId s = 0; s < collection.size(); ++s) {
+  for (SetId s = range_begin; s < range_end; ++s) {
     for (TokenId t : collection.set(s).tokens) ++index.offsets_[t + 1];
   }
   for (size_t t = 0; t < num_tokens; ++t) {
@@ -78,7 +97,7 @@ InvertedIndex InvertedIndex::BuildWithLengths(
   index.id_lens_.resize(total);
   std::vector<uint64_t> cursor(index.offsets_.begin(),
                                index.offsets_.end() - 1);
-  for (SetId s = 0; s < collection.size(); ++s) {
+  for (SetId s = range_begin; s < range_end; ++s) {
     float len = set_lengths[s];
     for (TokenId t : collection.set(s).tokens) {
       uint64_t pos = cursor[t]++;

@@ -90,6 +90,19 @@ class InvertedIndex {
                                         const std::vector<float>& set_lengths,
                                         InvertedIndexOptions options = {});
 
+  /// Builds a shard index over the contiguous global id range [begin, end):
+  /// the token space is the collection's full dictionary, the postings are
+  /// only those of sets in the range, and they carry their *global* set ids
+  /// and lengths from the *global* measure. Scoring against a shard index is
+  /// therefore bit-identical to scoring against the full index — df/idf and
+  /// len(s) are collection-wide statistics — which is what lets the serving
+  /// layer (serve/sharded_selector.h) merge per-shard answers into exactly
+  /// the single-index answer. Tokens absent from the range simply get empty
+  /// lists (and no skip index or hash).
+  static InvertedIndex BuildShard(const Collection& collection,
+                                  const IdfMeasure& measure, SetId begin,
+                                  SetId end, InvertedIndexOptions options = {});
+
   size_t num_tokens() const { return offsets_.size() - 1; }
   uint64_t total_postings() const { return len_ids_.size(); }
   const InvertedIndexOptions& options() const { return options_; }
@@ -167,6 +180,9 @@ class InvertedIndex {
 
  private:
   InvertedIndex() = default;
+  static InvertedIndex BuildRangeWithLengths(
+      const Collection& collection, const std::vector<float>& set_lengths,
+      SetId range_begin, SetId range_end, InvertedIndexOptions options);
   void BuildDerived();
 
   InvertedIndexOptions options_;

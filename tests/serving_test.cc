@@ -1,0 +1,394 @@
+// Serving-layer tests: sharded scatter-gather exactness against the
+// single-index ground truth (all algorithms, memory and disk mode), result
+// cache hit/invalidation/eviction semantics, and a concurrency soak that
+// runs under the TSAN `concurrency` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/parallel.h"
+#include "serve/result_cache.h"
+#include "serve/sharded_selector.h"
+#include "storage/posting_store.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using serve::CachedResult;
+using serve::ResultCache;
+using serve::ResultCacheOptions;
+using serve::ShardedSelector;
+using serve::ShardedSelectorOptions;
+using testing_util::ExpectSameMatches;
+using testing_util::MakeQueries;
+using testing_util::MakeWordRecords;
+
+constexpr AlgorithmKind kShardableKinds[] = {
+    AlgorithmKind::kLinearScan, AlgorithmKind::kSortById,
+    AlgorithmKind::kTa,         AlgorithmKind::kNra,
+    AlgorithmKind::kIta,        AlgorithmKind::kInra,
+    AlgorithmKind::kSf,         AlgorithmKind::kHybrid,
+    AlgorithmKind::kPrefixFilter};
+
+BuildOptions SmallBuild() {
+  BuildOptions build;
+  build.tokenizer.q = 3;
+  build.index.page_bytes = 512;
+  build.index.skip_fanout = 8;
+  build.index.hash_page_bytes = 256;
+  return build;
+}
+
+ShardedSelectorOptions ServeOptions(size_t shards, bool disk = false,
+                                    size_t cache_bytes = 0) {
+  ShardedSelectorOptions o;
+  o.num_shards = shards;
+  o.build = SmallBuild();
+  o.disk_mode = disk;
+  if (disk) o.pool_pages = 64;
+  o.cache_bytes = cache_bytes;
+  return o;
+}
+
+TEST(ShardedSelectorTest, ShardsPartitionTheCollection) {
+  std::vector<std::string> records = MakeWordRecords(103, 7);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(4));
+  ASSERT_EQ(sharded.num_shards(), 4u);
+  SetId expected_begin = 0;
+  uint64_t postings = 0;
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    EXPECT_EQ(sharded.shard_begin(i), expected_begin);
+    EXPECT_LE(sharded.shard_begin(i), sharded.shard_end(i));
+    expected_begin = sharded.shard_end(i);
+    EXPECT_TRUE(sharded.shard_index(i).Validate());
+    postings += sharded.shard_index(i).total_postings();
+  }
+  EXPECT_EQ(expected_begin, sharded.collection().size());
+  // Every posting lands in exactly one shard.
+  SimilaritySelector single = SimilaritySelector::Build(records, SmallBuild());
+  EXPECT_EQ(postings, single.index().total_postings());
+}
+
+TEST(ShardedSelectorTest, MoreShardsThanRecordsClamps) {
+  std::vector<std::string> records = MakeWordRecords(3, 11);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(16));
+  EXPECT_LE(sharded.num_shards(), records.size());
+  QueryResult r = sharded.Select(records[0], 0.5);
+  EXPECT_TRUE(r.complete());
+  EXPECT_FALSE(r.matches.empty());
+}
+
+// The tentpole exactness claim: for every algorithm, in memory and disk
+// mode, with and without a thread pool, the merged sharded answer is
+// byte-identical to the single-index answer (ids, exact scores, order).
+TEST(ShardedSelectorTest, ByteIdenticalToSingleIndexAllAlgorithms) {
+  std::vector<std::string> records = MakeWordRecords(160, 42);
+  SimilaritySelector single = SimilaritySelector::Build(records, SmallBuild());
+  std::vector<std::string> queries = MakeQueries(records, 10, 99);
+  queries.push_back("");                    // empty query
+  queries.push_back("zzzzqqqqxxxx");        // out-of-vocabulary
+  ThreadPool pool(3);
+
+  for (bool disk : {false, true}) {
+    for (size_t shards : {1u, 4u}) {
+      ShardedSelector sharded =
+          ShardedSelector::Build(records, ServeOptions(shards, disk));
+      for (bool with_pool : {false, true}) {
+        sharded.set_thread_pool(with_pool ? &pool : nullptr);
+        for (AlgorithmKind kind : kShardableKinds) {
+          for (double tau : {0.5, 0.8}) {
+            for (const std::string& query : queries) {
+              QueryResult expected = single.Select(query, tau, kind);
+              QueryResult actual = sharded.Select(query, tau, kind);
+              ASSERT_TRUE(actual.complete());
+              ExpectSameMatches(
+                  expected.matches, actual.matches,
+                  std::string(AlgorithmKindName(kind)) +
+                      (disk ? " disk" : " mem") + " shards=" +
+                      std::to_string(shards) + " tau=" + std::to_string(tau) +
+                      " q=\"" + query + "\"");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedSelectorTest, SqlIsRejected) {
+  std::vector<std::string> records = MakeWordRecords(40, 5);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(2));
+  QueryResult r = sharded.Select(records[0], 0.6, AlgorithmKind::kSql);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST(ShardedSelectorTest, ExpiredDeadlineReportsRootCauseNotCancelled) {
+  std::vector<std::string> records = MakeWordRecords(120, 13);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(4));
+  ThreadPool pool(3);
+  sharded.set_thread_pool(&pool);
+  SelectOptions options;
+  options.control.deadline =
+      QueryControl::Clock::now() - std::chrono::milliseconds(1);
+  QueryResult r = sharded.Select(records[0], 0.5, AlgorithmKind::kSf, options);
+  // Every shard trips on the deadline; the merge must report the first
+  // shard's root cause, never the sibling-cancel it induced.
+  EXPECT_EQ(r.termination, Termination::kDeadline);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(ShardedSelectorTest, CallerCancelTokenStopsTheQuery) {
+  std::vector<std::string> records = MakeWordRecords(120, 17);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(4));
+  std::atomic<bool> cancel{true};  // pre-cancelled
+  SelectOptions options;
+  options.control.cancel = &cancel;
+  QueryResult r = sharded.Select(records[0], 0.5, AlgorithmKind::kSf, options);
+  EXPECT_EQ(r.termination, Termination::kCancelled);
+}
+
+TEST(ShardedSelectorTest, BatchSelectMatchesSerialLoop) {
+  std::vector<std::string> records = MakeWordRecords(80, 23);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(3));
+  ThreadPool pool(2);
+  sharded.set_thread_pool(&pool);
+  std::vector<std::string> queries = MakeQueries(records, 8, 31);
+  std::vector<QueryResult> batch =
+      serve::BatchSelect(sharded, queries, 0.6, AlgorithmKind::kSf, {});
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryResult serial = sharded.Select(queries[i], 0.6, AlgorithmKind::kSf);
+    ExpectSameMatches(serial.matches, batch[i].matches,
+                      "batch query " + std::to_string(i));
+  }
+}
+
+TEST(ResultCacheTest, KeySeparatesEveryAnswerAffectingInput) {
+  PreparedQuery q;
+  q.tokens = {1, 5, 9};
+  q.tfs = {1, 2, 1};
+  q.length = 2.5;
+  q.multiset_size = 4;
+  SelectOptions options;
+  std::string base =
+      ResultCache::MakeKey(q, 0.8, AlgorithmKind::kSf, options, false, "IDF");
+  EXPECT_EQ(base, ResultCache::MakeKey(q, 0.8, AlgorithmKind::kSf, options,
+                                       false, "IDF"));
+  EXPECT_NE(base, ResultCache::MakeKey(q, 0.81, AlgorithmKind::kSf, options,
+                                       false, "IDF"));
+  EXPECT_NE(base, ResultCache::MakeKey(q, 0.8, AlgorithmKind::kInra, options,
+                                       false, "IDF"));
+  EXPECT_NE(base, ResultCache::MakeKey(q, 0.8, AlgorithmKind::kSf, options,
+                                       true, "IDF"));
+  EXPECT_NE(base, ResultCache::MakeKey(q, 0.8, AlgorithmKind::kSf, options,
+                                       false, "BM25"));
+  SelectOptions ablated;
+  ablated.use_skip_index = false;
+  EXPECT_NE(base, ResultCache::MakeKey(q, 0.8, AlgorithmKind::kSf, ablated,
+                                       false, "IDF"));
+  PreparedQuery q2 = q;
+  q2.length = 2.75;  // same tokens, more unknown-token mass
+  EXPECT_NE(base, ResultCache::MakeKey(q2, 0.8, AlgorithmKind::kSf, options,
+                                       false, "IDF"));
+  PreparedQuery q3 = q;
+  q3.tfs = {1, 1, 1};
+  EXPECT_NE(base, ResultCache::MakeKey(q3, 0.8, AlgorithmKind::kSf, options,
+                                       false, "IDF"));
+}
+
+TEST(ResultCacheTest, LruEvictionAndByteAccounting) {
+  ResultCacheOptions options;
+  options.num_shards = 1;  // deterministic global LRU
+  std::string key_a(8, 'a'), key_b(8, 'b'), key_c(8, 'c');
+  std::vector<Match> matches = {{1, 0.9}, {2, 0.8}};
+  options.capacity_bytes = 2 * ResultCache::EntryBytes(key_a, matches.size());
+  ResultCache cache(options);
+
+  AccessCounters counters;
+  counters.elements_read = 7;
+  cache.Insert(key_a, 1, matches, counters);
+  cache.Insert(key_b, 1, matches, counters);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.size_bytes(),
+            2 * ResultCache::EntryBytes(key_a, matches.size()));
+
+  // Touch A so B is the LRU victim when C arrives.
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup(key_a, 1, &out));
+  EXPECT_EQ(out.matches.size(), matches.size());
+  EXPECT_EQ(out.counters.elements_read, 7u);
+  cache.Insert(key_c, 1, matches, counters);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(key_a, 1, &out));
+  EXPECT_TRUE(cache.Lookup(key_c, 1, &out));
+  EXPECT_FALSE(cache.Lookup(key_b, 1, &out));
+
+  // An entry larger than the whole budget is dropped, not force-fitted.
+  std::vector<Match> huge(4096, Match{1, 0.5});
+  cache.Insert(key_b, 1, huge, counters);
+  EXPECT_FALSE(cache.Lookup(key_b, 1, &out));
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(ResultCacheTest, StaleEpochInvalidatesOnLookup) {
+  ResultCacheOptions options;
+  options.capacity_bytes = 1u << 16;
+  ResultCache cache(options);
+  std::vector<Match> matches = {{3, 0.7}};
+  cache.Insert("key", 1, matches, AccessCounters{});
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup("key", 1, &out));
+  EXPECT_FALSE(cache.Lookup("key", 2, &out));  // stale: erased + counted
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Lookup("key", 2, &out));  // really gone
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(ShardedSelectorTest, CacheHitReturnsIdenticalQueryResult) {
+  std::vector<std::string> records = MakeWordRecords(100, 3);
+  ShardedSelector sharded = ShardedSelector::Build(
+      records, ServeOptions(3, /*disk=*/false, /*cache_bytes=*/1u << 20));
+  ResultCache* cache = sharded.result_cache();
+  ASSERT_NE(cache, nullptr);
+
+  std::string query = records[7];
+  QueryResult miss = sharded.Select(query, 0.6);
+  EXPECT_EQ(cache->hits(), 0u);
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->insertions(), 1u);
+
+  QueryResult hit = sharded.Select(query, 0.6);
+  EXPECT_EQ(cache->hits(), 1u);
+  ExpectSameMatches(miss.matches, hit.matches, "cache hit");
+  // The hit returns the cached execution's accounting verbatim.
+  EXPECT_EQ(miss.counters.ToString(), hit.counters.ToString());
+  EXPECT_EQ(hit.termination, Termination::kCompleted);
+  EXPECT_TRUE(hit.status.ok());
+
+  // A different tau is a different entry, not a hit.
+  sharded.Select(query, 0.9);
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 2u);
+}
+
+TEST(ShardedSelectorTest, EpochBumpInvalidatesCachedAnswers) {
+  std::vector<std::string> records = MakeWordRecords(100, 19);
+  ShardedSelector sharded = ShardedSelector::Build(
+      records, ServeOptions(2, /*disk=*/false, /*cache_bytes=*/1u << 20));
+  ResultCache* cache = sharded.result_cache();
+  std::string query = records[0];
+
+  QueryResult first = sharded.Select(query, 0.6);
+  CachedResult peek;
+  ASSERT_TRUE(cache->Lookup(
+      ResultCache::MakeKey(sharded.Prepare(query), 0.6, AlgorithmKind::kSf,
+                           SelectOptions{}, false, sharded.measure().name()),
+      sharded.epoch(), &peek));
+
+  sharded.BumpEpoch();
+  QueryResult after = sharded.Select(query, 0.6);  // recomputed, re-inserted
+  EXPECT_EQ(cache->invalidations(), 1u);
+  ExpectSameMatches(first.matches, after.matches, "post-bump recompute");
+  sharded.Select(query, 0.6);
+  EXPECT_EQ(cache->hits(), 2u);  // fresh entry serves again
+
+  // Mirroring an external version counter works the same way.
+  sharded.SetEpoch(41);
+  sharded.Select(query, 0.6);
+  EXPECT_EQ(cache->invalidations(), 2u);
+}
+
+TEST(ShardedSelectorTest, PartialResultsAreNotCached) {
+  std::vector<std::string> records = MakeWordRecords(120, 29);
+  ShardedSelector sharded = ShardedSelector::Build(
+      records, ServeOptions(2, /*disk=*/false, /*cache_bytes=*/1u << 20));
+  SelectOptions options;
+  options.control.max_elements_read = 1;  // trips almost immediately
+  QueryResult r = sharded.Select(records[1], 0.5, AlgorithmKind::kSf, options);
+  EXPECT_EQ(r.termination, Termination::kBudget);
+  EXPECT_EQ(sharded.result_cache()->insertions(), 0u);
+  // The untripped rerun is cached and complete.
+  QueryResult full = sharded.Select(records[1], 0.5, AlgorithmKind::kSf);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(sharded.result_cache()->insertions(), 1u);
+}
+
+// TSAN leg: concurrent callers on one shared sharded selector + pool +
+// cache, with an epoch bumper racing them. Every complete answer must match
+// the serial ground truth.
+TEST(ShardedSelectorTest, ConcurrentServingSoak) {
+  std::vector<std::string> records = MakeWordRecords(140, 57);
+  SimilaritySelector single = SimilaritySelector::Build(records, SmallBuild());
+  ShardedSelector sharded = ShardedSelector::Build(
+      records, ServeOptions(4, /*disk=*/false, /*cache_bytes=*/1u << 20));
+  ThreadPool pool(4);
+  sharded.set_thread_pool(&pool);
+
+  std::vector<std::string> queries = MakeQueries(records, 12, 61);
+  constexpr AlgorithmKind kSoakKinds[] = {
+      AlgorithmKind::kSf, AlgorithmKind::kInra, AlgorithmKind::kHybrid,
+      AlgorithmKind::kIta, AlgorithmKind::kSortById};
+  std::vector<std::vector<Match>> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    expected[i] = single.Select(queries[i], 0.6).matches;  // SF ground truth
+  }
+
+  constexpr size_t kCallers = 4;
+  constexpr size_t kRounds = 30;
+  std::vector<std::thread> callers;
+  std::atomic<bool> failed{false};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (size_t r = 0; r < kRounds && !failed.load(); ++r) {
+        size_t qi = (c * kRounds + r) % queries.size();
+        AlgorithmKind kind = kSoakKinds[(c + r) % std::size(kSoakKinds)];
+        QueryResult result = sharded.Select(queries[qi], 0.6, kind);
+        if (!result.complete()) {
+          failed.store(true);
+          ADD_FAILURE() << "query unexpectedly incomplete";
+          continue;
+        }
+        // All soak kinds agree with SF on the answer set.
+        if (result.matches.size() != expected[qi].size()) {
+          failed.store(true);
+          ADD_FAILURE() << "caller " << c << " round " << r << " got "
+                        << result.matches.size() << " matches, expected "
+                        << expected[qi].size();
+          continue;
+        }
+        for (size_t m = 0; m < result.matches.size(); ++m) {
+          if (result.matches[m].id != expected[qi][m].id ||
+              result.matches[m].score != expected[qi][m].score) {
+            failed.store(true);
+            ADD_FAILURE() << "caller " << c << " round " << r
+                          << " mismatch at rank " << m;
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::thread bumper([&] {
+    for (int i = 0; i < 20; ++i) {
+      sharded.BumpEpoch();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : callers) t.join();
+  bumper.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace simsel
