@@ -43,6 +43,8 @@
 // junk, non-finite values, τ <= 0, τ > 100 — is a usage error; the CLI is
 // strict so a typo like `--tau=abc` cannot silently query at some default.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -59,8 +61,10 @@
 #include "gen/corpus.h"
 #include "gen/workload.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/sharded_selector.h"
 
 namespace {
@@ -103,6 +107,15 @@ constexpr char kHelp[] =
     "                    default 64\n"
     "  --words=N         synthetic corpus size for --explain / --stats\n"
     "  --explain         with `query`: print the per-phase trace\n"
+    "  --trace-out=FILE  (query/serve) record a span trace of each query and\n"
+    "                    write it as Chrome trace-event JSON (load in\n"
+    "                    chrome://tracing or Perfetto); the file holds the\n"
+    "                    most recent query\n"
+    "  --slow-query-usec=N  (serve) queries slower than N microseconds dump\n"
+    "                    their full span tree and counters as one JSON line\n"
+    "                    on stderr; tripped or failed queries always do\n"
+    "  --stats-every=N   (serve) dump the metrics registry to stderr every N\n"
+    "                    seconds while serving\n"
     "  --help            print this help and exit\n";
 
 int Usage() {
@@ -115,6 +128,25 @@ bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// `--key=value` string flag; empty string when absent.
+std::string StringFlag(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+/// Writes `trace` as Chrome trace-event JSON; logs where it went.
+void WriteTraceFile(const std::string& path, const obs::QueryTrace& trace) {
+  if (obs::WriteTextFile(path, obs::ToChromeTraceJson(trace))) {
+    std::fprintf(stderr, "trace written to %s (chrome://tracing)\n",
+                 path.c_str());
+  }
 }
 
 /// Parses --tau in either `--tau=X` or `--tau X` form into `*tau`. A value
@@ -203,10 +235,11 @@ void PrintMatches(const Collection& collection, const QueryResult& r,
 
 int RunQuery(const SimilaritySelector& sel, const std::string& text,
              double tau, AlgorithmKind kind, size_t k, bool explain = false,
-             size_t deadline_ms = 0, size_t max_elements = 0) {
+             size_t deadline_ms = 0, size_t max_elements = 0,
+             const std::string& trace_out = "") {
   obs::QueryTrace trace;
   SelectOptions options;
-  if (explain) options.trace = &trace;
+  if (explain || !trace_out.empty()) options.trace = &trace;
   // The deadline is absolute, so anchor it here, per call — in the repl
   // every line gets its own `deadline_ms` of wall time.
   if (deadline_ms > 0) {
@@ -222,6 +255,7 @@ int RunQuery(const SimilaritySelector& sel, const std::string& text,
     std::printf("%s", trace.ToString().c_str());
     std::printf("counters: %s\n", r.counters.ToString().c_str());
   }
+  if (!trace_out.empty()) WriteTraceFile(trace_out, trace);
   return 0;
 }
 
@@ -313,6 +347,23 @@ int RunServe(int argc, char** argv) {
   const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
   const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
   const size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
+  const size_t slow_usec = FlagValue(argc, argv, "slow-query-usec", 0);
+  const size_t stats_every = FlagValue(argc, argv, "stats-every", 0);
+  const std::string trace_out = StringFlag(argc, argv, "trace-out");
+
+  // Tail sampling is always on; the flag adds a latency threshold and makes
+  // captured records visible (tripped/failed queries are captured even
+  // without it — the sink is what surfaces them here).
+  if (slow_usec > 0) {
+    obs::FlightRecorder::Global().set_slow_query_usec(
+        static_cast<uint64_t>(slow_usec));
+  }
+  if (slow_usec > 0 || deadline_ms > 0 || max_elements > 0) {
+    obs::FlightRecorder::Global().SetSlowQuerySink(
+        [](const std::string& json) {
+          std::fprintf(stderr, "slow-query: %s\n", json.c_str());
+        });
+  }
 
   serve::ShardedSelectorOptions so;
   so.num_shards = shards;
@@ -329,8 +380,30 @@ int RunServe(int argc, char** argv) {
                corpus->records.size(), sel.num_shards(), cache_mb,
                build_timer.ElapsedSeconds());
 
+  // Periodic registry dump: a detached-looking but joined helper thread so
+  // long repl sessions show their serving stats without a scrape endpoint.
+  std::atomic<bool> stop_stats{false};
+  std::thread stats_thread;
+  if (stats_every > 0) {
+    stats_thread = std::thread([&stop_stats, stats_every] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(stats_every);
+      while (!stop_stats.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::seconds(stats_every);
+        std::string text =
+            obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot());
+        std::fprintf(stderr, "--- metrics ---\n%s--- end metrics ---\n",
+                     text.c_str());
+      }
+    });
+  }
+
   auto run_one = [&](const std::string& text) {
+    obs::QueryTrace trace;
     SelectOptions options;
+    if (!trace_out.empty()) options.trace = &trace;
     if (deadline_ms > 0) {
       options.control.deadline =
           QueryControl::DeadlineAfterMillis(static_cast<int64_t>(deadline_ms));
@@ -339,6 +412,7 @@ int RunServe(int argc, char** argv) {
     WallTimer timer;
     QueryResult r = sel.Select(text, tau, kind, options);
     PrintMatches(sel.collection(), r, timer.ElapsedMillis());
+    if (!trace_out.empty()) WriteTraceFile(trace_out, trace);
     if (sel.result_cache() != nullptr) {
       const serve::ResultCache& cache = *sel.result_cache();
       std::printf("  cache: %llu hits / %llu misses (%.1f%% hit rate, "
@@ -360,8 +434,15 @@ int RunServe(int argc, char** argv) {
     if (!text.empty()) text += ' ';
     text += argv[i];
   }
+  auto stop_stats_thread = [&] {
+    if (stats_thread.joinable()) {
+      stop_stats.store(true, std::memory_order_relaxed);
+      stats_thread.join();
+    }
+  };
   if (!text.empty()) {
     run_one(text);
+    stop_stats_thread();
     return 0;
   }
   std::printf("tau=%.2f algo=%s shards=%zu — one query per line, ctrl-d to "
@@ -371,6 +452,7 @@ int RunServe(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (!line.empty()) run_one(line);
   }
+  stop_stats_thread();
   return 0;
 }
 
@@ -473,7 +555,7 @@ int main(int argc, char** argv) {
       }
       if (text.empty()) return Usage();
       return RunQuery(*sel, text, tau, kind, k, explain, deadline_ms,
-                      max_elements);
+                      max_elements, StringFlag(argc, argv, "trace-out"));
     }
     // repl
     std::printf("tau=%.2f algo=%s%s — one query per line, ctrl-d to exit\n",
@@ -483,7 +565,7 @@ int main(int argc, char** argv) {
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
       RunQuery(*sel, line, tau, kind, k, /*explain=*/false, deadline_ms,
-               max_elements);
+               max_elements, StringFlag(argc, argv, "trace-out"));
     }
     return 0;
   }

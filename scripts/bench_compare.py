@@ -7,7 +7,9 @@ Usage:
 Compares, between the two artifacts:
 
   * every `simsel_query_latency_usec{...}` histogram in the metrics
-    snapshot (mean latency per algorithm), and
+    snapshot — both the mean and the p99 latency per algorithm (the mean
+    catches broad slowdowns, the p99 catches tail regressions the mean
+    hides), and
   * every numeric cell of tables whose column name looks like a wall-clock
     measure (contains "ms", "us", "sec", "time", "wall" or "latency"),
     matched by table title + first-column row key.
@@ -38,15 +40,20 @@ def load(path):
         sys.exit(2)
 
 
-def latency_histograms(doc):
-    """name -> mean usec, for the per-algorithm query latency histograms."""
+def latency_histograms(doc, stat="mean"):
+    """name -> `stat` usec, for the per-algorithm query latency histograms.
+
+    `stat` is a key of the exported histogram snapshot: "mean" for the
+    average, "p99" for the tail (log-bucketed, <=12.5% relative bucket
+    error — well inside the regression threshold).
+    """
     out = {}
     hists = doc.get("metrics", {}).get("histograms", {})
     for name, h in hists.items():
         if "latency" not in name:
             continue
-        if h.get("count", 0) > 0:
-            out[name] = float(h["mean"])
+        if h.get("count", 0) > 0 and stat in h:
+            out[name] = float(h[stat])
     return out
 
 
@@ -114,6 +121,9 @@ def main():
     regressions = []
     regressions += compare("latency", latency_histograms(base_doc),
                            latency_histograms(cand_doc),
+                           args.threshold, args.min_usec)
+    regressions += compare("p99", latency_histograms(base_doc, "p99"),
+                           latency_histograms(cand_doc, "p99"),
                            args.threshold, args.min_usec)
     regressions += compare("table", table_times(base_doc),
                            table_times(cand_doc),

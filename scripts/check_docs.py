@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs gate for scripts/check.sh.
 
-Two checks, both required:
+Three checks, all required:
 
   1. Internal links: every relative markdown link in the scanned docs
      (docs/*.md plus README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) must
@@ -12,11 +12,19 @@ Two checks, both required:
      the scanned docs must appear in `simsel_cli --help` output, so the
      documentation can never advertise a flag the binary dropped.
 
+  3. Metric names: every `simsel_*` metric registered in src/ (a string
+     literal passed to GetCounter/GetGauge/GetHistogram) must be named in
+     docs/OBSERVABILITY.md, and every `simsel_*` name that document
+     mentions must be registered somewhere in src/ — so the metric table
+     can neither lag behind the code nor advertise series the registry
+     never exports. Doc-side `_bucket`/`_sum`/`_count` suffixes resolve to
+     their histogram family.
+
 Usage: scripts/check_docs.py [--cli <path/to/simsel_cli>]
 
-Without --cli the flag check is skipped (link checking needs no build).
-Exits 0 when every check passes, 1 otherwise, listing each failure as
-`file:line: message`.
+Without --cli the flag check is skipped (link and metric checking need no
+build). Exits 0 when every check passes, 1 otherwise, listing each failure
+as `file:line: message`.
 """
 
 import argparse
@@ -35,6 +43,16 @@ SCANNED = sorted(glob.glob(os.path.join(REPO, "docs", "*.md"))) + [
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+
+# A metric name literal handed to the registry, tolerant of a line break
+# between the call and its first argument.
+REGISTER_RE = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)\(\s*\"(simsel_[a-z0-9_]+)\"", re.S
+)
+METRIC_NAME_RE = re.compile(r"simsel_[a-z0-9_]+")
+# simsel_-prefixed words in the doc that are not metric names.
+NOT_METRICS = {"simsel_cli"}
+OBSERVABILITY_DOC = os.path.join(REPO, "docs", "OBSERVABILITY.md")
 
 
 def check_links(path, lines, errors):
@@ -61,6 +79,51 @@ def check_flags(path, lines, help_flags, errors):
                     "%s:%d: flag %s not in simsel_cli --help"
                     % (os.path.relpath(path, REPO), lineno, flag)
                 )
+
+
+def registered_metrics():
+    """(name -> first src file registering it) for every simsel_* literal."""
+    out = {}
+    for ext in ("cc", "h", "cpp"):
+        for path in sorted(glob.glob(os.path.join(REPO, "src", "**", "*." + ext),
+                                     recursive=True)):
+            with open(path, encoding="utf-8") as f:
+                content = f.read()
+            for name in REGISTER_RE.findall(content):
+                out.setdefault(name, os.path.relpath(path, REPO))
+    return out
+
+
+def check_metrics(errors):
+    registered = registered_metrics()
+    if not registered:
+        errors.append("src/: no registered simsel_* metrics found "
+                      "(registration scan is broken)")
+        return
+    doc_rel = os.path.relpath(OBSERVABILITY_DOC, REPO)
+    if not os.path.exists(OBSERVABILITY_DOC):
+        errors.append("%s: missing (metric table lives there)" % doc_rel)
+        return
+    with open(OBSERVABILITY_DOC, encoding="utf-8") as f:
+        doc_lines = f.read().splitlines()
+    documented = {}
+    for lineno, line in enumerate(doc_lines, 1):
+        for name in METRIC_NAME_RE.findall(line):
+            if name not in NOT_METRICS:
+                documented.setdefault(name, lineno)
+    for name, src in sorted(registered.items()):
+        if name not in documented:
+            errors.append("%s: registered metric %s not documented in %s"
+                          % (src, name, doc_rel))
+    for name, lineno in sorted(documented.items()):
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in registered:
+                base = name[: -len(suffix)]
+                break
+        if base not in registered:
+            errors.append("%s:%d: documented metric %s not registered in src/"
+                          % (doc_rel, lineno, name))
 
 
 def main():
@@ -94,6 +157,7 @@ def main():
         check_links(path, lines, errors)
         if help_flags is not None:
             check_flags(path, lines, help_flags, errors)
+    check_metrics(errors)
 
     for err in errors:
         print("check_docs: %s" % err)
@@ -102,7 +166,7 @@ def main():
         print("check_docs: FAILED (%d problems) over %s" % (len(errors), scanned))
         return 1
     print(
-        "check_docs: OK — links%s verified over %s"
+        "check_docs: OK — links, metric names%s verified over %s"
         % ("" if help_flags is None else " and simsel_cli flags", scanned)
     )
     return 0

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text exposition (format 0.0.4) read from stdin or a file.
+
+Used by scripts/check.sh: `simsel_cli --stats | scripts/check_prom.py`
+verifies that the exporter's output is something a real scraper would
+accept. Checks, all required:
+
+  * every non-comment line parses as `name{labels} value` or `name value`,
+    with a valid metric name, well-formed label pairs (quoted, escaped) and
+    a finite integer or float value;
+  * no duplicate series: the same `name{labels}` may appear at most once;
+  * every sample's family (name stripped of `_bucket`/`_sum`/`_count` for
+    histograms) has both a `# HELP` and a `# TYPE` comment before its first
+    sample, and each family declares HELP/TYPE at most once;
+  * `# TYPE` names one of counter/gauge/histogram/summary/untyped;
+  * histogram families end their `_bucket` series with an `le="+Inf"`
+    bucket whose value equals the family's `_count`.
+
+Exit status: 0 clean, 1 on any lint error, 2 when the input is empty
+(an empty exposition almost certainly means the producing command failed).
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"'
+)
+VALUE_RE = re.compile(r"^[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, typed):
+    """Strip histogram suffixes when the stem is a declared histogram."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if typed.get(stem) == "histogram":
+                return stem
+    return name
+
+
+def parse_labels(body, lineno, errors):
+    """Return the canonical label string, or None on malformed labels."""
+    pos = 0
+    pairs = []
+    while pos < len(body):
+        m = LABEL_RE.match(body, pos)
+        if not m:
+            errors.append("line %d: malformed label at %r" % (lineno, body[pos:]))
+            return None
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append("line %d: expected ',' in labels at %r"
+                              % (lineno, body[pos:]))
+                return None
+            pos += 1
+    names = [k for k, _ in pairs]
+    if len(names) != len(set(names)):
+        errors.append("line %d: repeated label name" % lineno)
+        return None
+    return ",".join('%s="%s"' % kv for kv in pairs)
+
+
+def main():
+    if len(sys.argv) > 2:
+        print("usage: check_prom.py [exposition.txt]  (default stdin)",
+              file=sys.stderr)
+        return 2
+    text = (open(sys.argv[1], encoding="utf-8").read()
+            if len(sys.argv) == 2 else sys.stdin.read())
+    if not text.strip():
+        print("check_prom: empty exposition input", file=sys.stderr)
+        return 2
+
+    errors = []
+    helped = {}   # family -> lineno of # HELP
+    typed = {}    # family -> declared type
+    seen = {}     # (name, labels) -> lineno
+    samples = []  # (name, labels, value, lineno)
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                    errors.append("line %d: malformed %s comment"
+                                  % (lineno, parts[1]))
+                    continue
+                name = parts[2]
+                if parts[1] == "HELP":
+                    if name in helped:
+                        errors.append("line %d: duplicate HELP for %s"
+                                      % (lineno, name))
+                    helped.setdefault(name, lineno)
+                else:
+                    if len(parts) < 4 or parts[3] not in TYPES:
+                        errors.append("line %d: TYPE for %s must be one of %s"
+                                      % (lineno, name, "/".join(sorted(TYPES))))
+                        continue
+                    if name in typed:
+                        errors.append("line %d: duplicate TYPE for %s"
+                                      % (lineno, name))
+                    typed.setdefault(name, parts[3])
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                     r"(\s+[+-]?[0-9]+)?\s*$", line)
+        if not m:
+            errors.append("line %d: unparsable sample: %r" % (lineno, line))
+            continue
+        name, label_body, value = m.group(1), m.group(3), m.group(4)
+        if not VALUE_RE.match(value):
+            errors.append("line %d: invalid value %r" % (lineno, value))
+            continue
+        labels = ""
+        if label_body is not None:
+            labels = parse_labels(label_body, lineno, errors)
+            if labels is None:
+                continue
+        series = (name, labels)
+        if series in seen:
+            errors.append("line %d: duplicate series %s{%s} (first at line %d)"
+                          % (lineno, name, labels, seen[series]))
+        else:
+            seen[series] = lineno
+        samples.append((name, labels, value, lineno))
+
+    for name, labels, value, lineno in samples:
+        family = family_of(name, typed)
+        if family not in helped:
+            errors.append("line %d: %s has no # HELP for family %s"
+                          % (lineno, name, family))
+        if family not in typed:
+            errors.append("line %d: %s has no # TYPE for family %s"
+                          % (lineno, name, family))
+
+    # Histogram invariant: the +Inf cumulative bucket equals _count.
+    for family, kind in sorted(typed.items()):
+        if kind != "histogram":
+            continue
+        counts = {labels: value for name, labels, value, _ in samples
+                  if name == family + "_count"}
+        for labels, count in counts.items():
+            inf_labels = (labels + "," if labels else "") + 'le="+Inf"'
+            inf = next((v for n, l, v, _ in samples
+                        if n == family + "_bucket" and l == inf_labels), None)
+            if inf is None:
+                errors.append("%s{%s}: histogram missing le=\"+Inf\" bucket"
+                              % (family, labels))
+            elif float(inf) != float(count):
+                errors.append("%s{%s}: +Inf bucket %s != count %s"
+                              % (family, labels, inf, count))
+
+    for err in errors:
+        print("check_prom: %s" % err)
+    if errors:
+        print("check_prom: FAILED (%d problems, %d series)"
+              % (len(errors), len(seen)))
+        return 1
+    print("check_prom: OK — %d series, %d families" % (len(seen), len(typed)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

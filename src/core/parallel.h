@@ -31,6 +31,13 @@ namespace simsel {
 /// fault) is retried up to two more times with bounded exponential backoff,
 /// unless the deadline has already passed; the final attempt's Status is
 /// surfaced in its QueryResult rather than crashing the batch.
+///
+/// When `options.trace` is set, every query records into a private child
+/// trace (one trace per query per thread — no cross-thread sharing) and the
+/// children are stitched into the caller's trace after the workers join:
+/// one `batch` span with a `batch_query[i]` subtree per query, in query
+/// order. Each QueryResult::trace then points at the stitched parent. A
+/// retried query's subtree covers its final attempt.
 std::vector<QueryResult> BatchSelect(const SimilaritySelector& selector,
                                      const std::vector<std::string>& queries,
                                      double tau, AlgorithmKind kind,

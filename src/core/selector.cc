@@ -14,6 +14,7 @@
 #include "core/sql_baseline.h"
 #include "core/ta.h"
 #include "core/topk.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -89,7 +90,7 @@ void FlushQueryCounters(const AccessCounters& c) {
 namespace internal {
 
 void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
-                        uint64_t latency_usec) {
+                        uint64_t latency_usec, const obs::QueryTrace* trace) {
   const PerAlgoMetrics& m = AlgoMetrics(kind);
   m.queries->Increment();
   m.latency_usec->Observe(latency_usec);
@@ -108,6 +109,18 @@ void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
         .GetCounter("simsel_query_failures_total")
         ->Increment();
   }
+  // Tail sampling: slow/tripped/failed queries keep their full span tree in
+  // the slow-query log, healthy ones feed the per-thread flight ring.
+  obs::QueryCompletion completion;
+  completion.algo = AlgorithmKindName(kind);
+  completion.latency_usec = latency_usec;
+  completion.termination = TerminationName(result.termination);
+  completion.tripped = result.termination != Termination::kCompleted;
+  completion.failed = !result.status.ok();
+  if (completion.failed) completion.status_message = result.status.ToString();
+  completion.counters = &result.counters;
+  completion.trace = trace;
+  obs::FlightRecorder::Global().OnQueryComplete(completion);
 }
 
 }  // namespace internal
@@ -175,10 +188,18 @@ QueryResult SimilaritySelector::SelectPrepared(
     const PreparedQuery& q, double tau, AlgorithmKind kind,
     const SelectOptions& options) const {
   WallTimer timer;
+  // No sampling trace is attached here: phase spans cost two clock reads
+  // each, and on this hot path (tens of microseconds per query, hundreds of
+  // spans for the round-based algorithms) that blows the bench budget. The
+  // serving layer attaches the flight recorder's sampling trace instead —
+  // its queries are scatter-gather-sized, so span cost vanishes there. An
+  // untraced query here still reports completion (latency, counters,
+  // termination) for the slow-query log, just without spans.
   QueryResult result = Dispatch(q, tau, kind, options);
   result.trace = options.trace;
   internal::RecordQueryMetrics(kind, result,
-                               static_cast<uint64_t>(timer.ElapsedMicros()));
+                               static_cast<uint64_t>(timer.ElapsedMicros()),
+                               options.trace);
   return result;
 }
 

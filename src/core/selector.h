@@ -17,13 +17,17 @@ namespace simsel {
 namespace internal {
 /// Process-wide metric flush every served query goes through, shared by the
 /// SimilaritySelector facade and the serving layer (serve/): per-algorithm
-/// query count and latency, the query-scoped AccessCounters totals, and the
-/// termination/failure counters. Call once per executed query — a result
-/// served from the result cache is *not* an executed query (its work totals
-/// would double-count) and is accounted by the simsel_result_cache_* family
-/// instead.
+/// query count and latency, the query-scoped AccessCounters totals, the
+/// termination/failure counters, and the flight recorder's tail-sampling
+/// hook (obs/flight_recorder.h) — `trace` is whatever trace the query
+/// actually executed with (the caller's, or the recorder's sampling trace;
+/// null when tracing is compiled out). Call once per executed query — a
+/// result served from the result cache is *not* an executed query (its work
+/// totals would double-count) and is accounted by the simsel_result_cache_*
+/// family instead.
 void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
-                        uint64_t latency_usec);
+                        uint64_t latency_usec,
+                        const obs::QueryTrace* trace = nullptr);
 }  // namespace internal
 
 /// Everything needed to stand up a similarity-selection service over a

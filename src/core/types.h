@@ -151,9 +151,15 @@ struct SelectOptions {
   /// Optional per-phase trace: when set, the selector and algorithms record
   /// timed spans (tokenize, planning, list rounds, verification) into it
   /// (see obs/trace.h). Owned by the caller, strictly one trace per query
-  /// per thread — never share one across concurrent queries (BatchSelect
-  /// strips it for that reason); null (the default) costs a single pointer
-  /// test per phase.
+  /// per thread — never share one across concurrent queries. Concurrent
+  /// executors (BatchSelect, ShardedSelector) honor this by recording each
+  /// worker into a private child trace and stitching the children into this
+  /// trace after the join (obs::QueryTrace::AdoptChild), so the caller still
+  /// gets one hierarchical span tree. Null (the default) costs a single
+  /// pointer test per phase; untraced serving-layer queries may still be
+  /// tail-sampled by the always-on flight recorder (obs/flight_recorder.h),
+  /// which records into its own thread-local trace without touching this
+  /// field.
   obs::QueryTrace* trace = nullptr;
   /// Per-query deadline/budget/cancellation limits. Default: no limits.
   /// Unlike the trace, the control may be shared across concurrent queries

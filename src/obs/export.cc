@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "obs/log.h"
 
@@ -24,10 +25,62 @@ std::string SeriesWith(const MetricsSnapshot::Key& key,
   return key.name + "{" + labels + "}";
 }
 
+// Exposition-format HELP text per family. Free text after the name; kept
+// one-line and escape-free by construction. Unknown families (tests,
+// embedders) get a generic line — the format requires presence, not prose.
+const char* MetricHelp(const std::string& name) {
+  static const std::map<std::string, const char*> kHelp = {
+      {"simsel_queries_total", "Executed queries per algorithm"},
+      {"simsel_query_latency_usec", "Query wall-clock latency per algorithm"},
+      {"simsel_query_terminations_total",
+       "Queries tripped by a QueryControl, by reason"},
+      {"simsel_query_failures_total", "Queries that surfaced a non-OK Status"},
+      {"simsel_lists_opened_total", "Inverted-list cursors opened"},
+      {"simsel_postings_read_total", "Postings read by cursors"},
+      {"simsel_postings_skipped_total", "Postings bypassed via skip index"},
+      {"simsel_page_reads_seq_total", "Sequential page reads (simulated I/O)"},
+      {"simsel_page_reads_rand_total", "Random page reads (simulated I/O)"},
+      {"simsel_hash_probes_total", "Extendible-hash membership probes"},
+      {"simsel_candidates_inserted_total", "Candidate-set insertions"},
+      {"simsel_candidates_pruned_total", "Candidate-set prunes"},
+      {"simsel_candidate_scan_steps_total", "Candidate-set scan steps"},
+      {"simsel_rows_scanned_total", "Base-table rows scanned"},
+      {"simsel_results_total", "Matches returned by executed queries"},
+      {"simsel_cursor_read_faults_total",
+       "Posting reads that failed transiently"},
+      {"simsel_buffer_pool_hits_total", "Buffer-pool page hits"},
+      {"simsel_buffer_pool_misses_total", "Buffer-pool page misses"},
+      {"simsel_buffer_pool_evictions_total", "Buffer-pool evictions"},
+      {"simsel_buffer_pool_resident_pages", "Pages resident in buffer pools"},
+      {"simsel_thread_pool_tasks_total", "Thread-pool tasks executed"},
+      {"simsel_thread_pool_queue_depth", "Thread-pool tasks queued"},
+      {"simsel_thread_pool_task_usec", "Thread-pool task run time"},
+      {"simsel_result_cache_hits_total", "Result-cache lookup hits"},
+      {"simsel_result_cache_misses_total", "Result-cache lookup misses"},
+      {"simsel_result_cache_insertions_total", "Results inserted in the cache"},
+      {"simsel_result_cache_evictions_total", "Result-cache LRU evictions"},
+      {"simsel_result_cache_invalidations_total",
+       "Stale result-cache entries erased"},
+      {"simsel_result_cache_bytes", "Bytes resident in the result cache"},
+      {"simsel_serve_stage_latency_usec",
+       "Serving-stage latency (cache_lookup/scatter/merge)"},
+      {"simsel_shard_latency_usec", "Per-shard execution latency"},
+      {"simsel_slow_queries_total",
+       "Queries captured by the slow-query log, by reason"},
+  };
+  auto it = kHelp.find(name);
+  return it != kHelp.end() ? it->second : "simsel metric";
+}
+
 void TypeLine(std::string* out, const std::string& name, const char* type,
               std::string* last_family) {
   if (name == *last_family) return;
   *last_family = name;
+  out->append("# HELP ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(MetricHelp(name));
+  out->push_back('\n');
   out->append("# TYPE ");
   out->append(name);
   out->push_back(' ');

@@ -1,0 +1,230 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+
+namespace simsel::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  // Never destroyed: worker threads may record during static teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::ThreadState& FlightRecorder::LocalState() {
+  // The pointer is stable for the thread's life: ThreadStates are created
+  // once and never freed (ResetForTest only wipes their contents), so the
+  // thread_local cache cannot dangle.
+  thread_local ThreadState* state = [this] {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads_.push_back(
+        std::make_unique<ThreadState>(static_cast<uint32_t>(threads_.size())));
+    return threads_.back().get();
+  }();
+  return *state;
+}
+
+QueryTrace* FlightRecorder::ThreadTrace() {
+#ifdef SIMSEL_DISABLE_TRACING
+  return nullptr;
+#else
+  if (!enabled()) return nullptr;
+  QueryTrace* trace = &LocalState().sample_trace;
+  trace->Clear();
+  return trace;
+#endif
+}
+
+void FlightRecorder::PushSpans(const QueryTrace& trace) {
+  ThreadState& state = LocalState();
+  const uint64_t base_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(trace.epoch() -
+                                                           process_epoch_)
+          .count());
+  for (const TraceSpan& span : trace.spans()) {
+    uint64_t head = state.head.load(std::memory_order_relaxed);
+    Slot& slot = state.slots[head & (kRingCapacity - 1)];
+    uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    slot.seq.store(seq + 1, std::memory_order_release);  // odd: in flight
+    slot.name.store(span.name, std::memory_order_relaxed);
+    slot.meta.store((static_cast<uint64_t>(span.depth) << 32) | span.tag,
+                    std::memory_order_relaxed);
+    slot.start_ns.store(base_ns + span.start_ns, std::memory_order_relaxed);
+    slot.dur_ns.store(span.dur_ns, std::memory_order_relaxed);
+    slot.items.store(span.items, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+    state.head.store(head + 1, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::OnQueryComplete(const QueryCompletion& info) {
+  if (!enabled()) return;
+  const uint64_t threshold = slow_query_usec();
+  const bool slow = threshold > 0 && info.latency_usec >= threshold;
+  if (!slow && !info.tripped && !info.failed) {
+    if (info.trace != nullptr && !info.trace->empty()) {
+      PushSpans(*info.trace);
+    }
+    return;
+  }
+
+  // Tail-sampled keep: serialize the full record.
+  std::string record = BuildRecordJson(info);
+  slow_records_total_.fetch_add(1, std::memory_order_relaxed);
+  const char* reason =
+      info.tripped ? info.termination : (info.failed ? "failed" : "slow");
+  MetricsRegistry::Global()
+      .GetCounter("simsel_slow_queries_total", LabelPair("reason", reason))
+      ->Increment();
+  std::lock_guard<std::mutex> lock(log_mu_);
+  slow_log_.push_back(record);
+  if (slow_log_.size() > kMaxSlowRecords) slow_log_.pop_front();
+  if (sink_) sink_(record);
+}
+
+std::string FlightRecorder::BuildRecordJson(const QueryCompletion& info) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algo");
+  w.String(info.algo);
+  w.Key("latency_usec");
+  w.Uint(info.latency_usec);
+  w.Key("termination");
+  w.String(info.termination);
+  w.Key("failed");
+  w.Bool(info.failed);
+  if (!info.status_message.empty()) {
+    w.Key("status");
+    w.String(info.status_message);
+  }
+  if (info.counters != nullptr) {
+    const AccessCounters& c = *info.counters;
+    w.Key("counters");
+    w.BeginObject();
+    w.Key("elements_read");
+    w.Uint(c.elements_read);
+    w.Key("elements_skipped");
+    w.Uint(c.elements_skipped);
+    w.Key("elements_total");
+    w.Uint(c.elements_total);
+    w.Key("seq_page_reads");
+    w.Uint(c.seq_page_reads);
+    w.Key("rand_page_reads");
+    w.Uint(c.rand_page_reads);
+    w.Key("hash_probes");
+    w.Uint(c.hash_probes);
+    w.Key("candidate_inserts");
+    w.Uint(c.candidate_inserts);
+    w.Key("candidate_prunes");
+    w.Uint(c.candidate_prunes);
+    w.Key("candidate_scan_steps");
+    w.Uint(c.candidate_scan_steps);
+    w.Key("rows_scanned");
+    w.Uint(c.rows_scanned);
+    w.Key("pool_hits");
+    w.Uint(c.pool_hits);
+    w.Key("pool_misses");
+    w.Uint(c.pool_misses);
+    w.Key("results");
+    w.Uint(c.results);
+    w.EndObject();
+  }
+  w.Key("spans");
+  w.BeginArray();
+  if (info.trace != nullptr) {
+    char tagged[64];
+    for (const TraceSpan& span : info.trace->spans()) {
+      w.BeginObject();
+      w.Key("name");
+      if (span.tag == TraceSpan::kNoTag) {
+        w.String(span.name);
+      } else {
+        std::snprintf(tagged, sizeof(tagged), "%s[%u]", span.name, span.tag);
+        w.String(tagged);
+      }
+      w.Key("depth");
+      w.Uint(span.depth);
+      w.Key("start_ns");
+      w.Uint(span.start_ns);
+      w.Key("dur_ns");
+      w.Uint(span.dur_ns);
+      w.Key("items");
+      w.Uint(span.items);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::vector<FlightEvent> FlightRecorder::DumpEvents() const {
+  std::vector<FlightEvent> out;
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (const auto& state : threads_) {
+    const uint64_t head = state->head.load(std::memory_order_acquire);
+    const uint64_t n = std::min<uint64_t>(head, kRingCapacity);
+    for (uint64_t i = head - n; i < head; ++i) {
+      const Slot& slot = state->slots[i & (kRingCapacity - 1)];
+      uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+      FlightEvent ev;
+      ev.name = slot.name.load(std::memory_order_relaxed);
+      uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      ev.depth = static_cast<uint32_t>(meta >> 32);
+      ev.tag = static_cast<uint32_t>(meta);
+      ev.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      ev.items = slot.items.load(std::memory_order_relaxed);
+      ev.tid = state->tid;
+      uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+      if (s1 != s2 || ev.name == nullptr) continue;  // torn: overwritten
+      out.push_back(ev);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::vector<std::string> FlightRecorder::SlowQueryLog() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
+void FlightRecorder::SetSlowQuerySink(
+    std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  sink_ = std::move(sink);
+}
+
+void FlightRecorder::ResetForTest() {
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (auto& state : threads_) {
+      // ThreadStates stay allocated (thread_local pointers reference them);
+      // only their contents are wiped. Callers ensure no thread is
+      // recording concurrently.
+      state->head.store(0, std::memory_order_relaxed);
+      for (Slot& slot : state->slots) {
+        slot.seq.store(0, std::memory_order_relaxed);
+        slot.name.store(nullptr, std::memory_order_relaxed);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(log_mu_);
+  slow_log_.clear();
+  sink_ = nullptr;
+  slow_records_total_.store(0, std::memory_order_relaxed);
+  set_enabled(true);
+  set_slow_query_usec(0);
+}
+
+}  // namespace simsel::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.h"
@@ -18,6 +19,7 @@ size_t QueryTrace::OpenSpan(const char* name) {
   TraceSpan span;
   span.name = name;
   span.depth = depth_++;
+  span.tag = TraceSpan::kNoTag;
   span.start_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
           .count());
@@ -39,25 +41,108 @@ void QueryTrace::CloseSpan(size_t index, uint64_t items) {
   --depth_;
 }
 
+void QueryTrace::AdoptChild(const char* name, uint32_t tag,
+                            const QueryTrace& child, uint64_t items) {
+  // Adopting into an empty trace anchors our epoch on the child's so the
+  // re-based offsets below stay zero-based.
+  if (spans_.empty()) {
+    epoch_ = child.spans_.empty() ? Clock::now() : child.epoch_;
+  }
+  TraceSpan wrapper;
+  wrapper.name = name;
+  wrapper.depth = depth_;
+  wrapper.tag = tag;
+  wrapper.items = items;
+
+  if (child.spans_.empty()) {
+    // Deterministic shape even for a shard that recorded nothing: a
+    // zero-duration wrapper at the end of our current timeline.
+    wrapper.start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch_)
+            .count());
+    wrapper.dur_ns = 0;
+    spans_.push_back(wrapper);
+    starts_.push_back(epoch_);
+    return;
+  }
+
+  // The child's clock is the same steady clock; only its zero point differs.
+  const int64_t delta_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(child.epoch_ -
+                                                           epoch_)
+          .count();
+  auto rebase = [delta_ns](uint64_t start) {
+    int64_t shifted = static_cast<int64_t>(start) + delta_ns;
+    return shifted > 0 ? static_cast<uint64_t>(shifted) : 0;
+  };
+
+  // Wrapper extent: the union of the child's root (depth-0) spans.
+  uint64_t lo = ~uint64_t{0}, hi = 0;
+  for (const TraceSpan& s : child.spans_) {
+    if (s.depth != 0) continue;
+    lo = std::min(lo, s.start_ns);
+    hi = std::max(hi, s.start_ns + s.dur_ns);
+  }
+  wrapper.start_ns = rebase(lo);
+  wrapper.dur_ns = hi - lo;
+  spans_.push_back(wrapper);
+  starts_.push_back(epoch_);
+
+  spans_.reserve(spans_.size() + child.spans_.size());
+  for (const TraceSpan& s : child.spans_) {
+    TraceSpan copy = s;
+    copy.depth += depth_ + 1;  // children of the wrapper
+    copy.start_ns = rebase(s.start_ns);
+    spans_.push_back(copy);
+    starts_.push_back(epoch_);
+  }
+}
+
+namespace {
+
+// `name` or `name[tag]` into `buf`; returns buf.
+const char* TaggedName(const TraceSpan& span, char* buf, size_t n) {
+  if (span.tag == TraceSpan::kNoTag) return span.name;
+  std::snprintf(buf, n, "%s[%u]", span.name, span.tag);
+  return buf;
+}
+
+}  // namespace
+
 std::string QueryTrace::ToString() const {
   std::string out;
   if (spans_.empty()) return out;
   double root_ns = static_cast<double>(spans_[0].dur_ns);
   char line[256];
+  char tagged[64];
   for (const TraceSpan& span : spans_) {
     double pct = root_ns > 0.0 ? 100.0 * span.dur_ns / root_ns : 0.0;
     int indent = static_cast<int>(span.depth) * 2;
+    const char* name = TaggedName(span, tagged, sizeof(tagged));
     int written;
     if (span.items > 0) {
       written = std::snprintf(
           line, sizeof(line), "%*s%-*s %10.1f us  %5.1f%%  items=%llu\n",
-          indent, "", 24 - indent, span.name, span.dur_ns / 1e3, pct,
+          indent, "", 24 - indent, name, span.dur_ns / 1e3, pct,
           static_cast<unsigned long long>(span.items));
     } else {
       written = std::snprintf(line, sizeof(line),
                               "%*s%-*s %10.1f us  %5.1f%%\n", indent, "",
-                              24 - indent, span.name, span.dur_ns / 1e3, pct);
+                              24 - indent, name, span.dur_ns / 1e3, pct);
     }
+    if (written > 0) out.append(line, static_cast<size_t>(written));
+  }
+  return out;
+}
+
+std::string QueryTrace::StructureString() const {
+  std::string out;
+  char line[96];
+  char tagged[64];
+  for (const TraceSpan& span : spans_) {
+    int written = std::snprintf(line, sizeof(line), "%u:%s\n", span.depth,
+                                TaggedName(span, tagged, sizeof(tagged)));
     if (written > 0) out.append(line, static_cast<size_t>(written));
   }
   return out;

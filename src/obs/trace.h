@@ -19,16 +19,26 @@ namespace simsel::obs {
 /// SIMSEL_DISABLE_TRACING=ON) compiles the whole mechanism out: spans are
 /// never recorded and TraceScope is an empty object.
 ///
-/// Traces are single-threaded by design — one QueryTrace per query, owned
-/// by the issuing thread, matching the engine's one-thread-per-query
-/// execution model. The registry (metrics_registry.h) is the concurrent
-/// aggregate view; the trace is the per-query microscope.
+/// **Threading model.** A QueryTrace is still single-threaded: exactly one
+/// thread records into it, lock-free. Cross-thread execution (the serving
+/// layer's scatter-gather, BatchSelect) is traced *compositionally*: each
+/// worker records into its own private child QueryTrace, and after the
+/// workers are joined the gather thread stitches the children into the
+/// parent with AdoptChild, which re-bases the child timelines onto the
+/// parent's epoch. The hot path therefore never takes a lock or shares a
+/// span vector; only the (already synchronized) join point touches more
+/// than one trace.
 
 /// One timed phase. Spans form a tree encoded by depth in recording order
 /// (a span's children are the following spans with depth + 1).
 struct TraceSpan {
+  /// Instance marker for spans that exist once per shard / per batch query;
+  /// rendered as `name[tag]`. kNoTag for ordinary phases.
+  static constexpr uint32_t kNoTag = 0xFFFFFFFFu;
+
   const char* name;   // static string supplied by the instrumentation site
   uint32_t depth;     // 0 = root
+  uint32_t tag = kNoTag;
   uint64_t start_ns;  // offset from the trace's first span
   uint64_t dur_ns;    // 0 while the span is still open
   uint64_t items;     // phase-defined payload (postings, candidates, rounds)
@@ -36,6 +46,8 @@ struct TraceSpan {
 
 class QueryTrace {
  public:
+  using Clock = std::chrono::steady_clock;
+
   QueryTrace() = default;
 
   /// Drops all spans so the object can be reused across queries.
@@ -46,15 +58,35 @@ class QueryTrace {
   /// Closes span `index`, recording its duration and payload count.
   void CloseSpan(size_t index, uint64_t items);
 
+  /// Stitches `child`'s complete span tree into this trace as a subtree of
+  /// the innermost open span (gather-side cross-thread composition; see the
+  /// file comment). A wrapper span `name` tagged `tag` — rendered
+  /// `name[tag]` — covers the child's extent, with `items` as its payload;
+  /// the child's spans follow beneath it with their start offsets re-based
+  /// onto this trace's epoch, so the stitched tree shares one timeline.
+  /// Every child span must be closed. An empty child contributes a
+  /// zero-duration wrapper so the tree shape stays deterministic.
+  void AdoptChild(const char* name, uint32_t tag, const QueryTrace& child,
+                  uint64_t items = 0);
+
   bool empty() const { return spans_.empty(); }
   const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// The steady-clock instant span offsets are relative to (the first
+  /// OpenSpan). Meaningless while empty().
+  Clock::time_point epoch() const { return epoch_; }
 
   /// Indented tree rendering: one line per span with duration, percentage
   /// of the root span and the items payload.
   std::string ToString() const;
 
+  /// Timing-free rendering — one `depth:name[tag]` line per span. Two runs
+  /// of the same traced query produce byte-identical structure strings
+  /// (durations differ, shape must not), which is what the stitched-trace
+  /// regression tests compare.
+  std::string StructureString() const;
+
  private:
-  using Clock = std::chrono::steady_clock;
   std::vector<TraceSpan> spans_;
   std::vector<Clock::time_point> starts_;  // parallel to spans_, open times
   uint32_t depth_ = 0;

@@ -1,0 +1,78 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace simsel::obs {
+
+namespace {
+
+void AppendEvent(JsonWriter* w, const char* name, uint32_t tag, uint32_t tid,
+                 uint64_t start_ns, uint64_t dur_ns, uint64_t items) {
+  w->BeginObject();
+  w->Key("name");
+  if (tag == TraceSpan::kNoTag) {
+    w->String(name);
+  } else {
+    char tagged[64];
+    std::snprintf(tagged, sizeof(tagged), "%s[%u]", name, tag);
+    w->String(tagged);
+  }
+  w->Key("cat");
+  w->String("simsel");
+  w->Key("ph");
+  w->String("X");
+  // Chrome trace timestamps are microseconds; keep nanosecond precision in
+  // the fraction so adjacent spans never collapse.
+  w->Key("ts");
+  w->Double(static_cast<double>(start_ns) / 1e3);
+  w->Key("dur");
+  w->Double(static_cast<double>(dur_ns) / 1e3);
+  w->Key("pid");
+  w->Uint(1);
+  w->Key("tid");
+  w->Uint(tid);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("items");
+  w->Uint(items);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const QueryTrace& trace) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ns");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceSpan& span : trace.spans()) {
+    AppendEvent(&w, span.name, span.tag, /*tid=*/0, span.start_ns,
+                span.dur_ns, span.items);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string ToChromeTraceJson(const std::vector<FlightEvent>& events) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ns");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const FlightEvent& ev : events) {
+    AppendEvent(&w, ev.name, ev.tag, ev.tid, ev.start_ns, ev.dur_ns,
+                ev.items);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace simsel::obs

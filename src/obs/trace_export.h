@@ -1,0 +1,32 @@
+#ifndef SIMSEL_OBS_TRACE_EXPORT_H_
+#define SIMSEL_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace simsel::obs {
+
+/// \file
+/// Chrome trace-event JSON export. The output is a JSON object with a
+/// `traceEvents` array of complete ("ph":"X") events, loadable directly in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing, so any captured trace —
+/// a query's stitched span tree or a flight-recorder ring dump — can be
+/// inspected on a real timeline. Timestamps are microseconds relative to
+/// the trace's own epoch; the viewer nests events by time containment,
+/// which matches the span tree because child spans always lie inside their
+/// parent's extent.
+
+/// One query's span tree (including stitched cross-thread subtrees). All
+/// events share tid 0: the stitched tree is one logical timeline, shard
+/// subtrees are distinguished by their `name[tag]` wrapper spans.
+std::string ToChromeTraceJson(const QueryTrace& trace);
+
+/// A flight-recorder dump; events keep their recording thread as tid.
+std::string ToChromeTraceJson(const std::vector<FlightEvent>& events);
+
+}  // namespace simsel::obs
+
+#endif  // SIMSEL_OBS_TRACE_EXPORT_H_

@@ -1,6 +1,7 @@
 #include "serve/sharded_selector.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -17,9 +18,53 @@
 #include "core/sf.h"
 #include "core/sort_by_id.h"
 #include "core/ta.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace simsel::serve {
+
+namespace {
+
+// Per-stage serving latency attribution. Handles resolve once; recording a
+// stage is one histogram Observe (relaxed atomics).
+struct StageMetrics {
+  obs::Histogram* cache_lookup;
+  obs::Histogram* scatter;
+  obs::Histogram* merge;
+};
+
+const StageMetrics& Stages() {
+  static const StageMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    auto get = [&reg](const char* stage) {
+      return reg.GetHistogram("simsel_serve_stage_latency_usec",
+                              obs::LabelPair("stage", stage));
+    };
+    return StageMetrics{get("cache_lookup"), get("scatter"), get("merge")};
+  }();
+  return m;
+}
+
+// Per-shard serving latency. Shard counts are small and fixed per process;
+// handles are cached lock-free per index (shards beyond kMaxShardLabel share
+// the last label so the family stays bounded).
+obs::Histogram* ShardLatency(size_t shard) {
+  constexpr size_t kMaxShardLabel = 64;
+  static std::array<std::atomic<obs::Histogram*>, kMaxShardLabel> cache{};
+  const size_t i = std::min(shard, kMaxShardLabel - 1);
+  obs::Histogram* h = cache[i].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    // Benign race: the registry returns one stable pointer per key.
+    h = obs::MetricsRegistry::Global().GetHistogram(
+        "simsel_shard_latency_usec",
+        obs::LabelPair("shard", std::to_string(i)));
+    cache[i].store(h, std::memory_order_release);
+  }
+  return h;
+}
+
+}  // namespace
 
 ShardedSelector& ShardedSelector::operator=(ShardedSelector&& other) noexcept {
   tokenizer_ = std::move(other.tokenizer_);
@@ -110,17 +155,34 @@ QueryResult ShardedSelector::SelectPrepared(const PreparedQuery& q, double tau,
     return out;
   }
 
+  // Tail sampling for untraced queries, as in SimilaritySelector: the
+  // flight recorder's thread-local trace records the serving stages and the
+  // stitched shard subtrees, but never escapes to the caller.
+  const SelectOptions* run_options = &options;
+  SelectOptions sampled;
+  if (options.trace == nullptr) {
+    if (obs::QueryTrace* t = obs::FlightRecorder::Global().ThreadTrace()) {
+      sampled = options;
+      sampled.trace = t;
+      run_options = &sampled;
+    }
+  }
+
   std::string key;
   uint64_t at_epoch = 0;
   if (cache_ != nullptr) {
-    obs::TraceScope span(options.trace, "cache_lookup");
+    WallTimer stage_timer;
+    obs::TraceScope span(run_options->trace, "cache_lookup");
     key = ResultCache::MakeKey(q, tau, kind, options, disk_mode_,
                                measure_->name());
     // Read the epoch before executing: a bump landing mid-query then keeps
     // the stale-stamped insert invisible to post-bump lookups.
     at_epoch = epoch();
     CachedResult cached;
-    if (cache_->Lookup(key, at_epoch, &cached)) {
+    const bool hit = cache_->Lookup(key, at_epoch, &cached);
+    Stages().cache_lookup->Observe(
+        static_cast<uint64_t>(stage_timer.ElapsedMicros()));
+    if (hit) {
       QueryResult out;
       out.matches = std::move(cached.matches);
       out.counters = cached.counters;
@@ -129,13 +191,14 @@ QueryResult ShardedSelector::SelectPrepared(const PreparedQuery& q, double tau,
     }
   }
 
-  QueryResult out = Scatter(q, tau, kind, options);
+  QueryResult out = Scatter(q, tau, kind, *run_options);
   if (cache_ != nullptr && out.complete()) {
     cache_->Insert(key, at_epoch, out.matches, out.counters);
   }
   out.trace = options.trace;
   internal::RecordQueryMetrics(kind, out,
-                               static_cast<uint64_t>(timer.ElapsedMicros()));
+                               static_cast<uint64_t>(timer.ElapsedMicros()),
+                               run_options->trace);
   return out;
 }
 
@@ -197,19 +260,33 @@ QueryResult ShardedSelector::Scatter(const PreparedQuery& q, double tau,
   constexpr uint32_t kNoTrip = ~0u;
   std::atomic<uint32_t> first_trip{kNoTrip};
 
-  // Per-shard execution options: the trace stays with the calling thread
-  // (one trace is one thread), the caller's control fields propagate, and
+  // Cross-thread tracing: each shard records into its own private child
+  // trace (no locks, no sharing while workers run) and the gather step
+  // below stitches them under the scatter span in shard order, so the
+  // stitched tree's shape is deterministic no matter how the shard tasks
+  // interleaved.
+  const bool traced = options.trace != nullptr;
+  std::vector<obs::QueryTrace> shard_traces(traced ? num_shards : 0);
+
+  // Per-shard execution options: the caller's control fields propagate, and
   // cancel2 is claimed for the sibling token (callers use `cancel`).
   SelectOptions shard_base = options;
   shard_base.trace = nullptr;
   shard_base.control.cancel2 = &sibling_cancel;
 
   auto run = [&](size_t i) {
+    WallTimer shard_timer;
     const Shard& shard = shards_[i];
     SelectOptions shard_options = shard_base;
+    if (traced) shard_options.trace = &shard_traces[i];
     shard_options.posting_store = shard.store.get();
     shard_options.buffer_pool = shard.pool.get();
-    parts[i] = RunShard(shard, q, tau, kind, shard_options);
+    {
+      obs::TraceScope span(shard_options.trace, AlgorithmKindName(kind));
+      parts[i] = RunShard(shard, q, tau, kind, shard_options);
+      span.SetItems(parts[i].matches.size());
+    }
+    ShardLatency(i)->Observe(static_cast<uint64_t>(shard_timer.ElapsedMicros()));
     if (parts[i].termination != Termination::kCompleted ||
         !parts[i].status.ok()) {
       uint32_t expected = kNoTrip;
@@ -221,6 +298,7 @@ QueryResult ShardedSelector::Scatter(const PreparedQuery& q, double tau,
   };
 
   {
+    WallTimer stage_timer;
     obs::TraceScope span(options.trace, "scatter");
     span.SetItems(num_shards);
     if (pool_ == nullptr || num_shards == 1) {
@@ -243,8 +321,17 @@ QueryResult ShardedSelector::Scatter(const PreparedQuery& q, double tau,
       std::unique_lock<std::mutex> lock(mu);
       done.wait(lock, [&remaining] { return remaining == 0; });
     }
+    // Gather-side stitch: workers are joined, their traces are quiescent.
+    if (traced) {
+      for (size_t i = 0; i < num_shards; ++i) {
+        options.trace->AdoptChild("shard", static_cast<uint32_t>(i),
+                                  shard_traces[i], parts[i].matches.size());
+      }
+    }
+    Stages().scatter->Observe(static_cast<uint64_t>(stage_timer.ElapsedMicros()));
   }
 
+  WallTimer merge_timer;
   obs::TraceScope span(options.trace, "merge");
   QueryResult out;
   Status status;
@@ -261,6 +348,7 @@ QueryResult ShardedSelector::Scatter(const PreparedQuery& q, double tau,
   out.counters.results = out.matches.size();
   span.SetItems(out.matches.size());
   if (!status.ok()) internal::FailResult(std::move(status), &out);
+  Stages().merge->Observe(static_cast<uint64_t>(merge_timer.ElapsedMicros()));
   return out;
 }
 
@@ -269,12 +357,23 @@ std::vector<QueryResult> BatchSelect(const ShardedSelector& selector,
                                      double tau, AlgorithmKind kind,
                                      const SelectOptions& options) {
   std::vector<QueryResult> results(queries.size());
+  // Each query records into a private child trace that is stitched into the
+  // caller's trace as a `batch_query[i]` subtree after it completes — the
+  // caller gets one span tree covering the whole batch (see
+  // obs::QueryTrace::AdoptChild).
+  const bool traced = options.trace != nullptr;
+  obs::TraceScope batch_span(options.trace, "batch");
+  obs::QueryTrace child_trace;
   SelectOptions per_query = options;
-  per_query.trace = nullptr;  // one trace records one query
   constexpr int kMaxAttempts = 3;
   constexpr auto kBackoffBase = std::chrono::microseconds(100);
   for (size_t i = 0; i < queries.size(); ++i) {
+    if (traced) {
+      child_trace.Clear();
+      per_query.trace = &child_trace;
+    }
     for (int attempt = 0;; ++attempt) {
+      if (traced && attempt > 0) child_trace.Clear();  // trace the last try
       results[i] = selector.Select(queries[i], tau, kind, per_query);
       const Status& st = results[i].status;
       if (st.ok() || !st.IsTransient() || attempt + 1 >= kMaxAttempts) break;
@@ -284,7 +383,15 @@ std::vector<QueryResult> BatchSelect(const ShardedSelector& selector,
       }
       std::this_thread::sleep_for(kBackoffBase * (1 << attempt));
     }
+    if (traced) {
+      options.trace->AdoptChild("batch_query", static_cast<uint32_t>(i),
+                                child_trace, results[i].matches.size());
+      // The child trace is reused for the next query; the stitched parent
+      // is the only trace that outlives this call.
+      results[i].trace = options.trace;
+    }
   }
+  batch_span.SetItems(queries.size());
   return results;
 }
 

@@ -1,0 +1,342 @@
+// Flight recorder and trace-composition tests: AdoptChild stitching,
+// structure-string determinism, the per-thread ring, tail-sampled
+// slow-query records, and the Chrome trace-event export. The recorder under
+// test is the process-wide instance, so every fixture starts from
+// ResetForTest().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace simsel {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightRecorder;
+using obs::QueryCompletion;
+using obs::QueryTrace;
+using obs::TraceScope;
+using obs::TraceSpan;
+
+#ifndef SIMSEL_DISABLE_TRACING
+
+// Records a small but non-trivial tree: root -> (tokenize, work -> inner).
+void RecordDemoTrace(QueryTrace* trace) {
+  TraceScope root(trace, "query");
+  {
+    TraceScope tok(trace, "tokenize");
+    tok.SetItems(3);
+  }
+  TraceScope work(trace, "work");
+  TraceScope inner(trace, "inner");
+  inner.SetItems(7);
+}
+
+// ------------------------------------------------------------- AdoptChild
+
+TEST(AdoptChildTest, StitchesChildUnderOpenSpan) {
+  QueryTrace child;
+  RecordDemoTrace(&child);
+
+  QueryTrace parent;
+  {
+    TraceScope root(&parent, "serve");
+    TraceScope scatter(&parent, "scatter");
+    parent.AdoptChild("shard", 0, child, 42);
+    parent.AdoptChild("shard", 1, child, 7);
+  }
+  EXPECT_EQ(parent.StructureString(),
+            "0:serve\n"
+            "1:scatter\n"
+            "2:shard[0]\n"
+            "3:query\n"
+            "4:tokenize\n"
+            "4:work\n"
+            "5:inner\n"
+            "2:shard[1]\n"
+            "3:query\n"
+            "4:tokenize\n"
+            "4:work\n"
+            "5:inner\n");
+  // The wrapper carries the gather-side payload and covers its child spans.
+  const std::vector<TraceSpan>& spans = parent.spans();
+  const TraceSpan& wrapper = spans[2];
+  EXPECT_STREQ(wrapper.name, "shard");
+  EXPECT_EQ(wrapper.tag, 0u);
+  EXPECT_EQ(wrapper.items, 42u);
+  const TraceSpan& adopted_root = spans[3];
+  EXPECT_GE(adopted_root.start_ns, wrapper.start_ns);
+  EXPECT_LE(adopted_root.start_ns + adopted_root.dur_ns,
+            wrapper.start_ns + wrapper.dur_ns);
+  // Tagged wrappers render as name[tag] in the human-readable dump too.
+  EXPECT_NE(parent.ToString().find("shard[1]"), std::string::npos);
+}
+
+TEST(AdoptChildTest, EmptyChildContributesZeroDurationWrapper) {
+  QueryTrace child;  // never recorded into
+  QueryTrace parent;
+  {
+    TraceScope root(&parent, "serve");
+    parent.AdoptChild("shard", 3, child, 0);
+  }
+  ASSERT_EQ(parent.spans().size(), 2u);
+  EXPECT_EQ(parent.spans()[1].dur_ns, 0u);
+  EXPECT_EQ(parent.StructureString(), "0:serve\n1:shard[3]\n");
+}
+
+TEST(AdoptChildTest, AdoptIntoEmptyParentUsesChildEpoch) {
+  QueryTrace child;
+  RecordDemoTrace(&child);
+  QueryTrace parent;
+  parent.AdoptChild("batch_query", 0, child, 1);
+  ASSERT_FALSE(parent.empty());
+  // With no re-basing delta the child keeps its own offsets.
+  EXPECT_EQ(parent.spans()[0].start_ns, child.spans()[0].start_ns);
+  EXPECT_EQ(parent.spans()[1].start_ns, child.spans()[0].start_ns);
+}
+
+TEST(AdoptChildTest, StructureStringIsStableAcrossRuns) {
+  auto build = [] {
+    QueryTrace child_a, child_b, parent;
+    RecordDemoTrace(&child_a);
+    RecordDemoTrace(&child_b);
+    TraceScope root(&parent, "serve");
+    parent.AdoptChild("shard", 0, child_a, 1);
+    parent.AdoptChild("shard", 1, child_b, 2);
+    return parent.StructureString();
+  };
+  EXPECT_EQ(build(), build());  // durations differ, shape must not
+}
+
+// ------------------------------------------------------------------- ring
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FlightRecorder::Global().ResetForTest(); }
+  void TearDown() override { FlightRecorder::Global().ResetForTest(); }
+};
+
+QueryCompletion HealthyCompletion(const QueryTrace* trace,
+                                  uint64_t latency_usec = 10) {
+  QueryCompletion info;
+  info.algo = "SF";
+  info.latency_usec = latency_usec;
+  info.termination = "completed";
+  info.trace = trace;
+  return info;
+}
+
+TEST_F(FlightRecorderTest, HealthyQueriesLandInTheRing) {
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+  FlightRecorder::Global().OnQueryComplete(HealthyCompletion(&trace));
+  std::vector<FlightEvent> events = FlightRecorder::Global().DumpEvents();
+  ASSERT_EQ(events.size(), trace.spans().size());
+  // Ring events preserve names and payloads; all from this thread.
+  std::vector<std::string> names;
+  for (const FlightEvent& ev : events) names.push_back(ev.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "query"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "inner"), names.end());
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Nothing was tail-sampled.
+  EXPECT_TRUE(FlightRecorder::Global().SlowQueryLog().empty());
+  EXPECT_EQ(FlightRecorder::Global().slow_queries_recorded(), 0u);
+}
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestBeyondCapacity) {
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+  const size_t per_query = trace.spans().size();
+  const size_t queries = FlightRecorder::kRingCapacity / per_query + 10;
+  for (size_t i = 0; i < queries; ++i) {
+    QueryTrace t;
+    RecordDemoTrace(&t);
+    FlightRecorder::Global().OnQueryComplete(HealthyCompletion(&t));
+  }
+  std::vector<FlightEvent> events = FlightRecorder::Global().DumpEvents();
+  EXPECT_LE(events.size(), FlightRecorder::kRingCapacity);
+  EXPECT_GT(events.size(), FlightRecorder::kRingCapacity / 2);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentWritersStayIsolated) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        QueryTrace trace;
+        RecordDemoTrace(&trace);
+        FlightRecorder::Global().OnQueryComplete(HealthyCompletion(&trace));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  std::vector<FlightEvent> events = FlightRecorder::Global().DumpEvents();
+  EXPECT_FALSE(events.empty());
+  // Events are sorted by start time regardless of source thread.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderIsSilent) {
+  FlightRecorder::Global().set_enabled(false);
+  EXPECT_EQ(FlightRecorder::Global().ThreadTrace(), nullptr);
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+  QueryCompletion tripped = HealthyCompletion(&trace);
+  tripped.tripped = true;
+  tripped.termination = "deadline";
+  FlightRecorder::Global().OnQueryComplete(tripped);
+  EXPECT_TRUE(FlightRecorder::Global().SlowQueryLog().empty());
+  EXPECT_TRUE(FlightRecorder::Global().DumpEvents().empty());
+}
+
+TEST_F(FlightRecorderTest, ThreadTraceIsClearedAndReused) {
+  QueryTrace* a = FlightRecorder::Global().ThreadTrace();
+  ASSERT_NE(a, nullptr);
+  RecordDemoTrace(a);
+  EXPECT_FALSE(a->empty());
+  QueryTrace* b = FlightRecorder::Global().ThreadTrace();
+  EXPECT_EQ(a, b);        // same thread, same reusable object
+  EXPECT_TRUE(b->empty());  // handed back clean
+}
+
+// --------------------------------------------------------- slow-query log
+
+TEST_F(FlightRecorderTest, SlowQueryIsKeptWithSpansAndCounters) {
+  FlightRecorder::Global().set_slow_query_usec(100);
+  std::vector<std::string> sunk;
+  FlightRecorder::Global().SetSlowQuerySink(
+      [&sunk](const std::string& record) { sunk.push_back(record); });
+
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+  AccessCounters counters;
+  counters.elements_read = 55;
+  QueryCompletion info = HealthyCompletion(&trace, /*latency_usec=*/250);
+  info.counters = &counters;
+  FlightRecorder::Global().OnQueryComplete(info);
+  // Below the threshold: not kept.
+  FlightRecorder::Global().OnQueryComplete(
+      HealthyCompletion(&trace, /*latency_usec=*/50));
+
+  std::vector<std::string> log = FlightRecorder::Global().SlowQueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(sunk, log);
+  const std::string& rec = log[0];
+  EXPECT_NE(rec.find("\"algo\":\"SF\""), std::string::npos);
+  EXPECT_NE(rec.find("\"latency_usec\":250"), std::string::npos);
+  EXPECT_NE(rec.find("\"termination\":\"completed\""), std::string::npos);
+  EXPECT_NE(rec.find("\"elements_read\":55"), std::string::npos);
+  EXPECT_NE(rec.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_EQ(FlightRecorder::Global().slow_queries_recorded(), 1u);
+}
+
+TEST_F(FlightRecorderTest, TrippedAndFailedQueriesAreAlwaysKept) {
+  ASSERT_EQ(FlightRecorder::Global().slow_query_usec(), 0u);  // no threshold
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+
+  QueryCompletion tripped = HealthyCompletion(&trace, 1);
+  tripped.tripped = true;
+  tripped.termination = "deadline";
+  FlightRecorder::Global().OnQueryComplete(tripped);
+
+  QueryCompletion failed = HealthyCompletion(&trace, 1);
+  failed.failed = true;
+  failed.status_message = "UNAVAILABLE: injected";
+  FlightRecorder::Global().OnQueryComplete(failed);
+
+  std::vector<std::string> log = FlightRecorder::Global().SlowQueryLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("\"termination\":\"deadline\""), std::string::npos);
+  EXPECT_NE(log[1].find("\"failed\":true"), std::string::npos);
+  EXPECT_NE(log[1].find("injected"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, SlowLogIsBounded) {
+  QueryTrace trace;
+  RecordDemoTrace(&trace);
+  for (size_t i = 0; i < FlightRecorder::kMaxSlowRecords + 20; ++i) {
+    QueryCompletion tripped = HealthyCompletion(&trace, 1);
+    tripped.tripped = true;
+    tripped.termination = "budget";
+    FlightRecorder::Global().OnQueryComplete(tripped);
+  }
+  EXPECT_EQ(FlightRecorder::Global().SlowQueryLog().size(),
+            FlightRecorder::kMaxSlowRecords);
+  EXPECT_EQ(FlightRecorder::Global().slow_queries_recorded(),
+            FlightRecorder::kMaxSlowRecords + 20);
+}
+
+// ----------------------------------------------------------- Chrome export
+
+// Structural validation without a JSON parser: balanced delimiters, the
+// required top-level keys, one complete event per span.
+void ExpectChromeTraceShape(const std::string& json, size_t expected_events) {
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  size_t events = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, expected_events);
+  if (expected_events > 0) {
+    EXPECT_NE(json.find("\"cat\":\"simsel\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  }
+}
+
+TEST(ChromeTraceExportTest, QueryTraceRoundTripsStructurally) {
+  QueryTrace child;
+  RecordDemoTrace(&child);
+  QueryTrace parent;
+  {
+    TraceScope root(&parent, "serve");
+    parent.AdoptChild("shard", 0, child, 9);
+  }
+  std::string json = obs::ToChromeTraceJson(parent);
+  ExpectChromeTraceShape(json, parent.spans().size());
+  // Tagged wrapper names survive the export.
+  EXPECT_NE(json.find("\"name\":\"shard[0]\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, FlightEventsKeepTheirThread) {
+  std::vector<FlightEvent> events(2);
+  events[0] = FlightEvent{"alpha", 0, 0, TraceSpan::kNoTag, 100, 50, 1};
+  events[1] = FlightEvent{"beta", 3, 1, 2, 120, 10, 0};
+  std::string json = obs::ToChromeTraceJson(events);
+  ExpectChromeTraceShape(json, events.size());
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta[2]\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, EmptyTraceIsStillLoadable) {
+  QueryTrace trace;
+  std::string json = obs::ToChromeTraceJson(trace);
+  ExpectChromeTraceShape(json, 0);
+}
+
+#endif  // SIMSEL_DISABLE_TRACING
+
+}  // namespace
+}  // namespace simsel

@@ -74,7 +74,57 @@ TEST(HistogramTest, QuantilesOnUniformDistribution) {
 TEST(HistogramTest, EmptyQuantileIsZero) {
   HistogramSnapshot s;
   EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_EQ(s.Quantile(0.0), 0u);
+  EXPECT_EQ(s.Quantile(1.0), 0u);
   EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleBucketQuantileIsTheObservedValue) {
+  // Every observation in one bucket: any quantile must resolve to the
+  // observed value itself (bucket bound clamped to the recorded max).
+  Histogram h;
+  for (int i = 0; i < 17; ++i) h.Observe(42);
+  HistogramSnapshot s = h.Snapshot();
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.Quantile(q), 42u) << q;
+  }
+}
+
+TEST(HistogramTest, OverflowValuesClampToTheLastBucket) {
+  // Values beyond the 2^40 bucket range must land in the final bucket, not
+  // index out of bounds, and quantiles must stay finite: the last bucket's
+  // bound when it is below the observed max, never above the max.
+  const uint64_t huge = 1ull << 50;
+  EXPECT_EQ(Histogram::BucketIndex(huge), Histogram::kNumBuckets - 1);
+  Histogram h;
+  h.Observe(huge);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.max, huge);
+  const uint64_t last_bound =
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+  EXPECT_EQ(s.Quantile(1.0), std::min(last_bound, huge));
+  EXPECT_LE(s.Quantile(0.5), huge);
+}
+
+TEST(HistogramTest, MergeIntoEmptySnapshotResizesBuckets) {
+  // A default-constructed snapshot has no bucket cells; Merge must grow it
+  // instead of dropping counts, and quantiles must work afterwards.
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  HistogramSnapshot from = h.Snapshot();
+  HistogramSnapshot into;  // empty, zero-length buckets
+  into.Merge(from);
+  EXPECT_EQ(into.buckets, from.buckets);
+  EXPECT_EQ(into.count, from.count);
+  EXPECT_EQ(into.sum, from.sum);
+  EXPECT_EQ(into.max, from.max);
+  EXPECT_EQ(into.Quantile(1.0), from.Quantile(1.0));
+  // Merging the empty snapshot the other way is a no-op.
+  HistogramSnapshot copy = from;
+  copy.Merge(HistogramSnapshot{});
+  EXPECT_EQ(copy.buckets, from.buckets);
+  EXPECT_EQ(copy.Quantile(0.9), from.Quantile(0.9));
 }
 
 TEST(HistogramTest, SnapshotMergeMatchesCombinedObservation) {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/linear_scan.h"
 #include "core/parallel.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace simsel {
@@ -49,6 +52,51 @@ TEST(BatchSelectTest, WorksWithEveryAlgorithm) {
     EXPECT_FALSE(results[1].matches.empty()) << AlgorithmKindName(kind);
   }
 }
+
+#ifndef SIMSEL_DISABLE_TRACING
+TEST(BatchSelectTest, TracedBatchReturnsStitchedSpanTrees) {
+  // Regression: batch workers used to run traceless (the caller's trace was
+  // stripped for thread safety); now each worker records a private child
+  // trace that is stitched into the caller's at the join.
+  const SimilaritySelector& sel = Selector();
+  std::vector<std::string> queries = {sel.collection().text(0),
+                                      sel.collection().text(5),
+                                      sel.collection().text(9)};
+  ThreadPool pool(4);
+  obs::QueryTrace trace;
+  SelectOptions options;
+  options.trace = &trace;
+  std::vector<QueryResult> results =
+      BatchSelect(sel, queries, 0.7, AlgorithmKind::kSf, options, &pool);
+  ASSERT_EQ(results.size(), queries.size());
+  ASSERT_FALSE(trace.empty());
+  const std::vector<obs::TraceSpan>& spans = trace.spans();
+  EXPECT_STREQ(spans[0].name, "batch");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].items, queries.size());
+  // One batch_query[i] wrapper per query in query order, each with at least
+  // one worker-recorded span beneath it; every result reports the stitched
+  // parent trace.
+  std::string structure = trace.StructureString();
+  size_t pos = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::string wrapper = "1:batch_query[" + std::to_string(i) + "]\n";
+    size_t at = structure.find(wrapper, pos);
+    ASSERT_NE(at, std::string::npos) << structure;
+    pos = at + wrapper.size();
+    EXPECT_EQ(results[i].trace, &trace);
+  }
+  size_t worker_spans = 0;
+  for (const obs::TraceSpan& s : spans) worker_spans += (s.depth == 2);
+  EXPECT_GE(worker_spans, queries.size());
+  // The stitched shape is byte-stable run to run.
+  obs::QueryTrace again;
+  SelectOptions repeat;
+  repeat.trace = &again;
+  BatchSelect(sel, queries, 0.7, AlgorithmKind::kSf, repeat, &pool);
+  EXPECT_EQ(trace.StructureString(), again.StructureString());
+}
+#endif  // SIMSEL_DISABLE_TRACING
 
 TEST(ParallelLinearScanTest, ExactlyMatchesSerialScan) {
   const SimilaritySelector& sel = Selector();

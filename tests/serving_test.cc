@@ -11,6 +11,8 @@
 
 #include "common/thread_pool.h"
 #include "core/parallel.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "serve/result_cache.h"
 #include "serve/sharded_selector.h"
 #include "storage/posting_store.h"
@@ -142,6 +144,76 @@ TEST(ShardedSelectorTest, ExpiredDeadlineReportsRootCauseNotCancelled) {
   EXPECT_EQ(r.termination, Termination::kDeadline);
   EXPECT_TRUE(r.status.ok());
 }
+
+#ifndef SIMSEL_DISABLE_TRACING
+TEST(ShardedSelectorTest, TracedScatterStitchesOneSubtreePerShard) {
+  // Regression for the PR 3 workaround: shard tasks used to run traceless.
+  // A traced scatter query now yields ONE hierarchical span tree with a
+  // shard[i] subtree per shard, stitched at the gather point.
+  std::vector<std::string> records = MakeWordRecords(120, 7);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(4));
+  ThreadPool pool(3);
+  sharded.set_thread_pool(&pool);
+  auto run = [&](obs::QueryTrace* trace) {
+    SelectOptions options;
+    options.trace = trace;
+    return sharded.Select(records[5], 0.5, AlgorithmKind::kSf, options);
+  };
+  obs::QueryTrace first, second;
+  QueryResult r1 = run(&first);
+  QueryResult r2 = run(&second);
+  ASSERT_TRUE(r1.complete());
+  ASSERT_TRUE(r2.complete());
+  EXPECT_EQ(r1.trace, &first);
+
+  const std::string structure = first.StructureString();
+  EXPECT_EQ(structure.rfind("0:query\n", 0), 0u) << structure;
+  EXPECT_NE(structure.find("1:tokenize\n"), std::string::npos);
+  EXPECT_NE(structure.find("1:scatter\n"), std::string::npos);
+  EXPECT_NE(structure.find("1:merge\n"), std::string::npos);
+  // One shard[i] wrapper per shard, in shard order, each followed by the
+  // worker's own depth-3 span subtree.
+  size_t pos = 0;
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    std::string wrapper = "2:shard[" + std::to_string(i) + "]\n3:";
+    size_t at = structure.find(wrapper, pos);
+    ASSERT_NE(at, std::string::npos) << "missing shard " << i << " subtree in\n"
+                                     << structure;
+    pos = at + wrapper.size();
+  }
+  // The stitched tree shape is byte-stable run to run.
+  EXPECT_EQ(structure, second.StructureString());
+}
+
+TEST(ShardedSelectorTest, TrippedUntracedQueryLandsInSlowQueryLog) {
+  // Tail sampling end to end: an untraced serve query that trips its
+  // deadline must leave a slow-query record carrying the termination reason
+  // and the sampled span tree — without the sampling trace ever escaping to
+  // the caller.
+  obs::FlightRecorder::Global().ResetForTest();
+  std::vector<std::string> records = MakeWordRecords(120, 13);
+  ShardedSelector sharded = ShardedSelector::Build(records, ServeOptions(4));
+  ThreadPool pool(3);
+  sharded.set_thread_pool(&pool);
+  SelectOptions options;
+  options.control.deadline =
+      QueryControl::Clock::now() - std::chrono::milliseconds(1);
+  QueryResult r = sharded.Select(records[0], 0.5, AlgorithmKind::kSf, options);
+  EXPECT_EQ(r.termination, Termination::kDeadline);
+  EXPECT_EQ(r.trace, nullptr);  // the sampling trace stays private
+
+  std::vector<std::string> log = obs::FlightRecorder::Global().SlowQueryLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("\"termination\":\"deadline\""), std::string::npos)
+      << log[0];
+  // The sampling trace attaches at SelectPrepared, so the recorded tree
+  // starts at the scatter and carries the stitched per-shard subtrees.
+  EXPECT_NE(log[0].find("\"name\":\"scatter\""), std::string::npos) << log[0];
+  EXPECT_NE(log[0].find("\"name\":\"shard[0]\""), std::string::npos) << log[0];
+  EXPECT_GE(obs::FlightRecorder::Global().slow_queries_recorded(), 1u);
+  obs::FlightRecorder::Global().ResetForTest();
+}
+#endif  // SIMSEL_DISABLE_TRACING
 
 TEST(ShardedSelectorTest, CallerCancelTokenStopsTheQuery) {
   std::vector<std::string> records = MakeWordRecords(120, 17);
