@@ -1,16 +1,98 @@
 // Reproduces Figure 5: total index size per algorithm family, broken into
 // base table, q-gram table, composite B-tree (the SQL approach), inverted
-// lists, skip lists and extendible hashing (the specialized indexes).
+// lists, skip lists and extendible hashing (the specialized indexes). Also
+// compares the serialized index format versions: bytes per posting under
+// the legacy v2 layout vs the compressed-block v3 layout, per
+// token-frequency decile (rare tokens compress differently than frequent
+// ones — short lists amortize block headers poorly but have tiny deltas).
 //
 // Usage: bench_fig5_index_size [--words=N]
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "index/compressed_lists.h"
+#include "storage/block_codec.h"
+#include "storage/codec.h"
 
 namespace simsel {
 namespace {
+
+/// Serialized by-length payload bytes of one list under each format.
+struct ListBytes {
+  size_t v2 = 0;
+  size_t v3 = 0;
+};
+
+ListBytes MeasureList(const InvertedIndex& index, TokenId t) {
+  ListBytes out;
+  const size_t n = index.ListSize(t);
+  const uint32_t* ids = index.LenIds(t);
+  const float* lens = index.LenLens(t);
+  std::vector<uint8_t> buf;
+  // v2: plain varint ids + fixed32 length bit patterns.
+  for (size_t i = 0; i < n; ++i) PutVarint32(&buf, ids[i]);
+  out.v2 = buf.size() + n * sizeof(float);
+  // v3: compressed posting blocks at the index's summary granularity.
+  buf.clear();
+  const size_t bp = index.block_postings();
+  for (size_t first = 0; first < n; first += bp) {
+    EncodePostingBlock(ids + first, lens + first, std::min(bp, n - first),
+                       &buf);
+  }
+  out.v3 = buf.size();
+  return out;
+}
+
+/// Per-token-frequency-decile v2-vs-v3 comparison: nonempty lists sorted by
+/// document frequency (list size), split into 10 equal-count deciles.
+void PrintCompressionByDecile(const InvertedIndex& index) {
+  std::vector<TokenId> tokens;
+  for (TokenId t = 0; t < index.num_tokens(); ++t) {
+    if (index.ListSize(t) > 0) tokens.push_back(t);
+  }
+  std::sort(tokens.begin(), tokens.end(), [&index](TokenId a, TokenId b) {
+    return index.ListSize(a) < index.ListSize(b);
+  });
+  std::vector<std::vector<std::string>> rows;
+  size_t total_v2 = 0, total_v3 = 0;
+  uint64_t total_postings = 0;
+  for (size_t d = 0; d < 10 && !tokens.empty(); ++d) {
+    const size_t begin = d * tokens.size() / 10;
+    const size_t end = (d + 1) * tokens.size() / 10;
+    if (begin >= end) continue;
+    size_t v2 = 0, v3 = 0;
+    uint64_t postings = 0;
+    for (size_t i = begin; i < end; ++i) {
+      ListBytes b = MeasureList(index, tokens[i]);
+      v2 += b.v2;
+      v3 += b.v3;
+      postings += index.ListSize(tokens[i]);
+    }
+    total_v2 += v2;
+    total_v3 += v3;
+    total_postings += postings;
+    rows.push_back(
+        {"d" + std::to_string(d + 1) + " (df<=" +
+             std::to_string(index.ListSize(tokens[end - 1])) + ")",
+         std::to_string(postings),
+         bench::Fmt(v2 / static_cast<double>(postings), "%.2f"),
+         bench::Fmt(v3 / static_cast<double>(postings), "%.2f"),
+         bench::Fmt(v2 / static_cast<double>(v3), "%.2fx")});
+  }
+  rows.push_back({"all", std::to_string(total_postings),
+                  bench::Fmt(total_v2 / static_cast<double>(total_postings),
+                             "%.2f"),
+                  bench::Fmt(total_v3 / static_cast<double>(total_postings),
+                             "%.2f"),
+                  bench::Fmt(total_v2 / static_cast<double>(total_v3),
+                             "%.2fx")});
+  bench::PrintTable(
+      "Index format v2 vs v3: by-length payload per token-frequency decile",
+      {"Decile", "Postings", "v2 B/posting", "v3 B/posting", "ratio"}, rows);
+}
 
 int Main(int argc, char** argv) {
   BenchEnvOptions opts;
@@ -56,6 +138,16 @@ int Main(int argc, char** argv) {
           {"SF / Hybrid (one list order)", bench::FmtMb(sf),
            bench::Fmt(sf / static_cast<double>(sizes.base_table), "%.1fx")},
       });
+  PrintCompressionByDecile(env.selector->index());
+  IndexFileStats v2 =
+      env.selector->index().EncodedStats(InvertedIndex::kVersionLegacy);
+  IndexFileStats v3 =
+      env.selector->index().EncodedStats(InvertedIndex::kVersionLatest);
+  bench::BenchReport::Global().SetMeta("index_file_bytes_v2",
+                                       std::to_string(v2.file_bytes));
+  bench::BenchReport::Global().SetMeta("index_file_bytes_v3",
+                                       std::to_string(v3.file_bytes));
+
   std::printf(
       "\nExpected shape (paper): every index dwarfs the base table (3-gram "
       "explosion); SQL is the largest (26x there), inverted-list family much "

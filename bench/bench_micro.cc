@@ -14,6 +14,7 @@
 #include "container/skip_index.h"
 #include "eval/experiment.h"
 #include "index/compressed_lists.h"
+#include "simd/kernels.h"
 #include "storage/posting_store.h"
 #include "text/tokenizer.h"
 
@@ -241,11 +242,36 @@ BENCHMARK_CAPTURE(BM_Query, SortById, AlgorithmKind::kSortById);
 // BENCH_micro.json artifact with the metrics-registry snapshot — the
 // BM_Query benchmarks drive the instrumented selectors, so the registry
 // holds per-algorithm latency histograms and access counters afterwards.
+// The meta block additionally records which SIMD kernel variant the run
+// dispatched and the serialized index sizes of both format versions, so
+// artifacts stay comparable across machines and across the v2 -> v3
+// compression change.
 int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  {
+    using simsel::bench::BenchReport;
+    using simsel::bench::Fmt;
+    BenchReport& report = BenchReport::Global();
+    report.SetMeta("simd_kernel", simsel::simd::Kernels().name);
+    const simsel::InvertedIndex& index =
+        simsel::GetQueryEnv().env.selector->index();
+    simsel::IndexFileStats v2 =
+        index.EncodedStats(simsel::InvertedIndex::kVersionLegacy);
+    simsel::IndexFileStats v3 =
+        index.EncodedStats(simsel::InvertedIndex::kVersionLatest);
+    report.SetMeta("index_file_bytes_v2", std::to_string(v2.file_bytes));
+    report.SetMeta("index_file_bytes_v3", std::to_string(v3.file_bytes));
+    report.SetMeta("len_payload_bytes_v2",
+                   std::to_string(v2.len_payload_bytes));
+    report.SetMeta("len_payload_bytes_v3",
+                   std::to_string(v3.len_payload_bytes));
+    report.SetMeta("len_payload_v3_over_v2",
+                   Fmt(static_cast<double>(v3.len_payload_bytes) /
+                       static_cast<double>(v2.len_payload_bytes)));
+  }
   simsel::bench::WriteBenchReport("micro");
   return 0;
 }

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/experiment.h"
@@ -31,8 +32,25 @@ class BenchReport {
   void Add(Table table) { tables_.push_back(std::move(table)); }
   const std::vector<Table>& tables() const { return tables_; }
 
+  /// Adds (or overwrites) one run-specific meta key emitted in the JSON
+  /// artifact's "meta" block alongside the build-stamped ones — e.g. the
+  /// dispatched SIMD kernel variant or the on-disk index payload bytes.
+  void SetMeta(const std::string& key, std::string value) {
+    for (auto& kv : meta_) {
+      if (kv.first == key) {
+        kv.second = std::move(value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(value));
+  }
+  const std::vector<std::pair<std::string, std::string>>& meta() const {
+    return meta_;
+  }
+
  private:
   std::vector<Table> tables_;
+  std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 /// Prints a row-major table: header then one row per entry, with the first
@@ -152,6 +170,10 @@ inline bool WriteBenchReport(const std::string& name) {
 #else
   w.String("unknown");
 #endif
+  for (const auto& kv : BenchReport::Global().meta()) {
+    w.Key(kv.first);
+    w.String(kv.second);
+  }
   w.EndObject();
   w.Key("tables");
   w.BeginArray();

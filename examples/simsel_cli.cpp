@@ -105,6 +105,10 @@ constexpr char kHelp[] =
     "  --shards=N        (serve) number of index shards, default 4\n"
     "  --cache-mb=M      (serve) result cache capacity in MiB; 0 disables,\n"
     "                    default 64\n"
+    "  --index-version=N (build) serialized index format: 3 (default;\n"
+    "                    compressed posting blocks) or 2 (legacy\n"
+    "                    uncompressed, for migration); `query`/`repl` read\n"
+    "                    both\n"
     "  --words=N         synthetic corpus size for --explain / --stats\n"
     "  --explain         with `query`: print the per-phase trace\n"
     "  --trace-out=FILE  (query/serve) record a span trace of each query and\n"
@@ -474,6 +478,16 @@ int main(int argc, char** argv) {
 
   if (cmd == "build") {
     if (argc < 4) return Usage();
+    const size_t version = FlagValue(argc, argv, "index-version",
+                                     InvertedIndex::kVersionLatest);
+    if (version != InvertedIndex::kVersionLegacy &&
+        version != InvertedIndex::kVersionLatest) {
+      std::fprintf(stderr, "bad --index-version value %zu: supported are %u "
+                   "(legacy, uncompressed) and %u (compressed blocks)\n",
+                   version, InvertedIndex::kVersionLegacy,
+                   InvertedIndex::kVersionLatest);
+      return 2;
+    }
     Result<Corpus> corpus = LoadCorpusFromFile(argv[2]);
     if (!corpus.ok()) {
       std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
@@ -481,16 +495,16 @@ int main(int argc, char** argv) {
     }
     WallTimer timer;
     SimilaritySelector sel = SimilaritySelector::Build(corpus->records);
-    Status st = sel.SaveIndex(argv[3]);
+    Status st = sel.SaveIndex(argv[3], static_cast<uint32_t>(version));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
     std::printf("indexed %zu records (%zu tokens, %llu postings) in %.2fs "
-                "-> %s\n",
+                "-> %s (format v%zu)\n",
                 corpus->records.size(), sel.index().num_tokens(),
                 (unsigned long long)sel.index().total_postings(),
-                timer.ElapsedSeconds(), argv[3]);
+                timer.ElapsedSeconds(), argv[3], version);
     return 0;
   }
 

@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
-# Developer gate: five legs, all required.
+# Developer gate: seven legs, all required.
 #
 #   1. AddressSanitizer: warnings-as-errors build + the full test suite
 #      (build-asan/).
-#   2. Docs: scripts/check_docs.py verifies every internal markdown link in
+#   2. Scalar-kernel rerun: the same build-asan suite again with
+#      SIMSEL_FORCE_SCALAR=1, so every test also passes with the SIMD
+#      dispatch pinned to the scalar reference kernels (the configuration
+#      non-x86 machines run; also proves no test depends on a particular
+#      variant).
+#   3. Docs: scripts/check_docs.py verifies every internal markdown link in
 #      docs/*.md, README.md, DESIGN.md, EXPERIMENTS.md and ROADMAP.md, that
 #      every simsel_cli flag the docs mention exists in the built
 #      binary's --help output (uses build-asan's simsel_cli from leg 1),
 #      and that the metric names registered in src/ and the table in
 #      docs/OBSERVABILITY.md agree in both directions.
-#   3. Prometheus exposition lint: `simsel_cli --stats` output piped
+#   4. Prometheus exposition lint: `simsel_cli --stats` output piped
 #      through scripts/check_prom.py — every line must parse, no series
 #      may repeat, every family needs # HELP and # TYPE, histogram +Inf
 #      buckets must equal their _count.
-#   4. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
+#   5. ThreadSanitizer: the concurrency-labeled tests — thread_pool_test,
 #      buffer_pool_test, parallel_test, query_control_test (which cancels
 #      in-flight queries on a shared selector), the concurrency_test
 #      soak, which runs mixed algorithms in disk and memory mode against
 #      one shared index/store/pool, and serving_test's scatter-gather +
 #      result-cache soak — must produce zero race reports (build-tsan/).
-#   5. Perf regression: a plain RelWithDebInfo build runs
+#   6. UndefinedBehaviorSanitizer: the codec / SIMD-kernel / store tests
+#      under -fsanitize=undefined with non-recoverable reports
+#      (build-ubsan/) — the block codec's bit packing and the per-variant
+#      kernels are exactly where UB (shifts, misaligned loads, overflow)
+#      would hide.
+#   7. Perf regression: a plain RelWithDebInfo build runs
 #      bench_micro --benchmark_filter=BM_Query and scripts/bench_compare.py
 #      diffs the artifact against the committed baseline
 #      (bench/baselines/BENCH_micro.json); >10% regression on any query
@@ -27,9 +37,9 @@
 #
 # Usage:
 #
-#   scripts/check.sh                       # all five legs
+#   scripts/check.sh                       # all seven legs
 #   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # widen the TSan leg to the full suite
-#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 5 (e.g. loaded CI box)
+#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 7 (e.g. loaded CI box)
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
@@ -44,20 +54,24 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 
-echo "== check.sh leg 1/5: AddressSanitizer, full suite =="
+echo "== check.sh leg 1/7: AddressSanitizer, full suite =="
 cmake -B build-asan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== check.sh leg 2/5: documentation links, CLI flags, metric names =="
+echo "== check.sh leg 2/7: full suite with SIMSEL_FORCE_SCALAR=1 =="
+SIMSEL_FORCE_SCALAR=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== check.sh leg 3/7: documentation links, CLI flags, metric names =="
 scripts/check_docs.py --cli build-asan/examples/simsel_cli
 
-echo "== check.sh leg 3/5: Prometheus exposition lint =="
+echo "== check.sh leg 4/7: Prometheus exposition lint =="
 build-asan/examples/simsel_cli --stats --words=2000 2>/dev/null \
   | scripts/check_prom.py
 
-echo "== check.sh leg 4/5: ThreadSanitizer =="
+echo "== check.sh leg 5/7: ThreadSanitizer =="
 cmake -B build-tsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs"
@@ -71,10 +85,19 @@ else
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 fi
 
+echo "== check.sh leg 6/7: UndefinedBehaviorSanitizer, codec + kernels =="
+cmake -B build-ubsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_UBSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j "$jobs" \
+      --target codec_test simd_kernels_test posting_store_test \
+               index_version_test
+ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
+      -R 'codec_test|simd_kernels_test|posting_store_test|index_version_test'
+
 if [[ "${SIMSEL_CHECK_SKIP_BENCH:-0}" == "1" ]]; then
-  echo "== check.sh leg 5/5: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
+  echo "== check.sh leg 7/7: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
 else
-  echo "== check.sh leg 5/5: perf regression vs bench/baselines/BENCH_micro.json =="
+  echo "== check.sh leg 7/7: perf regression vs bench/baselines/BENCH_micro.json =="
   # Sanitizer builds are useless for timing: a separate plain build.
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-bench -j "$jobs" --target bench_micro

@@ -76,9 +76,12 @@ class SimilaritySelector {
       const std::vector<std::string>& records, const std::string& index_path,
       const BuildOptions& options = BuildOptions());
 
-  /// Persists the inverted index (see InvertedIndex::Save).
-  Status SaveIndex(const std::string& index_path) const {
-    return index_->Save(index_path);
+  /// Persists the inverted index (see InvertedIndex::Save). `version`
+  /// selects the wire format; kVersionLegacy writes the uncompressed v2
+  /// layout for migration tooling.
+  Status SaveIndex(const std::string& index_path,
+                   uint32_t version = InvertedIndex::kVersionLatest) const {
+    return index_->Save(index_path, version);
   }
 
   /// Selection: every set with IDF similarity >= tau, via `kind`

@@ -1,7 +1,7 @@
 #include "index/compressed_lists.h"
 
 #include "common/logging.h"
-#include "storage/codec.h"
+#include "storage/block_codec.h"
 
 namespace simsel {
 
@@ -23,7 +23,7 @@ CompressedIdLists CompressedIdLists::Build(const InvertedIndex& index) {
     for (size_t i = 0; i < n; ++i) {
       // First gap is the id itself; ids strictly increase within a list.
       uint32_t gap = (i == 0) ? ids[i] : ids[i] - prev;
-      PutVarint32(&out.blob_, gap);
+      AppendVarint32(&out.blob_, gap);
       prev = ids[i];
       max_id = std::max(max_id, ids[i]);
     }
@@ -54,16 +54,10 @@ size_t CompressedIdLists::SizeBytes() const {
 }
 
 void CompressedIdLists::Cursor::Decode() {
-  // Bounded varint decode; encoding is internal so it cannot be malformed.
-  uint32_t gap = 0;
-  int shift = 0;
-  for (;;) {
-    uint8_t byte = *pos_++;
-    gap |= static_cast<uint32_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    SIMSEL_DCHECK(shift <= 28);
-  }
+  // Shared fast-path varint decode (block_codec.h); the blob is internal so
+  // it cannot be malformed.
+  uint32_t gap;
+  pos_ = ReadVarint32Fast(pos_, &gap);
   id_ += gap;
   if (counters_ != nullptr) {
     ++counters_->elements_read;

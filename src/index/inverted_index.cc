@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
+#include "simd/kernels.h"
+#include "storage/block_codec.h"
 #include "storage/codec.h"
 #include "storage/paged_file.h"
 
@@ -202,8 +204,9 @@ size_t InvertedIndex::SeekFirstGE(TokenId t, float target,
   const float* lens = LenLens(t);
   const size_t first = lo * options_.block_postings;
   const size_t last = std::min(n, first + options_.block_postings);
-  return static_cast<size_t>(
-      std::lower_bound(lens + first, lens + last, target) - lens);
+  // count_lt over the sorted landing block == lower_bound index.
+  return first + simd::Kernels().count_lt_f32(lens + first, last - first,
+                                              target);
 }
 
 size_t InvertedIndex::SeekFirstGT(TokenId t, float target,
@@ -227,8 +230,9 @@ size_t InvertedIndex::SeekFirstGT(TokenId t, float target,
   const float* lens = LenLens(t);
   const size_t first = lo * options_.block_postings;
   const size_t last = std::min(n, first + options_.block_postings);
-  return static_cast<size_t>(
-      std::upper_bound(lens + first, lens + last, target) - lens);
+  // count_le over the sorted landing block == upper_bound index.
+  return first + simd::Kernels().count_le_f32(lens + first, last - first,
+                                              target);
 }
 
 PostingRange InvertedIndex::WindowSpan(TokenId t, float lo_len, float hi_len,
@@ -347,16 +351,17 @@ bool InvertedIndex::Validate() const {
 
 namespace {
 constexpr uint32_t kMagic = 0x53494E56;  // "SINV"
-// Version 2 added block_postings to the serialized options (the block
-// summaries themselves are derived and rebuilt on Load).
-constexpr uint32_t kVersion = 2;
 }  // namespace
 
-Status InvertedIndex::Save(const std::string& path) const {
-  PagedFile file(options_.page_bytes);
-  std::vector<uint8_t> buf;
+void InvertedIndex::EncodeTo(std::vector<uint8_t>* bufp, uint32_t version,
+                             IndexFileStats* stats) const {
+  SIMSEL_CHECK_MSG(
+      version == kVersionLegacy || version == kVersionLatest,
+      "unsupported index serialization version");
+  std::vector<uint8_t>& buf = *bufp;
+  const size_t num_tokens = this->num_tokens();
   PutFixed32(&buf, kMagic);
-  PutFixed32(&buf, kVersion);
+  PutFixed32(&buf, version);
   PutFixed64(&buf, options_.page_bytes);
   PutFixed64(&buf, options_.skip_fanout);
   PutFixed64(&buf, options_.hash_page_bytes);
@@ -366,15 +371,73 @@ Status InvertedIndex::Save(const std::string& path) const {
   buf.push_back(options_.build_hash ? 1 : 0);
   PutFixed64(&buf, offsets_.size());
   for (uint64_t o : offsets_) PutVarint64(&buf, o);
-  // By-length lists: ids delta-coded within runs of equal length would be
-  // possible, but plain varints keep Load simple and already halve the size.
-  for (uint32_t id : len_ids_) PutVarint32(&buf, id);
-  for (float len : len_lens_) PutFloat(&buf, len);
+
+  // By-length lists.
+  const size_t len_payload_begin = buf.size();
+  if (version == kVersionLegacy) {
+    // v2: plain varint ids, then fixed32 length bit patterns.
+    for (uint32_t id : len_ids_) PutVarint32(&buf, id);
+    for (float len : len_lens_) PutFloat(&buf, len);
+  } else {
+    // v3: compressed posting blocks aligned to the summary blocks, so the
+    // on-disk block structure is exactly the structure cursors consume.
+    const size_t bp = options_.block_postings;
+    for (size_t t = 0; t < num_tokens; ++t) {
+      const size_t n = ListSize(static_cast<TokenId>(t));
+      const uint32_t* ids = LenIds(static_cast<TokenId>(t));
+      const float* lens = LenLens(static_cast<TokenId>(t));
+      for (size_t first = 0; first < n; first += bp) {
+        EncodePostingBlock(ids + first, lens + first, std::min(bp, n - first),
+                           &buf);
+      }
+    }
+  }
+  const size_t len_payload = buf.size() - len_payload_begin;
+
+  // By-id lists.
   buf.push_back(id_ids_.empty() ? 0 : 1);
-  for (uint32_t id : id_ids_) PutVarint32(&buf, id);
-  for (float len : id_lens_) PutFloat(&buf, len);
+  const size_t id_payload_begin = buf.size();
+  if (!id_ids_.empty()) {
+    if (version == kVersionLegacy) {
+      for (uint32_t id : id_ids_) PutVarint32(&buf, id);
+      for (float len : id_lens_) PutFloat(&buf, len);
+    } else {
+      // v3: classic gap varints (ids strictly ascend per list); lengths are
+      // a function of the set id and are reconstructed at Load from the
+      // by-length lists, so they are not serialized at all.
+      for (size_t t = 0; t < num_tokens; ++t) {
+        const size_t n = ListSize(static_cast<TokenId>(t));
+        const uint32_t* ids = IdIds(static_cast<TokenId>(t));
+        uint32_t prev = 0;
+        for (size_t i = 0; i < n; ++i) {
+          PutVarint32(&buf, i == 0 ? ids[i] : ids[i] - prev);
+          prev = ids[i];
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    // PagedFile wraps the payload in a 16-byte header + 8-byte checksum.
+    stats->file_bytes = buf.size() + 24;
+    stats->len_payload_bytes = len_payload;
+    stats->id_payload_bytes = buf.size() - id_payload_begin;
+  }
+}
+
+Status InvertedIndex::Save(const std::string& path, uint32_t version,
+                           IndexFileStats* stats) const {
+  PagedFile file(options_.page_bytes);
+  std::vector<uint8_t> buf;
+  EncodeTo(&buf, version, stats);
   file.Append(buf.data(), buf.size());
   return file.SaveToFile(path);
+}
+
+IndexFileStats InvertedIndex::EncodedStats(uint32_t version) const {
+  std::vector<uint8_t> buf;
+  IndexFileStats stats;
+  EncodeTo(&buf, version, &stats);
+  return stats;
 }
 
 Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
@@ -386,7 +449,8 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
   if (!GetFixed32(&dec, &magic) || magic != kMagic) {
     return Status::Corruption("bad magic in index file: " + path);
   }
-  if (!GetFixed32(&dec, &version) || version != kVersion) {
+  if (!GetFixed32(&dec, &version) ||
+      (version != kVersionLegacy && version != kVersionLatest)) {
     return Status::Corruption("unsupported index version in: " + path);
   }
   InvertedIndex index;
@@ -414,17 +478,39 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
       return Status::Corruption("truncated offsets in: " + path);
     }
   }
+  const size_t num_tokens = num_offsets - 1;
   uint64_t total = index.offsets_.back();
   index.len_ids_.resize(total);
   index.len_lens_.resize(total);
-  for (uint64_t i = 0; i < total; ++i) {
-    if (!GetVarint32(&dec, &index.len_ids_[i])) {
-      return Status::Corruption("truncated postings in: " + path);
+  if (version == kVersionLegacy) {
+    for (uint64_t i = 0; i < total; ++i) {
+      if (!GetVarint32(&dec, &index.len_ids_[i])) {
+        return Status::Corruption("truncated postings in: " + path);
+      }
     }
-  }
-  for (uint64_t i = 0; i < total; ++i) {
-    if (!GetFloat(&dec, &index.len_lens_[i])) {
-      return Status::Corruption("truncated lengths in: " + path);
+    for (uint64_t i = 0; i < total; ++i) {
+      if (!GetFloat(&dec, &index.len_lens_[i])) {
+        return Status::Corruption("truncated lengths in: " + path);
+      }
+    }
+  } else {
+    const size_t bp = index.options_.block_postings;
+    BlockDecodeScratch scratch;
+    for (size_t t = 0; t < num_tokens; ++t) {
+      const uint64_t begin = index.offsets_[t];
+      const uint64_t n = index.offsets_[t + 1] - begin;
+      for (uint64_t first = 0; first < n; first += bp) {
+        const size_t expect = static_cast<size_t>(std::min<uint64_t>(bp, n - first));
+        size_t got = 0, consumed = 0;
+        if (!DecodePostingBlock(dec.data + dec.pos, dec.size - dec.pos,
+                                expect, index.len_ids_.data() + begin + first,
+                                index.len_lens_.data() + begin + first, &got,
+                                &consumed, &scratch) ||
+            got != expect) {
+          return Status::Corruption("bad posting block in: " + path);
+        }
+        dec.pos += consumed;
+      }
     }
   }
   if (dec.exhausted()) return Status::Corruption("missing id lists flag");
@@ -432,14 +518,46 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
   if (has_id_lists) {
     index.id_ids_.resize(total);
     index.id_lens_.resize(total);
-    for (uint64_t i = 0; i < total; ++i) {
-      if (!GetVarint32(&dec, &index.id_ids_[i])) {
-        return Status::Corruption("truncated id postings in: " + path);
+    if (version == kVersionLegacy) {
+      for (uint64_t i = 0; i < total; ++i) {
+        if (!GetVarint32(&dec, &index.id_ids_[i])) {
+          return Status::Corruption("truncated id postings in: " + path);
+        }
       }
-    }
-    for (uint64_t i = 0; i < total; ++i) {
-      if (!GetFloat(&dec, &index.id_lens_[i])) {
-        return Status::Corruption("truncated id lengths in: " + path);
+      for (uint64_t i = 0; i < total; ++i) {
+        if (!GetFloat(&dec, &index.id_lens_[i])) {
+          return Status::Corruption("truncated id lengths in: " + path);
+        }
+      }
+    } else {
+      // v3 stores gaps only; lengths come from the by-length lists (a
+      // length is a per-set value, so one table keyed by set id covers
+      // every posting).
+      uint32_t max_id = 0;
+      for (uint64_t i = 0; i < total; ++i) {
+        max_id = std::max(max_id, index.len_ids_[i]);
+      }
+      std::vector<float> len_of_id(total == 0 ? 0 : size_t{max_id} + 1, 0.0f);
+      for (uint64_t i = 0; i < total; ++i) {
+        len_of_id[index.len_ids_[i]] = index.len_lens_[i];
+      }
+      for (size_t t = 0; t < num_tokens; ++t) {
+        const uint64_t begin = index.offsets_[t];
+        const uint64_t n = index.offsets_[t + 1] - begin;
+        uint32_t prev = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+          uint32_t gap;
+          if (!GetVarint32(&dec, &gap)) {
+            return Status::Corruption("truncated id postings in: " + path);
+          }
+          const uint32_t id = i == 0 ? gap : prev + gap;
+          if (id > max_id) {
+            return Status::Corruption("id posting out of range in: " + path);
+          }
+          prev = id;
+          index.id_ids_[begin + i] = id;
+          index.id_lens_[begin + i] = len_of_id[id];
+        }
       }
     }
   }

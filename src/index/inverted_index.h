@@ -62,6 +62,17 @@ struct PostingRange {
   bool empty() const { return begin >= end; }
 };
 
+/// Byte accounting of one serialized index file (see Save): the whole file
+/// plus the posting payloads alone — the compression-sensitive part the
+/// Figure 5 bench and the bench meta track across format versions.
+struct IndexFileStats {
+  uint64_t file_bytes = 0;
+  /// By-length posting payload (ids + lengths, excluding headers/offsets).
+  uint64_t len_payload_bytes = 0;
+  /// By-id posting payload (0 when id lists are not built).
+  uint64_t id_payload_bytes = 0;
+};
+
 /// The paper's specialized index (Section III-B): one inverted list per
 /// token. Two sort orders are materialized:
 ///
@@ -167,10 +178,25 @@ class InvertedIndex {
     return blocks_.size() * sizeof(PostingBlockSummary);
   }
 
+  /// Serialized format versions Save accepts (Load reads both):
+  ///  - 2: plain varint ids + fixed32 lengths, both sort orders in full;
+  ///  - 3: by-length lists as compressed posting blocks (storage/
+  ///    block_codec.h) aligned to the summary blocks, by-id lists as gap
+  ///    varints with the lengths reconstructed from a set-id table.
+  static constexpr uint32_t kVersionLegacy = 2;
+  static constexpr uint32_t kVersionLatest = 3;
+
   /// Serializes lists + options to `path` (skip/hash are derived structures
-  /// and are rebuilt on Load).
-  Status Save(const std::string& path) const;
+  /// and are rebuilt on Load). `version` selects the wire format — the
+  /// latest by default; kVersionLegacy is kept writable for migration and
+  /// for the format-size comparisons in the Figure 5 bench. `stats`, when
+  /// non-null, receives the byte accounting of the written file.
+  Status Save(const std::string& path, uint32_t version = kVersionLatest,
+              IndexFileStats* stats = nullptr) const;
   static Result<InvertedIndex> Load(const std::string& path);
+
+  /// Byte accounting of the serialized form without writing a file.
+  IndexFileStats EncodedStats(uint32_t version = kVersionLatest) const;
 
   /// Structural invariant check (for tests and post-Load paranoia):
   /// by-length lists sorted by (len, id), by-id lists strictly id-sorted,
@@ -180,6 +206,8 @@ class InvertedIndex {
 
  private:
   InvertedIndex() = default;
+  void EncodeTo(std::vector<uint8_t>* buf, uint32_t version,
+                IndexFileStats* stats) const;
   static InvertedIndex BuildRangeWithLengths(
       const Collection& collection, const std::vector<float>& set_lengths,
       SetId range_begin, SetId range_end, InvertedIndexOptions options);

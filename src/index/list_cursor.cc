@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics_registry.h"
+#include "simd/kernels.h"
 
 namespace simsel {
 
@@ -49,9 +50,11 @@ ListCursor::ListCursor(const InvertedIndex& index, TokenId token,
   if (counters_ != nullptr) counters_->elements_total += size_;
   if (store_ != nullptr) {
     SIMSEL_DCHECK(store_->ListSize(token) == size_);
-    size_t block = store_->page_bytes() / 8;
-    blk_ids_.resize(block);
-    blk_lens_.resize(block);
+    // Buffer one compressed block: the store's decode granularity, which
+    // Build aligned with the index's summary blocks.
+    SIMSEL_DCHECK(store_->block_postings() == index.block_postings());
+    blk_ids_.resize(store_->block_postings());
+    blk_lens_.resize(store_->block_postings());
   }
 }
 
@@ -65,7 +68,8 @@ bool ListCursor::EnsureBlock(bool random) {
   blk_first_ = pos - pos % block;
   Status st;
   blk_count_ = store_->ReadBlock(token_, blk_first_, block, blk_ids_.data(),
-                                 blk_lens_.data(), random, &store_reads_, &st);
+                                 blk_lens_.data(), random, &store_reads_, &st,
+                                 &scratch_);
   if (!st.ok()) {
     Fail(std::move(st), pos);
     return false;
@@ -274,9 +278,10 @@ PostingSpan ListCursor::NextSpan(size_t max_count, float max_len) {
   if (max_len != kNoLengthBound) {
     const PostingBlockSummary& h = index_->Blocks(token_)[start / bp];
     if (h.max_len > max_len) {
-      // Mixed block: find the true end of the qualifying run.
-      end = static_cast<size_t>(
-          std::upper_bound(lens_ + start, lens_ + end, max_len) - lens_);
+      // Mixed block: find the true end of the qualifying run (count_le over
+      // the sorted lengths == upper_bound index).
+      end = start +
+            simd::Kernels().count_le_f32(lens_ + start, end - start, max_len);
     }
   }
   if (end <= start) return span;
@@ -293,7 +298,7 @@ PostingSpan ListCursor::NextSpan(size_t max_count, float max_len) {
     Status st;
     size_t got = store_->ReadBlock(token_, start, count, span_ids_.data(),
                                    span_lens_.data(), pending_random_,
-                                   &store_reads_, &st);
+                                   &store_reads_, &st, &scratch_);
     if (!st.ok()) {
       Fail(std::move(st), start);
       return span;  // empty; the caller's loop sees an exhausted list

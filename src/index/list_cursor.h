@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "index/inverted_index.h"
+#include "storage/block_codec.h"
 #include "storage/buffer_pool.h"
 #include "storage/posting_store.h"
 
@@ -173,7 +174,8 @@ class ListCursor {
   // (plain ints on the hot path; one atomic add per list at flush time).
   uint64_t local_reads_ = 0;
   uint64_t local_skipped_ = 0;
-  // Disk-mode block buffer (one modeled page of postings) for Next()/seeks.
+  // Disk-mode block buffer (one summary block of postings, the store's
+  // decode granularity) for Next()/seeks.
   std::vector<uint32_t> blk_ids_;
   std::vector<float> blk_lens_;
   size_t blk_first_ = 0;
@@ -182,6 +184,10 @@ class ListCursor {
   // boundaries match memory mode exactly (no store-page clipping).
   std::vector<uint32_t> span_ids_;
   std::vector<float> span_lens_;
+  // Disk-mode decode staging, one per cursor: keeps the last decoded block
+  // cached so revisiting it (clipped spans, block refills) skips the
+  // decompression while the physical page reads stay fully charged.
+  BlockDecodeScratch scratch_;
   // Disk-mode per-cursor physical read accounting: the store's page image is
   // shared across concurrent queries, so the sequential window lives here.
   PageReadStats store_reads_;

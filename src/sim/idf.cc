@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "simd/kernels.h"
 
 namespace simsel {
 
@@ -59,21 +62,17 @@ PreparedQuery IdfMeasure::PrepareQuery(
 
 double IdfMeasure::Score(const PreparedQuery& q, SetId s) const {
   const SetRecord& set = collection_.set(s);
+  // SIMD intersection emits the matching query positions in ascending order;
+  // the weight sum then runs scalar over those positions in that same
+  // canonical (ascending query-index) order, so the accumulation is
+  // bit-identical to the classic two-pointer walk regardless of kernel.
+  thread_local std::vector<uint32_t> pos;
+  pos.resize(q.tokens.size());
+  const size_t matches = simd::Kernels().intersect_pos_u32(
+      q.tokens.data(), q.tokens.size(), set.tokens.data(), set.tokens.size(),
+      pos.data());
   double sum = 0.0;
-  // Two-pointer intersection; both token arrays ascend, so contributions are
-  // accumulated in canonical (ascending query-index) order.
-  size_t i = 0, j = 0;
-  while (i < q.tokens.size() && j < set.tokens.size()) {
-    if (q.tokens[i] < set.tokens[j]) {
-      ++i;
-    } else if (set.tokens[j] < q.tokens[i]) {
-      ++j;
-    } else {
-      sum += q.weights[i];
-      ++i;
-      ++j;
-    }
-  }
+  for (size_t i = 0; i < matches; ++i) sum += q.weights[pos[i]];
   double denom = static_cast<double>(set_len_[s]) * q.length;
   if (denom == 0.0) return 0.0;
   return sum / denom;

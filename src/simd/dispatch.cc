@@ -1,0 +1,33 @@
+#include <cstdlib>
+
+#include "simd/kernels.h"
+
+namespace simsel::simd {
+
+namespace {
+
+const SpanKernels& Resolve() {
+  // SIMSEL_FORCE_SCALAR: any non-empty value other than "0" pins the
+  // reference implementation (check.sh runs the whole unit suite this way
+  // so both dispatch outcomes stay green).
+  const char* force = std::getenv("SIMSEL_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0')) {
+    return ScalarKernels();
+  }
+  if (const SpanKernels* avx2 = Avx2Kernels()) return *avx2;
+  if (const SpanKernels* sse42 = Sse42Kernels()) return *sse42;
+  return ScalarKernels();
+}
+
+}  // namespace
+
+const SpanKernels& Kernels() {
+  // Resolved exactly once per process; every caller thereafter pays one
+  // indirect load. The env override is read at first use, matching how the
+  // sanitizer runners set it (before the binary starts).
+  static const SpanKernels& kernels = Resolve();
+  return kernels;
+}
+
+}  // namespace simsel::simd

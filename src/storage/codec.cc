@@ -1,5 +1,7 @@
 #include "storage/codec.h"
 
+#include "storage/block_codec.h"
+
 namespace simsel {
 
 void PutFixed32(std::vector<uint8_t>* dst, uint32_t v) {
@@ -10,20 +12,14 @@ void PutFixed64(std::vector<uint8_t>* dst, uint64_t v) {
   for (int i = 0; i < 8; ++i) dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
 
+// LEB128 lives in block_codec.h (the shared implementation); these wrappers
+// keep the historical Put*/Get* surface.
 void PutVarint32(std::vector<uint8_t>* dst, uint32_t v) {
-  while (v >= 0x80) {
-    dst->push_back(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  dst->push_back(static_cast<uint8_t>(v));
+  AppendVarint32(dst, v);
 }
 
 void PutVarint64(std::vector<uint8_t>* dst, uint64_t v) {
-  while (v >= 0x80) {
-    dst->push_back(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  dst->push_back(static_cast<uint8_t>(v));
+  AppendVarint64(dst, v);
 }
 
 void PutFloat(std::vector<uint8_t>* dst, float v) {
@@ -74,19 +70,11 @@ bool GetVarint32(Decoder* dec, uint32_t* v) {
 }
 
 bool GetVarint64(Decoder* dec, uint64_t* v) {
-  uint64_t out = 0;
-  int shift = 0;
-  while (shift <= 63) {
-    if (dec->exhausted()) return false;
-    uint8_t byte = dec->data[dec->pos++];
-    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) {
-      *v = out;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;  // over-long varint
+  const uint8_t* next =
+      ReadVarint64Bounded(dec->data + dec->pos, dec->data + dec->size, v);
+  if (next == nullptr) return false;
+  dec->pos = static_cast<size_t>(next - dec->data);
+  return true;
 }
 
 bool GetFloat(Decoder* dec, float* v) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <random>
 
+#include "storage/block_codec.h"
 #include "storage/codec.h"
 
 namespace simsel {
@@ -148,6 +151,174 @@ TEST(CodecTest, FnvIsStableAndSensitive) {
   EXPECT_EQ(Fnv1a64("abc", 3), Fnv1a64("abc", 3));
   EXPECT_NE(Fnv1a64("abc", 3), Fnv1a64("abd", 3));
   EXPECT_NE(Fnv1a64(uint64_t{1}), Fnv1a64(uint64_t{2}));
+}
+
+// --- Compressed posting blocks (storage/block_codec.h). ---
+
+uint32_t FloatToBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float BitsToFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+/// Encodes, decodes, and asserts a bit-exact round trip of one block.
+void ExpectBlockRoundtrip(const std::vector<uint32_t>& ids,
+                          const std::vector<float>& lens) {
+  ASSERT_EQ(ids.size(), lens.size());
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ids.data(), lens.data(), ids.size(), &buf);
+  std::vector<uint32_t> out_ids(ids.size());
+  std::vector<float> out_lens(lens.size());
+  size_t count = ~size_t{0}, consumed = 0;
+  BlockDecodeScratch scratch;
+  ASSERT_TRUE(DecodePostingBlock(buf.data(), buf.size(), ids.size(),
+                                 out_ids.data(), out_lens.data(), &count,
+                                 &consumed, &scratch));
+  EXPECT_EQ(count, ids.size());
+  EXPECT_EQ(consumed, buf.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(out_ids[i], ids[i]) << "i=" << i;
+    ASSERT_EQ(FloatToBits(out_lens[i]), FloatToBits(lens[i])) << "i=" << i;
+  }
+}
+
+TEST(BlockCodecTest, RoundtripsAdversarialBlocks) {
+  ExpectBlockRoundtrip({}, {});               // empty block
+  ExpectBlockRoundtrip({42}, {1.5f});         // single element
+  ExpectBlockRoundtrip({7, 7, 7}, {2.f, 2.f, 2.f});  // all equal (width 0)
+  // Max-magnitude deltas in both directions (ids need not be sorted).
+  ExpectBlockRoundtrip({0, std::numeric_limits<uint32_t>::max(), 0, 1},
+                       {1.f, 1.f, 1.f, 1.f});
+  // Unusual length bit patterns: -0.0, denormal, inf, NaN.
+  ExpectBlockRoundtrip(
+      {1, 2, 3, 4},
+      {-0.0f, std::numeric_limits<float>::denorm_min(),
+       std::numeric_limits<float>::infinity(),
+       std::numeric_limits<float>::quiet_NaN()});
+}
+
+TEST(BlockCodecTest, RoundtripFuzz) {
+  std::mt19937 rng(0xB10C);
+  BlockDecodeScratch scratch;
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = rng() % 200;
+    std::vector<uint32_t> ids(n);
+    std::vector<float> lens(n);
+    // Mix realistic blocks (ascending ids, clustered lens) with hostile
+    // ones (random ids, arbitrary float bit patterns).
+    const bool hostile = iter % 4 == 0;
+    uint32_t id = rng() % 1000;
+    float len = 0.1f * static_cast<float>(rng() % 100);
+    for (size_t i = 0; i < n; ++i) {
+      if (hostile) {
+        ids[i] = rng();
+        lens[i] = BitsToFloat(rng());
+      } else {
+        ids[i] = id;
+        id += 1 + rng() % 64;
+        if (rng() % 8 == 0) len += 0.25f;
+        lens[i] = len;
+      }
+    }
+    std::vector<uint8_t> buf;
+    EncodePostingBlock(ids.data(), lens.data(), n, &buf);
+    std::vector<uint32_t> out_ids(n);
+    std::vector<float> out_lens(n);
+    size_t count = 0, consumed = 0;
+    ASSERT_TRUE(DecodePostingBlock(buf.data(), buf.size(), n, out_ids.data(),
+                                   out_lens.data(), &count, &consumed,
+                                   &scratch));
+    ASSERT_EQ(count, n);
+    ASSERT_EQ(consumed, buf.size());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out_ids[i], ids[i]);
+      ASSERT_EQ(FloatToBits(out_lens[i]), FloatToBits(lens[i]));
+    }
+  }
+}
+
+TEST(BlockCodecTest, DecodeRejectsEveryTruncation) {
+  std::mt19937 rng(17);
+  std::vector<uint32_t> ids(50);
+  std::vector<float> lens(50);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<uint32_t>(i * 3 + rng() % 3);
+    lens[i] = 0.5f + 0.01f * static_cast<float>(i);
+  }
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ids.data(), lens.data(), ids.size(), &buf);
+  std::vector<uint32_t> out_ids(ids.size());
+  std::vector<float> out_lens(lens.size());
+  BlockDecodeScratch scratch;
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t count = 0, consumed = 0;
+    EXPECT_FALSE(DecodePostingBlock(buf.data(), cut, ids.size(),
+                                    out_ids.data(), out_lens.data(), &count,
+                                    &consumed, &scratch))
+        << "cut=" << cut;
+  }
+}
+
+TEST(BlockCodecTest, DecodeRejectsOversizedCount) {
+  std::vector<uint32_t> ids = {1, 2, 3};
+  std::vector<float> lens = {1.f, 2.f, 3.f};
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ids.data(), lens.data(), ids.size(), &buf);
+  std::vector<uint32_t> out_ids(ids.size());
+  std::vector<float> out_lens(lens.size());
+  size_t count = 0, consumed = 0;
+  BlockDecodeScratch scratch;
+  // max_count below the encoded count must fail without writing past it.
+  EXPECT_FALSE(DecodePostingBlock(buf.data(), buf.size(), 2, out_ids.data(),
+                                  out_lens.data(), &count, &consumed,
+                                  &scratch));
+}
+
+TEST(BlockCodecTest, DecodeRejectsBadWidth) {
+  std::vector<uint32_t> ids = {5};
+  std::vector<float> lens = {1.25f};
+  std::vector<uint8_t> buf;
+  EncodePostingBlock(ids.data(), lens.data(), 1, &buf);
+  // Byte layout for count=1: count varint, id varint, 4 base bytes, width.
+  buf[buf.size() - 1] = 33;  // width > 32 is malformed
+  std::vector<uint32_t> out_ids(1);
+  std::vector<float> out_lens(1);
+  size_t count = 0, consumed = 0;
+  BlockDecodeScratch scratch;
+  EXPECT_FALSE(DecodePostingBlock(buf.data(), buf.size(), 1, out_ids.data(),
+                                  out_lens.data(), &count, &consumed,
+                                  &scratch));
+}
+
+TEST(BlockCodecTest, ConsecutiveBlocksDecodeFromOneBuffer) {
+  // The store image is a concatenation of blocks; `consumed` must walk it.
+  std::vector<uint8_t> buf;
+  std::vector<uint32_t> ids1 = {10, 20, 30};
+  std::vector<float> lens1 = {1.f, 1.f, 2.f};
+  std::vector<uint32_t> ids2 = {5};
+  std::vector<float> lens2 = {9.f};
+  EncodePostingBlock(ids1.data(), lens1.data(), ids1.size(), &buf);
+  EncodePostingBlock(ids2.data(), lens2.data(), ids2.size(), &buf);
+  BlockDecodeScratch scratch;
+  std::vector<uint32_t> out_ids(3);
+  std::vector<float> out_lens(3);
+  size_t count = 0, consumed = 0;
+  ASSERT_TRUE(DecodePostingBlock(buf.data(), buf.size(), 3, out_ids.data(),
+                                 out_lens.data(), &count, &consumed,
+                                 &scratch));
+  ASSERT_EQ(count, 3u);
+  ASSERT_TRUE(DecodePostingBlock(buf.data() + consumed, buf.size() - consumed,
+                                 1, out_ids.data(), out_lens.data(), &count,
+                                 &consumed, &scratch));
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(out_ids[0], 5u);
+  EXPECT_EQ(out_lens[0], 9.f);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Format-version compatibility: an index saved as kVersionLegacy (v2,
+// uncompressed) and as kVersionLatest (v3, compressed posting blocks) must
+// load into *behaviourally identical* indexes — byte-identical QueryResults
+// (ids, exact score bits, element accounting) for every algorithm, in both
+// memory and disk mode — while the v3 file is materially smaller.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+#include "storage/posting_store.h"
+#include "test_util.h"
+
+namespace simsel {
+namespace {
+
+using testing_util::MakeWordRecords;
+
+constexpr size_t kRecords = 600;
+
+BuildOptions TestBuild() {
+  BuildOptions build;
+  build.tokenizer.q = 3;
+  build.build_sql_baseline = true;
+  build.index.page_bytes = 512;
+  build.index.skip_fanout = 8;
+  build.index.hash_page_bytes = 256;
+  build.btree_page_bytes = 512;
+  return build;
+}
+
+/// One selector per format version, loaded through a Save/Load round trip.
+struct VersionedSelectors {
+  SimilaritySelector built;   // never serialized (the reference)
+  SimilaritySelector via_v2;  // Save(v2) -> Load
+  SimilaritySelector via_v3;  // Save(v3) -> Load
+
+  static VersionedSelectors Make() {
+    std::vector<std::string> records = MakeWordRecords(kRecords, 0xFEED);
+    SimilaritySelector built = SimilaritySelector::Build(records, TestBuild());
+    auto roundtrip = [&records, &built](uint32_t version) {
+      std::string path = ::testing::TempDir() + "index_version_test_v" +
+                         std::to_string(version) + ".simsel";
+      EXPECT_TRUE(built.SaveIndex(path, version).ok());
+      Result<SimilaritySelector> loaded =
+          SimilaritySelector::BuildWithSavedIndex(records, path, TestBuild());
+      EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+      std::remove(path.c_str());
+      return std::move(*loaded);
+    };
+    SimilaritySelector via_v2 = roundtrip(InvertedIndex::kVersionLegacy);
+    SimilaritySelector via_v3 = roundtrip(InvertedIndex::kVersionLatest);
+    return VersionedSelectors{std::move(built), std::move(via_v2),
+                              std::move(via_v3)};
+  }
+};
+
+VersionedSelectors& Selectors() {
+  static VersionedSelectors* s = new VersionedSelectors(
+      VersionedSelectors::Make());
+  return *s;
+}
+
+TEST(IndexVersionTest, LoadedIndexesValidate) {
+  EXPECT_TRUE(Selectors().via_v2.index().Validate());
+  EXPECT_TRUE(Selectors().via_v3.index().Validate());
+}
+
+TEST(IndexVersionTest, LoadedListsAreBitIdentical) {
+  const InvertedIndex& a = Selectors().via_v2.index();
+  const InvertedIndex& b = Selectors().via_v3.index();
+  ASSERT_EQ(a.num_tokens(), b.num_tokens());
+  ASSERT_EQ(a.total_postings(), b.total_postings());
+  for (TokenId t = 0; t < a.num_tokens(); ++t) {
+    ASSERT_EQ(a.ListSize(t), b.ListSize(t));
+    const size_t n = a.ListSize(t);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(a.LenIds(t)[i], b.LenIds(t)[i]) << "t=" << t << " i=" << i;
+      // Exact bit equality, not approximate: the compressed codec is
+      // lossless by contract.
+      ASSERT_EQ(a.LenLens(t)[i], b.LenLens(t)[i]) << "t=" << t << " i=" << i;
+      ASSERT_EQ(a.IdIds(t)[i], b.IdIds(t)[i]) << "t=" << t << " i=" << i;
+      ASSERT_EQ(a.IdLens(t)[i], b.IdLens(t)[i]) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+/// Asserts two results are byte-identical: same ids, *exact* double score
+/// equality (not ULP-approximate), same element accounting.
+void ExpectIdenticalResults(const QueryResult& a, const QueryResult& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.matches.size(), b.matches.size()) << context;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    ASSERT_EQ(a.matches[i].id, b.matches[i].id) << context << " rank " << i;
+    ASSERT_EQ(a.matches[i].score, b.matches[i].score)
+        << context << " score of id " << a.matches[i].id;
+  }
+  EXPECT_EQ(a.counters.elements_read, b.counters.elements_read) << context;
+  EXPECT_EQ(a.counters.elements_skipped, b.counters.elements_skipped)
+      << context;
+}
+
+class VersionParityParam : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(VersionParityParam, MemoryModeResultsIdentical) {
+  VersionedSelectors& s = Selectors();
+  for (double tau : {0.5, 0.8, 0.95}) {
+    for (SetId q = 0; q < 10; ++q) {
+      const std::string text = s.built.collection().text(q * 13);
+      QueryResult ref = s.built.Select(text, tau, GetParam(), {});
+      QueryResult r2 = s.via_v2.Select(text, tau, GetParam(), {});
+      QueryResult r3 = s.via_v3.Select(text, tau, GetParam(), {});
+      const std::string ctx = std::string(AlgorithmKindName(GetParam())) +
+                              " tau=" + std::to_string(tau);
+      ExpectIdenticalResults(ref, r2, ctx + " (v2)");
+      ExpectIdenticalResults(ref, r3, ctx + " (v3)");
+    }
+  }
+}
+
+TEST_P(VersionParityParam, DiskModeResultsIdentical) {
+  VersionedSelectors& s = Selectors();
+  PostingStore store2 = PostingStore::Build(s.via_v2.index());
+  PostingStore store3 = PostingStore::Build(s.via_v3.index());
+  SelectOptions disk2, disk3;
+  disk2.posting_store = &store2;
+  disk3.posting_store = &store3;
+  for (double tau : {0.5, 0.95}) {
+    for (SetId q = 0; q < 6; ++q) {
+      const std::string text = s.built.collection().text(q * 29);
+      QueryResult ref = s.built.Select(text, tau, GetParam(), {});
+      QueryResult r2 = s.via_v2.Select(text, tau, GetParam(), disk2);
+      QueryResult r3 = s.via_v3.Select(text, tau, GetParam(), disk3);
+      const std::string ctx = std::string(AlgorithmKindName(GetParam())) +
+                              " tau=" + std::to_string(tau) + " disk";
+      ExpectIdenticalResults(ref, r2, ctx + " (v2)");
+      ExpectIdenticalResults(ref, r3, ctx + " (v3)");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, VersionParityParam,
+    ::testing::Values(AlgorithmKind::kSf, AlgorithmKind::kHybrid,
+                      AlgorithmKind::kInra, AlgorithmKind::kIta,
+                      AlgorithmKind::kTa, AlgorithmKind::kNra,
+                      AlgorithmKind::kSortById),
+    [](const auto& info) {
+      // Gtest parameter names must be alphanumeric ("sort-by-id" is not).
+      std::string name = AlgorithmKindName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out.push_back(c);
+      }
+      return out;
+    });
+
+TEST(IndexVersionTest, CompressedPayloadMateriallySmaller) {
+  const InvertedIndex& index = Selectors().built.index();
+  IndexFileStats v2 = index.EncodedStats(InvertedIndex::kVersionLegacy);
+  IndexFileStats v3 = index.EncodedStats(InvertedIndex::kVersionLatest);
+  ASSERT_GT(v2.len_payload_bytes, 0u);
+  ASSERT_GT(v3.len_payload_bytes, 0u);
+  // The acceptance bar: compressed by-length payload at least 25% smaller.
+  EXPECT_LE(v3.len_payload_bytes * 4, v2.len_payload_bytes * 3)
+      << "v2 len payload " << v2.len_payload_bytes << " vs v3 "
+      << v3.len_payload_bytes;
+  EXPECT_LT(v3.file_bytes, v2.file_bytes);
+}
+
+}  // namespace
+}  // namespace simsel
