@@ -5,11 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <memory>
 
 #include "bench_util.h"
 #include "btree/bplus_tree.h"
 #include "common/rng.h"
 #include "container/extendible_hash.h"
+#include "core/dynamic.h"
 #include "container/loser_tree.h"
 #include "container/skip_index.h"
 #include "eval/experiment.h"
@@ -234,6 +236,30 @@ BENCHMARK_CAPTURE(BM_Query, iNRA, AlgorithmKind::kInra);
 BENCHMARK_CAPTURE(BM_Query, iTA, AlgorithmKind::kIta);
 BENCHMARK_CAPTURE(BM_Query, SQL, AlgorithmKind::kSql);
 BENCHMARK_CAPTURE(BM_Query, SortById, AlgorithmKind::kSortById);
+
+// Insert-while-query mixed scenario on the dynamic main+delta selector:
+// each iteration appends one record and runs one query against the same
+// DynamicSelector, exercising the append publish, the epoch pin and the
+// per-token delta index on every query. The selector is recreated (outside
+// the timed region) every 4096 iterations so the delta stays bounded and
+// the per-iteration cost is stationary for bench_compare.py's gate.
+void BM_QueryWithInserts(benchmark::State& state) {
+  QueryEnv& qe = GetQueryEnv();
+  const std::vector<std::string>& words = qe.env.words;
+  std::unique_ptr<DynamicSelector> dyn;
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i % 4096 == 0) {
+      state.PauseTiming();
+      dyn = std::make_unique<DynamicSelector>(words);
+      state.ResumeTiming();
+    }
+    dyn->AddRecord(words[(i * 13) % words.size()]);
+    benchmark::DoNotOptimize(dyn->Select(words[123], 0.8));
+    ++i;
+  }
+}
+BENCHMARK(BM_QueryWithInserts);
 
 }  // namespace
 }  // namespace simsel

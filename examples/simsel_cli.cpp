@@ -28,6 +28,15 @@
 //       in a versioned LRU result cache (see docs/ARCHITECTURE.md). One
 //       query when <text> is given, otherwise a repl.
 //
+//   simsel_cli serve <records.txt> --dynamic [--cache-mb=M]
+//              [--rebuild-every=N]
+//       Writable serving: one DynamicSelector (main + delta segments)
+//       behind the versioned result cache. Repl lines starting with `+`
+//       insert a record, `!rebuild` folds the delta online; both proceed
+//       concurrently with queries and invalidate the cache through the
+//       selector version. --rebuild-every=N folds automatically in the
+//       background once the delta holds N records.
+//
 //   simsel_cli --explain "<text>" [--tau 0.8] [--words=N] [--stats]
 //       Builds a self-contained demo environment, runs the query with SF,
 //       iNRA and Hybrid, and prints the per-phase trace (durations, item
@@ -65,6 +74,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "serve/dynamic_serving.h"
 #include "serve/sharded_selector.h"
 
 namespace {
@@ -87,7 +97,10 @@ constexpr char kHelp[] =
     "  serve <records.txt> [<text>]              sharded scatter-gather\n"
     "                                            serving with a result cache;\n"
     "                                            runs one query when <text>\n"
-    "                                            is given, else a repl\n"
+    "                                            is given, else a repl; with\n"
+    "                                            --dynamic the repl also\n"
+    "                                            accepts `+<text>` inserts\n"
+    "                                            and a `!rebuild` command\n"
     "  --explain \"<text>\"                        self-contained demo: per-\n"
     "                                            phase trace for SF/iNRA/\n"
     "                                            Hybrid on a synthetic corpus\n"
@@ -105,6 +118,13 @@ constexpr char kHelp[] =
     "  --shards=N        (serve) number of index shards, default 4\n"
     "  --cache-mb=M      (serve) result cache capacity in MiB; 0 disables,\n"
     "                    default 64\n"
+    "  --dynamic         (serve) writable single-index serving: a main+delta\n"
+    "                    DynamicSelector behind the result cache; inserts\n"
+    "                    (`+<text>` repl lines) and online rebuilds proceed\n"
+    "                    concurrently with queries\n"
+    "  --rebuild-every=N (serve --dynamic) fold the delta into the main\n"
+    "                    segment in the background once it holds N records;\n"
+    "                    0 (default) rebuilds only on the `!rebuild` command\n"
     "  --index-version=N (build) serialized index format: 3 (default;\n"
     "                    compressed posting blocks) or 2 (legacy\n"
     "                    uncompressed, for migration); `query`/`repl` read\n"
@@ -331,6 +351,117 @@ int RunStats(int argc, char** argv) {
   return 0;
 }
 
+/// `serve <records.txt> --dynamic`: the writable serving front end. One
+/// DynamicSelector (main + delta) behind the versioned result cache; repl
+/// lines starting with `+` insert, `!rebuild` folds the delta online. Every
+/// insert/rebuild bumps the selector version, which invalidates all cached
+/// answers in O(1) — the cache line after each query makes that visible.
+int RunServeDynamic(const Corpus& corpus, int argc, char** argv, double tau,
+                    AlgorithmKind kind) {
+  const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
+  const size_t rebuild_every = FlagValue(argc, argv, "rebuild-every", 0);
+  const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
+  const size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  ThreadPool pool(std::max(1u, (hw == 0 ? 2u : hw) - 1));
+  serve::DynamicServingOptions so;
+  so.cache_bytes = cache_mb << 20;
+  so.rebuild_threshold = rebuild_every;
+  so.pool = &pool;
+  WallTimer build_timer;
+  serve::DynamicServing serving(corpus.records, so);
+  std::fprintf(stderr,
+               "dynamic serving over %zu records (%zu MiB cache%s) — built "
+               "in %.2fs\n",
+               corpus.records.size(), cache_mb,
+               rebuild_every > 0 ? ", auto-rebuild" : "",
+               build_timer.ElapsedSeconds());
+
+  auto run_one = [&](const std::string& text) {
+    SelectOptions options;
+    if (deadline_ms > 0) {
+      options.control.deadline =
+          QueryControl::DeadlineAfterMillis(static_cast<int64_t>(deadline_ms));
+    }
+    options.control.max_elements_read = max_elements;
+    WallTimer timer;
+    QueryResult r = serving.Select(text, tau, kind, options);
+    std::printf("%zu matches in %.2f ms (version %llu, %zu in delta)\n",
+                r.matches.size(), timer.ElapsedMillis(),
+                (unsigned long long)r.snapshot_version,
+                serving.selector().delta_size());
+    if (!r.status.ok()) {
+      std::printf("  !! query failed: %s\n", r.status.ToString().c_str());
+    } else if (r.termination != Termination::kCompleted) {
+      std::printf("  !! partial result (%s tripped%s)\n",
+                  TerminationName(r.termination),
+                  r.delta_covered ? "" : ", delta not covered");
+    }
+    size_t shown = 0;
+    for (const Match& m : r.matches) {
+      if (shown++ >= 20) {
+        std::printf("  ... and %zu more\n", r.matches.size() - shown + 1);
+        break;
+      }
+      std::printf("  [%u] %-40s %.3f\n", m.id,
+                  serving.selector().text(m.id).c_str(), m.score);
+    }
+    if (serving.result_cache() != nullptr) {
+      const serve::ResultCache& cache = *serving.result_cache();
+      std::printf("  cache: %llu hits / %llu misses (%.1f%% hit rate, "
+                  "%zu entries)\n",
+                  (unsigned long long)cache.hits(),
+                  (unsigned long long)cache.misses(), 100.0 * cache.HitRate(),
+                  cache.entries());
+    }
+  };
+
+  // One-shot query text, same convention as the sharded path.
+  std::string text;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tau") == 0) {
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    if (!text.empty()) text += ' ';
+    text += argv[i];
+  }
+  if (!text.empty()) {
+    run_one(text);
+    return 0;
+  }
+  std::printf("tau=%.2f algo=%s dynamic — `+<text>` inserts, `!rebuild` "
+              "folds the delta, any other line queries, ctrl-d to exit\n",
+              tau, AlgorithmKindName(kind));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '+') {
+      std::string record = line.substr(1);
+      if (record.empty()) continue;
+      SetId id = serving.AddRecord(std::move(record));
+      std::printf("inserted [%u] (version %llu, %zu in delta)\n", id,
+                  (unsigned long long)serving.version(),
+                  serving.selector().delta_size());
+      continue;
+    }
+    if (line == "!rebuild") {
+      WallTimer timer;
+      serving.Rebuild();
+      std::printf("rebuilt in %.2fs (version %llu, %zu records)\n",
+                  timer.ElapsedSeconds(),
+                  (unsigned long long)serving.version(),
+                  serving.selector().size());
+      continue;
+    }
+    run_one(line);
+  }
+  serving.selector().WaitForRebuild();
+  return 0;
+}
+
 /// `serve <records.txt> [<text>]`: the serving-layer front end. Builds a
 /// ShardedSelector over the records (global statistics, per-shard indexes),
 /// attaches a thread pool sized to the machine and a versioned result
@@ -347,6 +478,9 @@ int RunServe(int argc, char** argv) {
   double tau;
   if (!ParseTau(argc, argv, 0.75, &tau)) return Usage();
   AlgorithmKind kind = ParseAlgo(argc, argv);
+  if (HasFlag(argc, argv, "--dynamic")) {
+    return RunServeDynamic(*corpus, argc, argv, tau, kind);
+  }
   const size_t shards = FlagValue(argc, argv, "shards", 4);
   const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
   const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);

@@ -22,8 +22,11 @@
 #      buffer_pool_test, parallel_test, query_control_test (which cancels
 #      in-flight queries on a shared selector), the concurrency_test
 #      soak, which runs mixed algorithms in disk and memory mode against
-#      one shared index/store/pool, and serving_test's scatter-gather +
-#      result-cache soak — must produce zero race reports (build-tsan/).
+#      one shared index/store/pool, serving_test's scatter-gather +
+#      result-cache soak, and dynamic_concurrency_test's readers x writer
+#      x online-Rebuild soak on one DynamicSelector (epoch reclamation,
+#      delta publish, segment swap) — must produce zero race reports
+#      (build-tsan/).
 #   6. UndefinedBehaviorSanitizer: the codec / SIMD-kernel / store tests
 #      under -fsanitize=undefined with non-recoverable reports
 #      (build-ubsan/) — the block codec's bit packing and the per-variant

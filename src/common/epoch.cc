@@ -1,0 +1,103 @@
+#include "common/epoch.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace simsel {
+
+EpochManager::~EpochManager() {
+  // Destruction contract: no live Guards. Every retired object is past its
+  // grace period by definition, so free them all.
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  for (Retired& r : retired_) r.free();
+  retired_.clear();
+}
+
+EpochManager::Guard::Guard(EpochManager& mgr) : mgr_(&mgr) {
+  // Claim a free slot. A thread-local rotating hint spreads readers across
+  // the array so the common case is one CAS.
+  static thread_local size_t hint = 0;
+  size_t slot;
+  for (size_t attempt = 0;; ++attempt) {
+    slot = (hint + attempt) % kSlots;
+    uint64_t expected = 0;
+    uint64_t e = mgr.global_epoch_.load(std::memory_order_seq_cst);
+    if (mgr.slots_[slot].compare_exchange_strong(expected, e,
+                                                 std::memory_order_seq_cst)) {
+      // Re-stamp until the published pin matches the current epoch: the
+      // epoch may have advanced between the load and the claim. A stale
+      // final stamp would be safe (it only holds reclamation back); the
+      // re-check keeps pins tight so reclamation is prompt.
+      while (true) {
+        uint64_t now = mgr.global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+        mgr.slots_[slot].store(e, std::memory_order_seq_cst);
+      }
+      break;
+    }
+    if (attempt >= kSlots) std::this_thread::yield();
+  }
+  hint = (slot + 1) % kSlots;
+  slot_ = slot;
+}
+
+EpochManager::Guard::~Guard() {
+  if (mgr_ != nullptr) {
+    mgr_->slots_[slot_].store(0, std::memory_order_seq_cst);
+  }
+}
+
+void EpochManager::Retire(std::function<void()> free) {
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    retired_.push_back(
+        {global_epoch_.load(std::memory_order_seq_cst), std::move(free)});
+  }
+  // Advance: readers pinning from now on can never reference the retired
+  // object (the replacement pointer was published before Retire was called).
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  Reclaim();
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = UINT64_MAX;
+  for (const std::atomic<uint64_t>& slot : slots_) {
+    uint64_t pinned = slot.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min) min = pinned;
+  }
+  return min;
+}
+
+size_t EpochManager::Reclaim() {
+  std::vector<Retired> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (retired_.empty()) return 0;
+    // An object retired at epoch E may still be referenced by readers
+    // pinned at <= E (they could have loaded the old pointer before the
+    // swap). Readers pinned at > E provably loaded the replacement.
+    uint64_t min_active = MinActiveEpoch();
+    size_t kept = 0;
+    for (Retired& r : retired_) {
+      if (r.epoch < min_active) {
+        to_free.push_back(std::move(r));
+      } else {
+        retired_[kept++] = std::move(r);
+      }
+    }
+    retired_.resize(kept);
+  }
+  // Run deleters outside the mutex: they can be heavyweight (a whole index
+  // segment) and must not block writers retiring concurrently.
+  for (Retired& r : to_free) r.free();
+  return to_free.size();
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace simsel

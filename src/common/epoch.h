@@ -1,0 +1,117 @@
+#ifndef SIMSEL_COMMON_EPOCH_H_
+#define SIMSEL_COMMON_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace simsel {
+
+/// Epoch-based memory reclamation for read-mostly swap-on-update structures
+/// (the DynamicSelector's main+delta segment swap).
+///
+/// The protocol is the classic one (EpochManager-style): a writer that
+/// replaces a shared structure retires the old version instead of deleting
+/// it, stamping it with the current global epoch and then advancing the
+/// epoch. Readers pin the global epoch in a slot for the duration of their
+/// access (RAII `Guard`). A retired object is freed only once every active
+/// reader's pinned epoch is newer than the object's retire stamp — at that
+/// point no reader that could still hold a pointer into it exists, so the
+/// free is safe without ever blocking readers.
+///
+/// Memory-ordering contract (the reason this is race-free, also asserted by
+/// the TSAN leg of scripts/check.sh):
+///
+///  - The writer publishes the replacement pointer with a seq_cst store,
+///    *then* retires the old one (stamp = seq_cst load of the epoch) and
+///    advances the epoch with a seq_cst RMW, *then* scans the slots.
+///  - A reader claims a slot with a seq_cst store of the epoch it loaded,
+///    then re-checks the epoch (re-stamping until stable), and only then
+///    loads the shared pointer (seq_cst).
+///
+/// In the seq_cst total order either the reader's slot store precedes the
+/// writer's slot scan — the writer sees the pin and keeps the old version —
+/// or the writer's scan precedes the reader's pin, in which case the
+/// reader's later pointer load must observe the replacement. Either way no
+/// reader is left holding freed memory. Stale pins (a reader stamping an
+/// epoch that advanced mid-claim) only delay reclamation; they never allow
+/// a premature free.
+///
+/// One writer at a time: Retire/ReclaimAll are expected to be serialized by
+/// the caller's writer mutex (they additionally take an internal mutex, so
+/// misuse degrades to contention, not corruption). Readers are wait-free
+/// apart from slot claiming, which spins only when more than kSlots guards
+/// are live at once.
+class EpochManager {
+ public:
+  /// Maximum concurrently live Guards. Readers beyond this spin-wait for a
+  /// slot; sized generously above any realistic query fan-out.
+  static constexpr size_t kSlots = 128;
+
+  EpochManager() = default;
+  /// Frees everything still retired. The caller must ensure no Guard is
+  /// live (the owning structure is being destroyed).
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII reader pin. Cheap (two seq_cst stores + a couple of loads) but
+  /// not free — take one per query, not per posting.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr);
+    ~Guard();
+
+    Guard(Guard&& other) noexcept : mgr_(other.mgr_), slot_(other.slot_) {
+      other.mgr_ = nullptr;
+    }
+    Guard& operator=(Guard&&) = delete;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager* mgr_;
+    size_t slot_ = 0;
+  };
+
+  /// Registers `free` to run once every reader pinned at or before the
+  /// current epoch has exited, then advances the epoch and opportunistically
+  /// reclaims whatever became safe. Call from the writer after the
+  /// replacement pointer is published.
+  void Retire(std::function<void()> free);
+
+  /// Frees every retired object whose grace period has elapsed; returns how
+  /// many were freed. Retire calls this automatically; exposed so tests and
+  /// idle writers can drain the list.
+  size_t Reclaim();
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Retired-but-not-yet-freed count (test / introspection hook).
+  size_t retired_count() const;
+
+ private:
+  /// Smallest epoch any live Guard has pinned, or UINT64_MAX when idle.
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_{1};
+  /// 0 = slot free, otherwise the pinned epoch.
+  std::array<std::atomic<uint64_t>, kSlots> slots_{};
+
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> free;
+  };
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace simsel
+
+#endif  // SIMSEL_COMMON_EPOCH_H_

@@ -17,6 +17,11 @@ namespace simsel {
 /// Tasks are plain std::function<void()>; Submit never blocks (unbounded
 /// queue) and Wait blocks until every submitted task has finished. The pool
 /// joins its workers on destruction.
+///
+/// Long-running tasks (DynamicSelector::StartRebuild folds a whole segment
+/// on one worker) occupy their worker for the duration — size the pool so
+/// query scatter work is not starved behind them, and never Wait on the
+/// pool from inside one of its own tasks (docs/CONCURRENCY.md).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; defaults to hardware concurrency).

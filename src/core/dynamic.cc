@@ -2,104 +2,556 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/internal.h"
+#include "obs/metrics_registry.h"
+#include "storage/posting_store.h"
 
 namespace simsel {
+namespace dynamic_internal {
 
-DynamicSelector::DynamicSelector(const std::vector<std::string>& initial,
-                                 const BuildOptions& options)
-    : options_(options),
-      main_(std::make_unique<SimilaritySelector>(
-          SimilaritySelector::Build(initial, options))),
-      main_size_(initial.size()),
-      all_texts_(initial) {}
+/// One appended record under the frozen statistics.
+struct DeltaRecord {
+  std::vector<TokenId> tokens;  // known tokens, distinct, ascending TokenId
+  std::vector<uint32_t> tfs;    // parallel to tokens (set-semantic IDF
+                                // ignores them; kept so a tf-weighted
+                                // measure could score the delta too)
+  float frozen_length = 0.0f;   // with unknown-token mass included
+  std::string text;
+};
 
-DynamicSelector::DeltaRecord DynamicSelector::Analyze(
-    const std::string& text) const {
-  const IdfMeasure& measure = main_->measure();
-  const Dictionary& dict = main_->collection().dictionary();
+/// The delta segment: an append-only record log plus a per-token inverted
+/// index over it, written by one externally-serialized writer and read
+/// lock-free by any number of concurrent readers.
+///
+/// Publication protocol: the writer materializes the record in its chunk
+/// slot and links its posting entries first, then publishes everything with
+/// one release store of the record count. A reader acquires the count once
+/// (its snapshot cut `n`) and touches only records and posting entries with
+/// position < n — all of which the acquire made visible. Posting lists
+/// store positions in ascending order, so a reader walks each list until it
+/// sees a position >= n and stops; entries beyond its cut are never read.
+class DeltaIndex {
+ public:
+  static constexpr size_t kChunkBits = 8;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // records
+  static constexpr size_t kMaxChunks = size_t{1} << 14;  // 4.2M records cap
+  static constexpr size_t kNodeCap = 16;  // positions per posting node
+
+  explicit DeltaIndex(size_t num_tokens)
+      : num_tokens_(num_tokens),
+        chunks_(new std::atomic<RecordChunk*>[kMaxChunks]),
+        tokens_(num_tokens > 0 ? new TokenList[num_tokens] : nullptr) {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      chunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~DeltaIndex() {
+    for (size_t i = 0; i < kMaxChunks; ++i) {
+      delete chunks_[i].load(std::memory_order_relaxed);
+    }
+    for (size_t t = 0; t < num_tokens_; ++t) {
+      PostingNode* node = tokens_[t].head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        PostingNode* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  DeltaIndex(const DeltaIndex&) = delete;
+  DeltaIndex& operator=(const DeltaIndex&) = delete;
+
+  /// Writer side (callers serialize on the selector's append mutex).
+  /// Returns the record's position.
+  uint32_t Append(DeltaRecord rec) {
+    uint32_t pos = count_.load(std::memory_order_relaxed);
+    SIMSEL_CHECK_MSG(pos < kChunkSize * kMaxChunks, "delta segment full");
+    size_t chunk_index = pos >> kChunkBits;
+    RecordChunk* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new RecordChunk();
+      chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    DeltaRecord& slot = chunk->records[pos & (kChunkSize - 1)];
+    slot = std::move(rec);
+    for (TokenId t : slot.tokens) AppendPosting(t, pos);
+    // The one publication point: everything written above becomes visible
+    // to readers that acquire a count > pos.
+    count_.store(pos + 1, std::memory_order_release);
+    return pos;
+  }
+
+  /// Reader side: the snapshot cut. Pair with positions < the value.
+  uint32_t count() const { return count_.load(std::memory_order_acquire); }
+
+  /// Record at `pos`; requires pos < a previously acquired count.
+  const DeltaRecord& record(uint32_t pos) const {
+    RecordChunk* chunk =
+        chunks_[pos >> kChunkBits].load(std::memory_order_acquire);
+    SIMSEL_CHECK(chunk != nullptr);
+    return chunk->records[pos & (kChunkSize - 1)];
+  }
+
+  /// Visits the positions of records containing `token`, restricted to
+  /// pos < limit, in ascending order. Returns the number visited.
+  template <typename Fn>
+  size_t ForEachPosting(TokenId token, uint32_t limit, Fn&& fn) const {
+    if (token >= num_tokens_ || limit == 0) return 0;
+    const TokenList& list = tokens_[token];
+    uint32_t total = list.size.load(std::memory_order_acquire);
+    PostingNode* node = list.head.load(std::memory_order_acquire);
+    size_t visited = 0;
+    for (uint32_t i = 0; node != nullptr && i < total; ) {
+      uint32_t in_node = static_cast<uint32_t>(
+          std::min<uint64_t>(kNodeCap, total - i));
+      for (uint32_t k = 0; k < in_node; ++k) {
+        uint32_t pos = node->pos[k];
+        if (pos >= limit) return visited;  // ascending: nothing more <limit
+        fn(pos);
+        ++visited;
+      }
+      i += in_node;
+      node = node->next.load(std::memory_order_acquire);
+    }
+    return visited;
+  }
+
+ private:
+  struct RecordChunk {
+    DeltaRecord records[kChunkSize];
+  };
+  struct PostingNode {
+    uint32_t pos[kNodeCap];
+    std::atomic<PostingNode*> next{nullptr};
+  };
+  struct TokenList {
+    std::atomic<uint32_t> size{0};
+    std::atomic<PostingNode*> head{nullptr};
+    PostingNode* tail = nullptr;  // writer-only
+  };
+
+  void AppendPosting(TokenId token, uint32_t pos) {
+    SIMSEL_CHECK(token < num_tokens_);
+    TokenList& list = tokens_[token];
+    uint32_t n = list.size.load(std::memory_order_relaxed);
+    uint32_t offset = n % kNodeCap;
+    if (offset == 0) {
+      PostingNode* node = new PostingNode();
+      node->pos[0] = pos;
+      if (list.tail == nullptr) {
+        list.head.store(node, std::memory_order_release);
+      } else {
+        list.tail->next.store(node, std::memory_order_release);
+      }
+      list.tail = node;
+    } else {
+      list.tail->pos[offset] = pos;
+    }
+    list.size.store(n + 1, std::memory_order_release);
+  }
+
+  size_t num_tokens_;
+  std::unique_ptr<std::atomic<RecordChunk*>[]> chunks_;
+  std::unique_ptr<TokenList[]> tokens_;
+  std::atomic<uint32_t> count_{0};
+};
+
+/// One immutable generation of the selector: swapped atomically by Rebuild,
+/// freed through the EpochManager once the last pinned reader exits.
+struct State {
+  std::shared_ptr<const SimilaritySelector> main;
+  std::unique_ptr<const PostingStore> store;  // disk mode only
+  size_t main_size = 0;
+  /// version() of this generation with an empty delta; the live version is
+  /// base_version + delta count.
+  uint64_t base_version = 0;
+  std::unique_ptr<DeltaIndex> delta;
+};
+
+namespace {
+
+/// Tokenizes `text` against `main`'s frozen statistics. The known-token
+/// length mass is accumulated in ascending-TokenId order — exactly
+/// IdfMeasure's set_len_ summation — so an all-known delta record's
+/// frozen_length is bit-identical to the set length the same record would
+/// get inside a main segment with these statistics (the PR 8 score-parity
+/// fix; the old code summed in token-string order). Unknown-token mass is
+/// added after the known mass, in tokenizer order.
+DeltaRecord Analyze(const std::string& text, const SimilaritySelector& main) {
+  const IdfMeasure& measure = main.measure();
+  const Dictionary& dict = main.collection().dictionary();
   DeltaRecord rec;
-  double len_sq = 0.0;
-  for (const TokenCount& tc : main_->tokenizer().TokenizeCounted(text)) {
+  size_t unknown = 0;
+  std::vector<std::pair<TokenId, uint32_t>> known;
+  for (const TokenCount& tc : main.tokenizer().TokenizeCounted(text)) {
     auto id = dict.Find(tc.token);
     if (id.has_value()) {
-      rec.tokens.push_back(*id);
-      double idf = measure.idf(*id);
-      len_sq += idf * idf;
+      known.emplace_back(*id, tc.count);
     } else {
       // Unknown under the frozen statistics: rarest possible weight, no
       // list to match through, but it still normalizes the length.
-      len_sq += measure.default_idf() * measure.default_idf();
+      ++unknown;
     }
   }
-  std::sort(rec.tokens.begin(), rec.tokens.end());
+  std::sort(known.begin(), known.end());
+  double len_sq = 0.0;
+  rec.tokens.reserve(known.size());
+  rec.tfs.reserve(known.size());
+  for (const auto& [token, tf] : known) {
+    rec.tokens.push_back(token);
+    rec.tfs.push_back(tf);
+    double idf = measure.idf(token);
+    len_sq += idf * idf;
+  }
+  for (size_t i = 0; i < unknown; ++i) {
+    len_sq += measure.default_idf() * measure.default_idf();
+  }
   rec.frozen_length = static_cast<float>(std::sqrt(len_sq));
   return rec;
 }
 
+struct DynamicMetrics {
+  obs::Counter* records_added;
+  obs::Counter* rebuilds;
+};
+
+const DynamicMetrics& Metrics() {
+  static const DynamicMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return DynamicMetrics{
+        reg.GetCounter("simsel_dynamic_records_added_total"),
+        reg.GetCounter("simsel_dynamic_rebuilds_total")};
+  }();
+  return m;
+}
+
+}  // namespace
+}  // namespace dynamic_internal
+
+using dynamic_internal::DeltaIndex;
+using dynamic_internal::DeltaRecord;
+using dynamic_internal::State;
+
+DynamicSelector::DynamicSelector(const std::vector<std::string>& initial,
+                                 const BuildOptions& options)
+    : DynamicSelector(initial, Options{options, /*disk_mode=*/false}) {}
+
+DynamicSelector::DynamicSelector(const std::vector<std::string>& initial,
+                                 const Options& options)
+    : build_options_(options.build), disk_mode_(options.disk_mode) {
+  state_.store(BuildState(initial, /*base_version=*/0),
+               std::memory_order_seq_cst);
+}
+
+DynamicSelector::~DynamicSelector() {
+  WaitForRebuild();
+  delete state_.load(std::memory_order_seq_cst);
+  // epochs_'s destructor frees any retired state still draining.
+}
+
+State* DynamicSelector::BuildState(const std::vector<std::string>& texts,
+                                   uint64_t base_version) const {
+  auto* state = new State();
+  state->main = std::make_shared<SimilaritySelector>(
+      SimilaritySelector::Build(texts, build_options_));
+  if (disk_mode_) {
+    state->store =
+        std::make_unique<PostingStore>(PostingStore::Build(state->main->index()));
+  }
+  state->main_size = texts.size();
+  state->base_version = base_version;
+  state->delta = std::make_unique<DeltaIndex>(
+      state->main->collection().dictionary().size());
+  return state;
+}
+
+DynamicSelector::Snapshot::Snapshot(EpochManager::Guard guard,
+                                    const State* state, uint32_t delta_count)
+    : guard_(std::move(guard)), state_(state), delta_count_(delta_count) {}
+
+DynamicSelector::Snapshot DynamicSelector::snapshot() const {
+  // Pin first, then load: the epoch protocol (common/epoch.h) guarantees a
+  // Rebuild either sees this pin and keeps the old state alive, or this
+  // load sees the new state.
+  EpochManager::Guard guard(epochs_);
+  const State* state = state_.load(std::memory_order_seq_cst);
+  uint32_t delta_count = state->delta->count();
+  return Snapshot(std::move(guard), state, delta_count);
+}
+
+uint64_t DynamicSelector::Snapshot::version() const {
+  return state_->base_version + delta_count_;
+}
+
+size_t DynamicSelector::Snapshot::size() const {
+  return state_->main_size + delta_count_;
+}
+
+size_t DynamicSelector::Snapshot::delta_size() const { return delta_count_; }
+
+const SimilaritySelector& DynamicSelector::Snapshot::main() const {
+  return *state_->main;
+}
+
+PreparedQuery DynamicSelector::Snapshot::Prepare(
+    std::string_view query) const {
+  return state_->main->Prepare(query);
+}
+
+QueryResult DynamicSelector::Snapshot::Select(
+    std::string_view query, double tau, AlgorithmKind kind,
+    const SelectOptions& options) const {
+  return SelectPrepared(state_->main->Prepare(query), tau, kind, options);
+}
+
+QueryResult DynamicSelector::Snapshot::SelectPrepared(
+    const PreparedQuery& q, double tau, AlgorithmKind kind,
+    const SelectOptions& options) const {
+  double clamped = internal::ClampTau(tau);
+  SelectOptions main_options = options;
+  if (state_->store != nullptr) {
+    // Disk mode: the storage binding belongs to this main segment. A
+    // caller-supplied store would address the wrong index after a swap, and
+    // buffer-pool page keys would alias across swapped stores.
+    main_options.posting_store = state_->store.get();
+    main_options.buffer_pool = nullptr;
+  }
+  QueryResult result =
+      state_->main->SelectPrepared(q, clamped, kind, main_options);
+  result.snapshot_version = version();
+  if (!result.status.ok()) {
+    // Failed main query: matches are already cleared (FailResult); scanning
+    // the delta would report matches for a result whose status says it
+    // cannot be trusted.
+    result.delta_covered = (delta_count_ == 0);
+    return result;
+  }
+  if (delta_count_ == 0) return result;
+  if (result.termination != Termination::kCompleted) {
+    // Tripped before the delta: the partial is sound, but the delta was not
+    // covered at all — record that instead of spending the exhausted
+    // budget/deadline on it.
+    result.delta_covered = false;
+    return result;
+  }
+
+  // Delta pass through the per-token index: gather candidate positions from
+  // the query tokens' posting lists, then score each candidate exactly with
+  // the canonical ascending-token two-pointer walk (bit-identical to
+  // IdfMeasure::Score against a main segment). The control is polled per
+  // token list and per candidate batch, like every other algorithm; a trip
+  // keeps the already-scored candidates (their scores are exact) and marks
+  // the delta uncovered.
+  internal::ControlPoller poller(options.control, result.counters);
+  const DeltaIndex& delta = *state_->delta;
+  uint64_t delta_postings = 0;
+  uint64_t delta_rows = 0;
+  uint64_t delta_matches = 0;
+  bool tripped = false;
+  std::vector<uint32_t> candidates;
+  for (size_t i = 0; i < q.tokens.size(); ++i) {
+    if (poller.ShouldStop()) {
+      tripped = true;
+      break;
+    }
+    size_t visited = delta.ForEachPosting(
+        q.tokens[i], delta_count_,
+        [&candidates](uint32_t pos) { candidates.push_back(pos); });
+    delta_postings += visited;
+    result.counters.elements_read += visited;
+    result.counters.elements_total += visited;
+  }
+  if (!tripped) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (c % 64 == 0 && poller.ShouldStop()) {
+        tripped = true;
+        break;
+      }
+      uint32_t pos = candidates[c];
+      ++result.counters.rows_scanned;
+      ++delta_rows;
+      const DeltaRecord& rec = delta.record(pos);
+      double sum = 0.0;
+      size_t i = 0, j = 0;
+      while (i < q.tokens.size() && j < rec.tokens.size()) {
+        if (q.tokens[i] < rec.tokens[j]) {
+          ++i;
+        } else if (rec.tokens[j] < q.tokens[i]) {
+          ++j;
+        } else {
+          sum += q.weights[i];
+          ++i;
+          ++j;
+        }
+      }
+      double denom = static_cast<double>(rec.frozen_length) * q.length;
+      double score = denom > 0.0 ? sum / denom : 0.0;
+      if (score >= clamped) {
+        result.matches.push_back(
+            Match{static_cast<SetId>(state_->main_size + pos), score});
+        ++delta_matches;
+      }
+    }
+  }
+  if (tripped) {
+    result.termination = poller.termination();
+    result.delta_covered = false;
+  }
+  result.counters.results = result.matches.size();
+  internal::SortMatches(&result.matches);
+  // The main segment's SelectPrepared already flushed its own work to the
+  // process-wide metrics; flush only the delta-scan increment.
+  AccessCounters delta_only;
+  delta_only.elements_read = delta_postings;
+  delta_only.rows_scanned = delta_rows;
+  delta_only.results = delta_matches;
+  internal::RecordDeltaScanMetrics(delta_only);
+  return result;
+}
+
 SetId DynamicSelector::AddRecord(std::string text) {
-  SetId id = static_cast<SetId>(all_texts_.size());
-  // Analyze before appending: `text` is our own copy, and the appends must
-  // not be interleaved with anything reading container internals.
-  DeltaRecord rec = Analyze(text);
-  all_texts_.push_back(text);
-  delta_texts_.push_back(std::move(text));
-  delta_records_.push_back(std::move(rec));
-  ++version_;
+  std::lock_guard<std::mutex> lock(append_mu_);
+  // The swap also runs under append_mu_, so the state is stable here.
+  State* state = state_.load(std::memory_order_relaxed);
+  DeltaRecord rec = dynamic_internal::Analyze(text, *state->main);
+  rec.text = std::move(text);
+  uint32_t pos = state->delta->Append(std::move(rec));
+  SetId id = static_cast<SetId>(state->main_size + pos);
+  // Release *after* the delta publish: an observer that reads the new
+  // version and then queries is guaranteed to see the record.
+  version_.fetch_add(1, std::memory_order_release);
+  dynamic_internal::Metrics().records_added->Increment();
   return id;
 }
 
-const std::string& DynamicSelector::text(SetId id) const {
-  SIMSEL_CHECK(id < all_texts_.size());
-  return all_texts_[id];
+size_t DynamicSelector::size() const { return snapshot().size(); }
+
+size_t DynamicSelector::delta_size() const { return snapshot().delta_size(); }
+
+std::string DynamicSelector::text(SetId id) const {
+  Snapshot snap = snapshot();
+  SIMSEL_CHECK(id < snap.size());
+  if (id < snap.state_->main_size) {
+    return snap.state_->main->collection().text(id);
+  }
+  return snap.state_->delta->record(
+      static_cast<uint32_t>(id - snap.state_->main_size)).text;
 }
 
 QueryResult DynamicSelector::Select(std::string_view query, double tau,
                                     AlgorithmKind kind,
                                     const SelectOptions& options) const {
-  PreparedQuery q = main_->Prepare(query);
-  QueryResult result = main_->SelectPrepared(q, tau, kind, options);
-
-  // Exhaustive pass over the delta segment with the frozen weights; the
-  // canonical ascending-token summation keeps scores comparable with the
-  // main segment's.
-  for (size_t d = 0; d < delta_records_.size(); ++d) {
-    ++result.counters.rows_scanned;
-    const DeltaRecord& rec = delta_records_[d];
-    double sum = 0.0;
-    size_t i = 0, j = 0;
-    while (i < q.tokens.size() && j < rec.tokens.size()) {
-      if (q.tokens[i] < rec.tokens[j]) {
-        ++i;
-      } else if (rec.tokens[j] < q.tokens[i]) {
-        ++j;
-      } else {
-        sum += q.weights[i];
-        ++i;
-        ++j;
-      }
-    }
-    double denom = static_cast<double>(rec.frozen_length) * q.length;
-    double score = denom > 0.0 ? sum / denom : 0.0;
-    if (score >= tau) {
-      result.matches.push_back(
-          Match{static_cast<SetId>(main_size_ + d), score});
-    }
-  }
-  result.counters.results = result.matches.size();
-  internal::SortMatches(&result.matches);
-  return result;
+  return snapshot().Select(query, tau, kind, options);
 }
 
 void DynamicSelector::Rebuild() {
-  main_ = std::make_unique<SimilaritySelector>(
-      SimilaritySelector::Build(all_texts_, options_));
-  main_size_ = all_texts_.size();
-  delta_texts_.clear();
-  delta_records_.clear();
-  ++version_;
+  {
+    std::unique_lock<std::mutex> lock(rebuild_mu_);
+    rebuild_cv_.wait(lock, [this] { return !rebuild_running_; });
+    rebuild_running_ = true;
+  }
+  DoRebuild();
+  {
+    // Notify under the mutex: a waiter (possibly ~DynamicSelector) may
+    // destroy the condvar as soon as it observes !rebuild_running_, which
+    // it can only do after this lock is released — i.e. after notify_all
+    // has returned.
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    rebuild_running_ = false;
+    rebuild_cv_.notify_all();
+  }
+}
+
+bool DynamicSelector::StartRebuild(ThreadPool* pool) {
+  SIMSEL_CHECK(pool != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    if (rebuild_running_) return false;
+    rebuild_running_ = true;
+  }
+  pool->Submit([this] {
+    DoRebuild();
+    // Notify under the mutex — see Rebuild() for the destruction race this
+    // prevents.
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    rebuild_running_ = false;
+    rebuild_cv_.notify_all();
+  });
+  return true;
+}
+
+void DynamicSelector::WaitForRebuild() const {
+  std::unique_lock<std::mutex> lock(rebuild_mu_);
+  rebuild_cv_.wait(lock, [this] { return !rebuild_running_; });
+}
+
+bool DynamicSelector::rebuild_in_progress() const {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  return rebuild_running_;
+}
+
+void DynamicSelector::DoRebuild() {
+  // Phase 1 — snapshot every text at a delta cut d0. Brief: two pass-through
+  // copies under the append lock.
+  std::vector<std::string> texts;
+  uint32_t fold_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    const State* state = state_.load(std::memory_order_relaxed);
+    fold_count = state->delta->count();
+    texts.reserve(state->main_size + fold_count);
+    const Collection& collection = state->main->collection();
+    for (SetId i = 0; i < state->main_size; ++i) {
+      texts.push_back(collection.text(i));
+    }
+    for (uint32_t pos = 0; pos < fold_count; ++pos) {
+      texts.push_back(state->delta->record(pos).text);
+    }
+  }
+
+  // Phase 2 — build the replacement main segment with no lock held: appends
+  // and queries proceed against the old state for the whole build.
+  State* next = BuildState(texts, /*base_version=*/0);
+
+  // Phase 3 — swap. Under the append lock no new record can interleave, so
+  // the records appended during the build ([fold_count, live_count)) are
+  // carried into the new delta, re-analyzed against the new frozen
+  // statistics (their token ids referred to the old dictionary).
+  State* old = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    old = state_.load(std::memory_order_relaxed);
+    uint32_t live_count = old->delta->count();
+    for (uint32_t pos = fold_count; pos < live_count; ++pos) {
+      const DeltaRecord& carried = old->delta->record(pos);
+      DeltaRecord rec = dynamic_internal::Analyze(carried.text, *next->main);
+      rec.text = carried.text;
+      next->delta->Append(std::move(rec));
+    }
+    // Version arithmetic keeps the counter strictly monotone across the
+    // swap: the rebuild itself counts as one content change, records
+    // folded into the main stop counting as delta, carried records keep
+    // counting. old = base + live_count  →  new = old + 1.
+    next->base_version = old->base_version + fold_count + 1;
+    state_.store(next, std::memory_order_seq_cst);
+    version_.store(next->base_version + (live_count - fold_count),
+                   std::memory_order_release);
+  }
+
+  // Phase 4 — the old generation drains under epoch protection: in-flight
+  // queries pinned to it finish on the old segment, and the memory is freed
+  // only after the last pin exits.
+  epochs_.Retire([old] { delete old; });
+  dynamic_internal::Metrics().rebuilds->Increment();
 }
 
 }  // namespace simsel

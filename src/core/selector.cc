@@ -123,6 +123,17 @@ void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
   obs::FlightRecorder::Global().OnQueryComplete(completion);
 }
 
+void RecordDeltaScanMetrics(const AccessCounters& delta_only) {
+  FlushQueryCounters(delta_only);
+  // Delta postings are decoded without a ListCursor, so they are charged to
+  // the cursor-owned postings total here instead.
+  static obs::Counter* postings_read = obs::MetricsRegistry::Global()
+      .GetCounter("simsel_postings_read_total");
+  if (delta_only.elements_read) {
+    postings_read->Increment(delta_only.elements_read);
+  }
+}
+
 }  // namespace internal
 
 SimilaritySelector SimilaritySelector::Build(

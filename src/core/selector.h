@@ -28,6 +28,14 @@ namespace internal {
 void RecordQueryMetrics(AlgorithmKind kind, const QueryResult& result,
                         uint64_t latency_usec,
                         const obs::QueryTrace* trace = nullptr);
+
+/// Flushes the *delta-scan increment* of a DynamicSelector query into the
+/// same process-wide counters. The main-segment execution already went
+/// through RecordQueryMetrics inside SelectPrepared; the delta pass happens
+/// after that flush, so its postings (elements_read), verified candidates
+/// (rows_scanned) and extra matches would otherwise vanish from the
+/// process totals. Pass only the delta-side counts.
+void RecordDeltaScanMetrics(const AccessCounters& delta_only);
 }  // namespace internal
 
 /// Everything needed to stand up a similarity-selection service over a

@@ -62,6 +62,10 @@ const char* MetricHelp(const std::string& name) {
       {"simsel_result_cache_invalidations_total",
        "Stale result-cache entries erased"},
       {"simsel_result_cache_bytes", "Bytes resident in the result cache"},
+      {"simsel_dynamic_records_added_total",
+       "Records appended to a dynamic selector's delta"},
+      {"simsel_dynamic_rebuilds_total",
+       "Online delta-fold rebuilds completed"},
       {"simsel_serve_stage_latency_usec",
        "Serving-stage latency (cache_lookup/scatter/merge)"},
       {"simsel_shard_latency_usec", "Per-shard execution latency"},

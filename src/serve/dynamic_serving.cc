@@ -1,0 +1,70 @@
+#include "serve/dynamic_serving.h"
+
+#include <utility>
+
+#include "core/internal.h"
+
+namespace simsel::serve {
+
+DynamicServing::DynamicServing(const std::vector<std::string>& initial,
+                               const DynamicServingOptions& options)
+    : selector_(initial, options.selector),
+      rebuild_threshold_(options.rebuild_threshold),
+      pool_(options.pool) {
+  if (options.cache_bytes > 0) {
+    ResultCacheOptions cache_options;
+    cache_options.capacity_bytes = options.cache_bytes;
+    cache_ = std::make_unique<ResultCache>(cache_options);
+  }
+}
+
+SetId DynamicServing::AddRecord(std::string text) {
+  SetId id = selector_.AddRecord(std::move(text));
+  // No cache touch needed: the version bump the append released already
+  // invalidated every older-stamped entry (stale entries miss and are
+  // erased lazily on their next lookup).
+  if (rebuild_threshold_ > 0 &&
+      selector_.delta_size() >= rebuild_threshold_) {
+    if (pool_ != nullptr) {
+      // Best effort: false just means a rebuild is already folding the
+      // delta we are worried about.
+      selector_.StartRebuild(pool_);
+    } else {
+      selector_.Rebuild();
+    }
+  }
+  return id;
+}
+
+QueryResult DynamicServing::Select(std::string_view query, double tau,
+                                   AlgorithmKind kind,
+                                   const SelectOptions& options) const {
+  DynamicSelector::Snapshot snap = selector_.snapshot();
+  PreparedQuery q = snap.Prepare(query);
+  double clamped = internal::ClampTau(tau);
+  std::string key;
+  if (cache_ != nullptr) {
+    key = ResultCache::MakeKey(q, clamped, kind, options,
+                               selector_.disk_mode(),
+                               snap.main().measure().name());
+    // The lookup version is the pinned snapshot's: key and execution then
+    // agree on one frozen-statistics generation even if a rebuild swap
+    // lands between them.
+    CachedResult cached;
+    if (cache_->Lookup(key, snap.version(), &cached)) {
+      QueryResult out;
+      out.matches = std::move(cached.matches);
+      out.counters = cached.counters;
+      out.snapshot_version = snap.version();
+      out.trace = options.trace;
+      return out;
+    }
+  }
+  QueryResult out = snap.SelectPrepared(q, clamped, kind, options);
+  if (cache_ != nullptr && out.complete() && out.delta_covered) {
+    cache_->Insert(key, out.snapshot_version, out.matches, out.counters);
+  }
+  return out;
+}
+
+}  // namespace simsel::serve

@@ -1,0 +1,82 @@
+#ifndef SIMSEL_SERVE_DYNAMIC_SERVING_H_
+#define SIMSEL_SERVE_DYNAMIC_SERVING_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/dynamic.h"
+#include "serve/result_cache.h"
+
+namespace simsel::serve {
+
+/// Construction knobs for the read-write serving front.
+struct DynamicServingOptions {
+  /// Build + storage knobs of the underlying DynamicSelector (disk_mode
+  /// swaps a per-segment PostingStore with each rebuild).
+  DynamicSelector::Options selector;
+  /// Byte budget of the result cache in front of the selector. 0 = none.
+  size_t cache_bytes = 0;
+  /// Kick off a *background* rebuild (on `pool`) whenever an AddRecord
+  /// leaves at least this many records in the delta. 0 disables the
+  /// policy; Rebuild() can always be called explicitly.
+  size_t rebuild_threshold = 0;
+  /// Workers for background rebuilds (borrowed). Null downgrades the
+  /// rebuild policy to synchronous rebuilds on the inserting thread.
+  ThreadPool* pool = nullptr;
+};
+
+/// The read-write serving layer: a DynamicSelector fronted by a versioned
+/// ResultCache, with an automatic online-rebuild policy.
+///
+/// This is the dynamic counterpart of ShardedSelector's caching: every
+/// cache entry is stamped with the selector version of the snapshot that
+/// produced it (QueryResult::snapshot_version), and lookups present the
+/// *current* version — so one atomic counter bump per AddRecord/Rebuild
+/// invalidates every stale answer in O(1), exactly the
+/// `ShardedSelector::SetEpoch` wiring described in serve/result_cache.h,
+/// with DynamicSelector::version() as the epoch source. A query racing an
+/// insert can only under-stamp (its snapshot version), never over-stamp,
+/// so a stale entry can cause a miss but never a wrong hit.
+///
+/// Thread-safe: Select/AddRecord/Rebuild may race freely (the selector is
+/// internally synchronized; the cache is sharded). Do not call Select from
+/// a task running on `pool` while a rebuild is queued behind it — the
+/// usual pool-starvation rule (docs/CONCURRENCY.md).
+class DynamicServing {
+ public:
+  DynamicServing(const std::vector<std::string>& initial_records,
+                 const DynamicServingOptions& options);
+
+  /// Inserts a record; may trigger a background rebuild per the threshold
+  /// policy. Returns the stable id.
+  SetId AddRecord(std::string text);
+
+  /// Cache-fronted selection over the current snapshot. Same contract as
+  /// DynamicSelector::Select; only complete results with the delta fully
+  /// covered are cached.
+  QueryResult Select(std::string_view query, double tau,
+                     AlgorithmKind kind = AlgorithmKind::kSf,
+                     const SelectOptions& options = SelectOptions()) const;
+
+  /// Synchronous online rebuild (waits for a running one first).
+  void Rebuild() { selector_.Rebuild(); }
+
+  DynamicSelector& selector() { return selector_; }
+  const DynamicSelector& selector() const { return selector_; }
+  /// Null when built with cache_bytes == 0.
+  ResultCache* result_cache() const { return cache_.get(); }
+  uint64_t version() const { return selector_.version(); }
+
+ private:
+  DynamicSelector selector_;
+  std::unique_ptr<ResultCache> cache_;
+  size_t rebuild_threshold_;
+  ThreadPool* pool_;
+};
+
+}  // namespace simsel::serve
+
+#endif  // SIMSEL_SERVE_DYNAMIC_SERVING_H_

@@ -1,0 +1,473 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/thread_pool.h"
+#include "core/dynamic.h"
+#include "serve/dynamic_serving.h"
+#include "test_util.h"
+
+// Dynamic-index concurrency soak: concurrent readers x a writer x an online
+// Rebuild against ONE shared DynamicSelector, in memory and disk mode. Every
+// concurrent result must be byte-identical to a serial ground truth for the
+// collection version it was executed at (QueryResult::snapshot_version names
+// that version, so the expected answer is a table lookup). This binary
+// carries the `concurrency` ctest label: scripts/check.sh always reruns it
+// under ThreadSanitizer, so any data race on the append/publish/swap path
+// fails the gate.
+
+namespace simsel {
+namespace {
+
+std::vector<std::string> BaseRecords() {
+  return testing_util::MakeWordRecords(200, /*seed=*/811);
+}
+
+std::string DiffMatches(const std::vector<Match>& expected,
+                        const std::vector<Match>& actual) {
+  if (expected.size() != actual.size()) {
+    return "count " + std::to_string(expected.size()) + " vs " +
+           std::to_string(actual.size());
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // Byte-identical: same id and the exact same score double.
+    if (expected[i].id != actual[i].id ||
+        std::memcmp(&expected[i].score, &actual[i].score, sizeof(double)) !=
+            0) {
+      return "rank " + std::to_string(i) + " differs";
+    }
+  }
+  return "";
+}
+
+// --- EpochManager unit tests -------------------------------------------
+
+TEST(EpochManagerTest, LiveGuardBlocksReclaim) {
+  EpochManager mgr;
+  bool freed = false;
+  auto guard = std::make_unique<EpochManager::Guard>(mgr);
+  mgr.Retire([&freed] { freed = true; });
+  // The guard pinned an epoch at or before the retire stamp: not freeable.
+  EXPECT_EQ(mgr.Reclaim(), 0u);
+  EXPECT_FALSE(freed);
+  EXPECT_EQ(mgr.retired_count(), 1u);
+  guard.reset();
+  EXPECT_EQ(mgr.Reclaim(), 1u);
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(mgr.retired_count(), 0u);
+}
+
+TEST(EpochManagerTest, GuardsTakenAfterRetireDoNotBlockIt) {
+  EpochManager mgr;
+  bool freed = false;
+  {
+    // With no readers at all, Retire's opportunistic reclaim frees
+    // immediately.
+    mgr.Retire([&freed] { freed = true; });
+    EXPECT_TRUE(freed);
+  }
+  freed = false;
+  auto old_guard = std::make_unique<EpochManager::Guard>(mgr);
+  mgr.Retire([&freed] { freed = true; });  // held back by old_guard
+  EXPECT_FALSE(freed);
+  // A guard taken *after* the retire pins the advanced epoch: it cannot
+  // hold a pointer to the retired object, so once the pre-retire guard
+  // exits, reclamation proceeds even though this one is still live.
+  EpochManager::Guard new_guard(mgr);
+  EXPECT_EQ(mgr.Reclaim(), 0u);
+  old_guard.reset();
+  EXPECT_EQ(mgr.Reclaim(), 1u);
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochManagerTest, DestructorDrainsRetiredList) {
+  int freed = 0;
+  {
+    EpochManager mgr;
+    EpochManager::Guard guard(mgr);
+    mgr.Retire([&freed] { ++freed; });
+    mgr.Retire([&freed] { ++freed; });
+    // Guard still live: nothing freed yet.
+    EXPECT_EQ(freed, 0);
+  }
+  EXPECT_EQ(freed, 2);
+}
+
+TEST(EpochManagerTest, GuardChurnNeverFreesUnderAReader) {
+  // Readers repeatedly pin the manager and check a token object was not
+  // freed under them while a writer retires a fresh object per round.
+  EpochManager mgr;
+  std::atomic<bool> stop{false};
+  // The currently published object; readers dereference it under a guard.
+  struct Box {
+    std::atomic<uint64_t> canary{0xfeedfaceull};
+  };
+  std::atomic<Box*> current{new Box};
+  std::atomic<uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochManager::Guard guard(mgr);
+        Box* box = current.load(std::memory_order_seq_cst);
+        if (box->canary.load(std::memory_order_relaxed) != 0xfeedfaceull) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 400; ++round) {
+    Box* fresh = new Box;
+    Box* old = current.exchange(fresh, std::memory_order_seq_cst);
+    mgr.Retire([old] {
+      old->canary.store(0, std::memory_order_relaxed);  // poison, then free
+      delete old;
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  delete current.load();
+}
+
+// --- Serial ground truth keyed by selector version ----------------------
+//
+// The writer inserts a fixed script of records. A reference selector
+// replays the script serially, capturing the expected answer of each probe
+// query at every version v = 0..N (v inserts applied). A concurrent
+// reader's result then has exactly one correct answer: the one at its
+// snapshot_version.
+
+struct VersionedTruth {
+  std::vector<std::string> queries;
+  // expected[v][qi] = matches of queries[qi] at version v.
+  std::vector<std::vector<std::vector<Match>>> expected;
+};
+
+VersionedTruth BuildTruth(const std::vector<std::string>& base,
+                          const std::vector<std::string>& script,
+                          const DynamicSelector::Options& options,
+                          double tau) {
+  VersionedTruth truth;
+  for (size_t i = 0; i < 8; ++i) truth.queries.push_back(base[i * 9]);
+  truth.queries.push_back(script.front());
+  truth.queries.push_back(script.back());
+  DynamicSelector ref(base, options);
+  truth.expected.resize(script.size() + 1);
+  for (size_t v = 0; v <= script.size(); ++v) {
+    for (const std::string& q : truth.queries) {
+      truth.expected[v].push_back(ref.Select(q, tau).matches);
+    }
+    if (v < script.size()) ref.AddRecord(script[v]);
+  }
+  return truth;
+}
+
+class DynamicSoakParam : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DynamicSoakParam, ConcurrentReadersAndWriterMatchSerial) {
+  DynamicSelector::Options options;
+  options.disk_mode = GetParam();
+  const double tau = 0.7;
+  const std::vector<std::string> base = BaseRecords();
+  const std::vector<std::string> script =
+      testing_util::MakeWordRecords(120, /*seed=*/823);
+  const VersionedTruth truth = BuildTruth(base, script, options, tau);
+
+  DynamicSelector dyn(base, options);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> checked{0};
+  std::vector<std::string> failures(4);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < failures.size(); ++t) {
+    readers.emplace_back([&, t] {
+      size_t qi = t;  // staggered start so threads probe different queries
+      while (!done.load(std::memory_order_acquire) && failures[t].empty()) {
+        qi = (qi + 1) % truth.queries.size();
+        QueryResult r = dyn.Select(truth.queries[qi], tau);
+        if (!r.status.ok() || !r.complete()) {
+          failures[t] = "unexpected status/termination";
+          break;
+        }
+        if (r.snapshot_version >= truth.expected.size()) {
+          failures[t] = "version " + std::to_string(r.snapshot_version) +
+                        " out of range";
+          break;
+        }
+        std::string diff =
+            DiffMatches(truth.expected[r.snapshot_version][qi], r.matches);
+        if (!diff.empty()) {
+          failures[t] = "q" + std::to_string(qi) + " at v" +
+                        std::to_string(r.snapshot_version) + ": " + diff;
+          break;
+        }
+        checked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (const std::string& rec : script) dyn.AddRecord(rec);
+  // Keep the readers probing the fully-written collection a moment.
+  while (checked.load(std::memory_order_relaxed) < 400) {
+    std::this_thread::yield();
+    if (done.load(std::memory_order_acquire)) break;
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  EXPECT_EQ(dyn.version(), script.size());
+  EXPECT_EQ(dyn.size(), base.size() + script.size());
+}
+
+TEST_P(DynamicSoakParam, QueriesInFlightAcrossRebuildMatchPreOrPost) {
+  // Acceptance criterion: a query in flight across the Rebuild swap is
+  // byte-identical to EITHER the pre- or the post-rebuild serial answer —
+  // never a hybrid — and its snapshot_version says which.
+  DynamicSelector::Options options;
+  options.disk_mode = GetParam();
+  const double tau = 0.7;
+  const std::vector<std::string> base = BaseRecords();
+  const std::vector<std::string> extra =
+      testing_util::MakeWordRecords(40, /*seed=*/829);
+
+  // Reference: same inserts, then a rebuild. Pre = version 40 (frozen
+  // stats), post = version 41 (folded + refreshed stats).
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < 6; ++i) queries.push_back(base[i * 11]);
+  queries.push_back(extra[0]);
+  DynamicSelector ref(base, options);
+  for (const std::string& rec : extra) ref.AddRecord(rec);
+  std::vector<std::vector<Match>> pre, post;
+  for (const std::string& q : queries) {
+    pre.push_back(ref.Select(q, tau).matches);
+  }
+  ref.Rebuild();
+  for (const std::string& q : queries) {
+    post.push_back(ref.Select(q, tau).matches);
+  }
+  const uint64_t pre_version = extra.size();
+
+  DynamicSelector dyn(base, options);
+  for (const std::string& rec : extra) dyn.AddRecord(rec);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> post_seen{0};
+  std::vector<std::string> failures(4);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < failures.size(); ++t) {
+    readers.emplace_back([&, t] {
+      size_t qi = t;
+      while (failures[t].empty()) {
+        bool last = done.load(std::memory_order_acquire);
+        qi = (qi + 1) % queries.size();
+        QueryResult r = dyn.Select(queries[qi], tau);
+        std::string diff;
+        if (r.snapshot_version == pre_version) {
+          diff = DiffMatches(pre[qi], r.matches);
+        } else if (r.snapshot_version == pre_version + 1) {
+          diff = DiffMatches(post[qi], r.matches);
+          post_seen.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          diff = "version " + std::to_string(r.snapshot_version);
+        }
+        if (!diff.empty()) {
+          failures[t] = "q" + std::to_string(qi) + ": " + diff;
+        }
+        if (last) break;
+      }
+    });
+  }
+  dyn.Rebuild();
+  // Let every reader observe the post-rebuild world at least once.
+  while (post_seen.load(std::memory_order_relaxed) < failures.size()) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  EXPECT_EQ(dyn.version(), pre_version + 1);
+  EXPECT_EQ(dyn.delta_size(), 0u);
+}
+
+TEST_P(DynamicSoakParam, FullChaosAddSelectRebuildThenExactConvergence) {
+  // Writer, four readers and repeated ONLINE rebuilds all racing on one
+  // selector. Mid-flight results are checked for the structural invariants
+  // that hold at every version (sound ids, sorted order, monotone version);
+  // after quiescing and a final fold, results must be byte-identical to a
+  // fresh serial build over the full record set.
+  DynamicSelector::Options options;
+  options.disk_mode = GetParam();
+  const double tau = 0.7;
+  const std::vector<std::string> base = BaseRecords();
+  const std::vector<std::string> script =
+      testing_util::MakeWordRecords(90, /*seed=*/839);
+
+  DynamicSelector dyn(base, options);
+  ThreadPool rebuild_pool(2);
+  std::atomic<bool> done{false};
+  std::vector<std::string> failures(4);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < failures.size(); ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_version = 0;
+      size_t qi = t;
+      while (!done.load(std::memory_order_acquire) && failures[t].empty()) {
+        qi = (qi + 7) % base.size();
+        QueryResult r = dyn.Select(base[qi], tau);
+        if (!r.status.ok() || !r.complete()) {
+          failures[t] = "bad status/termination";
+          break;
+        }
+        if (r.snapshot_version < last_version) {
+          failures[t] = "version went backwards";
+          break;
+        }
+        last_version = r.snapshot_version;
+        for (size_t i = 0; i < r.matches.size(); ++i) {
+          if (i > 0 && r.matches[i - 1].id >= r.matches[i].id) {
+            failures[t] = "unsorted matches";
+          }
+          if (r.matches[i].score + 1e-9 < tau) {
+            failures[t] = "match below tau";
+          }
+        }
+      }
+    });
+  }
+  for (size_t i = 0; i < script.size(); ++i) {
+    dyn.AddRecord(script[i]);
+    if (i % 20 == 19) dyn.StartRebuild(&rebuild_pool);
+  }
+  dyn.WaitForRebuild();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+
+  // Quiesced: fold everything, then compare against a fresh serial build.
+  dyn.Rebuild();
+  std::vector<std::string> all = base;
+  all.insert(all.end(), script.begin(), script.end());
+  EXPECT_EQ(dyn.size(), all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(dyn.text(static_cast<SetId>(i)), all[i]) << "id " << i;
+  }
+  SimilaritySelector fresh = SimilaritySelector::Build(all);
+  for (size_t i = 0; i < 12; ++i) {
+    const std::string& q = all[i * 17 % all.size()];
+    QueryResult a = fresh.Select(q, tau);
+    QueryResult b = dyn.Select(q, tau);
+    EXPECT_EQ(DiffMatches(a.matches, b.matches), "") << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, DynamicSoakParam, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "DiskMode" : "MemoryMode";
+                         });
+
+// --- Serving layer: version-driven cache invalidation --------------------
+
+TEST(DynamicServingTest, CacheInvalidatedByVersionBump) {
+  serve::DynamicServingOptions options;
+  options.cache_bytes = 1 << 20;
+  const std::vector<std::string> base = BaseRecords();
+  serve::DynamicServing serving(base, options);
+  ASSERT_NE(serving.result_cache(), nullptr);
+  const std::string query = base[3];
+
+  QueryResult first = serving.Select(query, 0.8);
+  QueryResult second = serving.Select(query, 0.8);
+  EXPECT_EQ(DiffMatches(first.matches, second.matches), "");
+  EXPECT_EQ(serving.result_cache()->hits(), 1u);
+
+  // One insert bumps the version: the cached entry is stale, the rerun
+  // sees the new record.
+  SetId id = serving.AddRecord(query);
+  QueryResult third = serving.Select(query, 0.8);
+  EXPECT_EQ(serving.result_cache()->hits(), 1u);  // miss, not a stale hit
+  EXPECT_EQ(third.snapshot_version, first.snapshot_version + 1);
+  bool found = false;
+  for (const Match& m : third.matches) found |= (m.id == id);
+  EXPECT_TRUE(found);
+
+  // The fresh answer was cached at the new version.
+  QueryResult fourth = serving.Select(query, 0.8);
+  EXPECT_EQ(serving.result_cache()->hits(), 2u);
+  EXPECT_EQ(DiffMatches(third.matches, fourth.matches), "");
+}
+
+TEST(DynamicServingTest, ConcurrentCachedReadsNeverServeStaleResults) {
+  serve::DynamicServingOptions options;
+  options.cache_bytes = 1 << 20;
+  const double tau = 0.7;
+  const std::vector<std::string> base = BaseRecords();
+  const std::vector<std::string> script =
+      testing_util::MakeWordRecords(60, /*seed=*/853);
+  const VersionedTruth truth =
+      BuildTruth(base, script, options.selector, tau);
+
+  serve::DynamicServing serving(base, options);
+  std::atomic<bool> done{false};
+  std::vector<std::string> failures(4);
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < failures.size(); ++t) {
+    readers.emplace_back([&, t] {
+      size_t qi = t;
+      while (!done.load(std::memory_order_acquire) && failures[t].empty()) {
+        qi = (qi + 1) % truth.queries.size();
+        QueryResult r = serving.Select(truth.queries[qi], tau);
+        if (r.snapshot_version >= truth.expected.size()) {
+          failures[t] = "version out of range";
+          break;
+        }
+        // Cache hit or miss, the answer must be the serial answer for the
+        // version stamped on it — a stale hit would diff here.
+        std::string diff =
+            DiffMatches(truth.expected[r.snapshot_version][qi], r.matches);
+        if (!diff.empty()) {
+          failures[t] = "q" + std::to_string(qi) + " at v" +
+                        std::to_string(r.snapshot_version) + ": " + diff;
+        }
+      }
+    });
+  }
+  for (const std::string& rec : script) serving.AddRecord(rec);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  EXPECT_GT(serving.result_cache()->hits() + serving.result_cache()->misses(),
+            0u);
+}
+
+TEST(DynamicServingTest, ThresholdPolicyRebuildsInBackground) {
+  ThreadPool pool(2);
+  serve::DynamicServingOptions options;
+  options.rebuild_threshold = 16;
+  options.pool = &pool;
+  const std::vector<std::string> base = BaseRecords();
+  serve::DynamicServing serving(base, options);
+  for (int i = 0; i < 64; ++i) {
+    serving.AddRecord(base[i % base.size()]);
+    QueryResult r = serving.Select(base[i % 7], 0.8);
+    ASSERT_TRUE(r.status.ok());
+  }
+  serving.selector().WaitForRebuild();
+  // At least one threshold crossing folded the delta.
+  EXPECT_LT(serving.selector().delta_size(), 64u);
+  EXPECT_EQ(serving.selector().size(), base.size() + 64);
+}
+
+}  // namespace
+}  // namespace simsel

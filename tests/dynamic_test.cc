@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/dynamic.h"
+#include "storage/fault_injector.h"
+#include "storage/posting_store.h"
 #include "test_util.h"
 
 namespace simsel {
@@ -110,11 +114,201 @@ TEST(DynamicSelectorTest, ManyDeltasStillExact) {
   }
 }
 
-TEST(DynamicSelectorTest, DeltaCountsChargedToRowsScanned) {
+TEST(DynamicSelectorTest, DeltaCandidatesChargedToCounters) {
   DynamicSelector dyn(BaseRecords());
-  for (int i = 0; i < 5; ++i) dyn.AddRecord("some new record");
+  // Records sharing the query's tokens: the delta's per-token index gathers
+  // them as candidates, charging postings to elements_read and verified
+  // candidates to rows_scanned.
+  for (int i = 0; i < 5; ++i) dyn.AddRecord(dyn.text(0));
   QueryResult r = dyn.Select(dyn.text(0), 0.8);
   EXPECT_GE(r.counters.rows_scanned, 5u);
+  EXPECT_GE(r.counters.elements_read, 5u);
+}
+
+TEST(DynamicSelectorTest, DeltaIndexSkipsDisjointRecords) {
+  DynamicSelector dyn(BaseRecords());
+  QueryResult before = dyn.Select(dyn.text(0), 0.8);
+  // Token-disjoint inserts: with the per-token delta index (PR 8, replacing
+  // the exhaustive scan) they are never gathered, so the query does exactly
+  // the same work as with an empty delta.
+  for (int i = 0; i < 50; ++i) dyn.AddRecord("0192837465");
+  QueryResult after = dyn.Select(dyn.text(0), 0.8);
+  EXPECT_EQ(after.counters.rows_scanned, before.counters.rows_scanned);
+  EXPECT_EQ(after.counters.elements_read, before.counters.elements_read);
+  testing_util::ExpectSameMatches(before.matches, after.matches, "disjoint");
+}
+
+TEST(DynamicSelectorTest, RepeatedTokensScoreBitIdenticalToMain) {
+  // Satellite regression (PR 8): a record with repeated tokens must score
+  // bit-identically in the delta and in the main segment under the same
+  // frozen statistics. Two ingredients: the IDF measure is set-semantic
+  // (TokenCount::count is deliberately dropped from the weights — a
+  // repeated token contributes once, before and after Rebuild alike), and
+  // Analyze must accumulate the frozen length in ascending-TokenId order,
+  // IdfMeasure's summation order (the old code summed in token-string
+  // order, which differs once tokens repeat or interleave).
+  std::vector<std::string> base = BaseRecords();
+  const std::string repeated = "tortoise tortoise tortoise shell";
+  base.push_back(repeated);
+  const SetId main_id = static_cast<SetId>(base.size() - 1);
+  DynamicSelector dyn(base);
+  SetId delta_id = dyn.AddRecord(repeated);
+  QueryResult r = dyn.Select(repeated, 0.5);
+  double main_score = -1.0, delta_score = -1.0;
+  for (const Match& m : r.matches) {
+    if (m.id == main_id) main_score = m.score;
+    if (m.id == delta_id) delta_score = m.score;
+  }
+  ASSERT_GT(main_score, 0.0);
+  ASSERT_GT(delta_score, 0.0);
+  EXPECT_EQ(0, std::memcmp(&main_score, &delta_score, sizeof(double)))
+      << "main=" << main_score << " delta=" << delta_score;
+  // And the frozen-delta score survives a Rebuild unchanged for this
+  // record: the duplicate pair keeps identical (refreshed) statistics.
+  dyn.Rebuild();
+  QueryResult rebuilt = dyn.Select(repeated, 0.5);
+  double a = -1.0, b = -1.0;
+  for (const Match& m : rebuilt.matches) {
+    if (m.id == main_id) a = m.score;
+    if (m.id == delta_id) b = m.score;
+  }
+  ASSERT_GT(a, 0.0);
+  ASSERT_GT(b, 0.0);
+  EXPECT_EQ(0, std::memcmp(&a, &b, sizeof(double)));
+}
+
+TEST(DynamicSelectorTest, BudgetTripsInsideDeltaScan) {
+  DynamicSelector dyn(BaseRecords());
+  const std::string query = dyn.text(0);
+  QueryResult main_only = dyn.Select(query, 0.8);
+  ASSERT_TRUE(main_only.complete());
+  uint64_t main_work =
+      main_only.counters.elements_read + main_only.counters.rows_scanned;
+  for (int i = 0; i < 100; ++i) dyn.AddRecord(query);
+  QueryResult full = dyn.Select(query, 0.8);
+  ASSERT_TRUE(full.complete());
+  EXPECT_TRUE(full.delta_covered);
+
+  // A budget that covers the main segment but not the delta postings: the
+  // poller (PR 8 — the delta scan used to ignore SelectOptions::control
+  // entirely) trips inside the delta pass.
+  SelectOptions options;
+  options.control.max_elements_read = main_work + 10;
+  QueryResult tripped = dyn.Select(query, 0.8, AlgorithmKind::kSf, options);
+  ASSERT_TRUE(tripped.status.ok());
+  EXPECT_EQ(tripped.termination, Termination::kBudget);
+  EXPECT_FALSE(tripped.delta_covered);
+  EXPECT_FALSE(tripped.complete());
+  // Sound partial: every reported match appears in the complete answer
+  // with a bit-identical score.
+  for (const Match& m : tripped.matches) {
+    bool found = false;
+    for (const Match& f : full.matches) {
+      if (f.id == m.id) {
+        found = true;
+        EXPECT_EQ(0, std::memcmp(&f.score, &m.score, sizeof(double)));
+      }
+    }
+    EXPECT_TRUE(found) << "spurious match id " << m.id;
+  }
+}
+
+TEST(DynamicSelectorTest, TrippedMainSkipsDelta) {
+  DynamicSelector dyn(BaseRecords());
+  const std::string query = dyn.text(0);
+  SetId delta_id = dyn.AddRecord(query);
+  SelectOptions options;
+  options.control.deadline = QueryControl::Clock::now();  // already expired
+  QueryResult r = dyn.Select(query, 0.8, AlgorithmKind::kSf, options);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.termination, Termination::kDeadline);
+  // The delta holds a perfect match, but a tripped main must not have its
+  // partial padded with delta matches (PR 8 fix): the miss is recorded in
+  // delta_covered instead.
+  EXPECT_FALSE(r.delta_covered);
+  for (const Match& m : r.matches) EXPECT_NE(m.id, delta_id);
+}
+
+TEST(DynamicSelectorTest, FailedMainShortCircuitsDelta) {
+  DynamicSelector dyn(BaseRecords());
+  const std::string query = dyn.text(0);
+  dyn.AddRecord(query);  // a delta record that would match
+  // Memory-mode selector, caller-supplied disk binding for the main
+  // segment (valid while the snapshot's segment is current), with every
+  // read failing.
+  DynamicSelector::Snapshot snap = dyn.snapshot();
+  PostingStore store = PostingStore::Build(snap.main().index());
+  FaultInjector injector;
+  store.set_fault_injector(&injector);
+  injector.FailNextReads(1'000'000);
+  SelectOptions options;
+  options.posting_store = &store;
+  QueryResult r = snap.Select(query, 0.8, AlgorithmKind::kSf, options);
+  EXPECT_FALSE(r.status.ok());
+  // PR 8 fix: the old code appended delta matches to a failed result,
+  // making it look fuller than its status admits.
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.counters.results, 0u);
+  EXPECT_FALSE(r.delta_covered);
+}
+
+TEST(DynamicSelectorTest, SnapshotIsolation) {
+  DynamicSelector dyn(BaseRecords());
+  DynamicSelector::Snapshot snap = dyn.snapshot();
+  uint64_t v0 = snap.version();
+  SetId id = dyn.AddRecord(dyn.text(3));
+  // The pinned snapshot still sees the pre-insert cut...
+  EXPECT_EQ(snap.version(), v0);
+  EXPECT_EQ(snap.size(), BaseRecords().size());
+  QueryResult old_cut = snap.Select(dyn.text(3), 0.99);
+  for (const Match& m : old_cut.matches) EXPECT_NE(m.id, id);
+  // ...while fresh reads see the insert.
+  EXPECT_EQ(dyn.version(), v0 + 1);
+  QueryResult new_cut = dyn.Select(dyn.text(3), 0.99);
+  bool found = false;
+  for (const Match& m : new_cut.matches) found |= (m.id == id);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(new_cut.snapshot_version, v0 + 1);
+  EXPECT_EQ(old_cut.snapshot_version, v0);
+}
+
+TEST(DynamicSelectorTest, VersionMonotoneAcrossRebuild) {
+  DynamicSelector dyn(BaseRecords());
+  uint64_t v = dyn.version();
+  EXPECT_EQ(v, 0u);
+  dyn.AddRecord(dyn.text(1));
+  dyn.AddRecord(dyn.text(2));
+  EXPECT_EQ(dyn.version(), v + 2);
+  dyn.Rebuild();
+  EXPECT_EQ(dyn.version(), v + 3);  // the rebuild is one content change
+  dyn.AddRecord(dyn.text(3));
+  EXPECT_EQ(dyn.version(), v + 4);
+  dyn.Rebuild();
+  EXPECT_EQ(dyn.version(), v + 5);
+}
+
+TEST(DynamicSelectorTest, DiskModeMatchesMemoryMode) {
+  std::vector<std::string> base = BaseRecords();
+  DynamicSelector mem(base);
+  DynamicSelector::Options options;
+  options.disk_mode = true;
+  DynamicSelector disk(base, options);
+  for (int i = 0; i < 10; ++i) {
+    mem.AddRecord(base[i * 3]);
+    disk.AddRecord(base[i * 3]);
+  }
+  for (size_t i = 0; i < 6; ++i) {
+    QueryResult a = mem.Select(base[i * 7], 0.7);
+    QueryResult b = disk.Select(base[i * 7], 0.7);
+    testing_util::ExpectSameMatches(a.matches, b.matches, base[i * 7]);
+  }
+  disk.Rebuild();
+  mem.Rebuild();
+  for (size_t i = 0; i < 6; ++i) {
+    QueryResult a = mem.Select(base[i * 7], 0.7);
+    QueryResult b = disk.Select(base[i * 7], 0.7);
+    testing_util::ExpectSameMatches(a.matches, b.matches, base[i * 7]);
+  }
 }
 
 }  // namespace
