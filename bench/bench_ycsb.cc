@@ -1,0 +1,172 @@
+// YCSB-style load study of the network serving front end: a live TCP server
+// (serve::Server over DynamicServing) driven by the src/gen/load.h harness
+// in both pacing disciplines:
+//   1. closed loop — per-connection lockstep, measuring service capacity,
+//   2. open loop — a fixed arrival schedule swept from half to twice the
+//      measured capacity, with Zipf query popularity and a read/insert mix,
+//      which is where admission-control shedding becomes visible.
+// Acceptance (exit code): zero transport/protocol errors in every leg, all
+// requests accounted for (ok + partial + shed == sent), and the server
+// drains to an empty system (queue depth 0) on shutdown.
+//
+// Usage: bench_ycsb [--words=N] [--queries=N] [--conns=N] [--requests=N]
+//                   [--seconds=S]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/load.h"
+#include "gen/workload.h"
+#include "serve/dynamic_serving.h"
+#include "serve/server.h"
+
+namespace simsel {
+namespace {
+
+using bench::Fmt;
+using bench::PrintTable;
+
+std::string Quantiles(const obs::HistogramSnapshot& h) {
+  return Fmt(h.Quantile(0.5) / 1000.0) + "/" + Fmt(h.Quantile(0.99) / 1000.0) +
+         "/" + Fmt(h.Quantile(0.999) / 1000.0);
+}
+
+std::vector<std::string> StatsRow(const std::string& label,
+                                  const load::LoadStats& s) {
+  return {label,
+          std::to_string(s.sent),
+          Fmt(s.throughput_rps(), "%.0f"),
+          Fmt(s.latency_usec.Quantile(0.5) / 1000.0),
+          Fmt(s.latency_usec.Quantile(0.99) / 1000.0),
+          Fmt(s.latency_usec.Quantile(0.999) / 1000.0),
+          std::to_string(s.ok),
+          std::to_string(s.partial),
+          std::to_string(s.shed),
+          std::to_string(s.errors)};
+}
+
+/// ok+partial+shed must cover every request that got a response; errors are
+/// transport or protocol failures and fail the bench.
+bool Accounted(const load::LoadStats& s) {
+  return s.errors == 0 && s.ok + s.partial + s.shed == s.sent;
+}
+
+int Main(int argc, char** argv) {
+  BenchEnvOptions env_opts;
+  env_opts.num_words = FlagValue(argc, argv, "words", 20000);
+  env_opts.with_sql_baseline = false;
+  const size_t pool_size = FlagValue(argc, argv, "queries", 120);
+  const size_t conns = FlagValue(argc, argv, "conns", 4);
+  const size_t requests = FlagValue(argc, argv, "requests", 60);
+  const double seconds = FlagValue(argc, argv, "seconds", 2);
+  std::printf("Building env over %zu word occurrences...\n",
+              env_opts.num_words);
+  BenchEnv env = MakeBenchEnv(env_opts);
+
+  WorkloadOptions wo;
+  wo.num_queries = pool_size;
+  wo.min_tokens = 6;
+  wo.max_tokens = 15;
+  wo.seed = 20260808;
+  Workload queries =
+      GenerateWordWorkload(env.words, env.selector->tokenizer(), wo);
+  WorkloadOptions io = wo;
+  io.seed = 9090;
+  io.modifications = 2;  // inserts are near-duplicates, the realistic mix
+  Workload inserts =
+      GenerateWordWorkload(env.words, env.selector->tokenizer(), io);
+  if (queries.queries.empty() || inserts.queries.empty()) {
+    std::printf("FAIL: empty workload (corpus too small)\n");
+    return 1;
+  }
+
+  ThreadPool rebuild_pool(1);
+  serve::DynamicServingOptions dso;
+  dso.cache_bytes = 4u << 20;
+  dso.rebuild_threshold = 1024;
+  dso.pool = &rebuild_pool;
+  serve::DynamicServing serving(env.words, dso);
+
+  serve::ServerOptions so;
+  so.num_workers = 2;
+  so.max_queue = 32;
+  so.deadline_ms = 200;
+  serve::Server server(&serving, so);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::printf("FAIL: server start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (workers=%zu max_queue=%zu "
+              "deadline=%zums)\n",
+              server.port(), so.num_workers, so.max_queue, so.deadline_ms);
+
+  load::LoadOptions lo;
+  lo.port = server.port();
+  lo.num_connections = conns;
+  lo.queries = &queries.queries;
+  lo.inserts = &inserts.queries;
+  lo.insert_fraction = 0.05;
+  lo.zipf_skew = 0.99;
+  lo.tau = 0.5;
+  lo.seed = 7;
+
+  bool pass = true;
+  std::vector<std::vector<std::string>> rows;
+
+  // --- Leg 1: closed loop (capacity). --------------------------------------
+  lo.requests_per_connection = requests;
+  load::LoadStats closed = load::RunClosedLoop(lo);
+  rows.push_back(StatsRow("closed x" + std::to_string(conns), closed));
+  pass = pass && Accounted(closed);
+  const double capacity = closed.throughput_rps();
+
+  // --- Leg 2: open-loop rate sweep around capacity. ------------------------
+  for (double mult : {0.5, 1.0, 2.0}) {
+    double rate = std::max(10.0, capacity * mult);
+    lo.rate_per_sec = rate;
+    lo.total_requests = static_cast<size_t>(rate * seconds);
+    load::LoadStats open = load::RunOpenLoop(lo);
+    rows.push_back(StatsRow("open " + Fmt(mult, "%.1f") + "x", open));
+    pass = pass && Accounted(open);
+  }
+  PrintTable(
+      "YCSB-style load vs live server (Zipf 0.99, 5% inserts)",
+      {"Leg", "sent", "rps", "p50ms", "p99ms", "p999ms", "ok", "partial",
+       "shed", "err"},
+      rows);
+
+  server.Shutdown();
+  const bool drained = server.queue_depth() == 0;
+  std::printf("closed-loop capacity: %.0f req/s; server after drain: "
+              "queue_depth=%zu ok=%llu partial=%llu shed=%llu err=%llu "
+              "inserts=%llu\n",
+              capacity, server.queue_depth(),
+              static_cast<unsigned long long>(server.ok_count()),
+              static_cast<unsigned long long>(server.partial_count()),
+              static_cast<unsigned long long>(server.shed_count()),
+              static_cast<unsigned long long>(server.error_count()),
+              static_cast<unsigned long long>(server.insert_count()));
+  obs::HistogramSnapshot lat = server.latency_snapshot();
+  std::printf("server-side admitted latency p50/p99/p999 (ms): %s over %llu "
+              "requests\n",
+              Quantiles(lat).c_str(),
+              static_cast<unsigned long long>(lat.count));
+  pass = pass && drained;
+  std::printf("zero errors, full accounting, clean drain: %s\n",
+              pass ? "PASS" : "FAIL");
+
+  bench::BenchReport::Global().SetMeta("closed_loop_rps",
+                                       Fmt(capacity, "%.1f"));
+  bench::BenchReport::Global().SetMeta("server_p99_usec",
+                                       std::to_string(lat.Quantile(0.99)));
+  if (!bench::WriteBenchReport("ycsb")) return 1;
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace simsel
+
+int main(int argc, char** argv) { return simsel::Main(argc, argv); }

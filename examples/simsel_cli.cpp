@@ -37,6 +37,13 @@
 //       selector version. --rebuild-every=N folds automatically in the
 //       background once the delta holds N records.
 //
+//   simsel_cli serve <records.txt> --port=N [--listen=ADDR] [--max-queue=N]
+//       Network serving: the same sharded (or --dynamic) back end behind a
+//       TCP line-protocol front end (src/serve/server.h) with queue-depth
+//       admission control, per-request deadline SLOs (--deadline-ms) and
+//       element budgets (--max-elements). SIGTERM/ctrl-c drains gracefully:
+//       in-flight requests finish and flush before the process exits.
+//
 //   simsel_cli --explain "<text>" [--tau 0.8] [--words=N] [--stats]
 //       Builds a self-contained demo environment, runs the query with SF,
 //       iNRA and Hybrid, and prints the per-phase trace (durations, item
@@ -51,17 +58,23 @@
 // `--tau=0.8`) or a percentage (`--tau=75`). Anything else — trailing
 // junk, non-finite values, τ <= 0, τ > 100 — is a usage error; the CLI is
 // strict so a typo like `--tau=abc` cannot silently query at some default.
+// Every numeric flag is parsed with the same strictness (full consumption,
+// range validation — common/cli_flags.h): a malformed value prints one
+// diagnostic line on stdout and exits 2 instead of running with a default.
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "common/cli_flags.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/selector.h"
@@ -75,6 +88,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "serve/dynamic_serving.h"
+#include "serve/server.h"
 #include "serve/sharded_selector.h"
 
 namespace {
@@ -125,6 +139,15 @@ constexpr char kHelp[] =
     "  --rebuild-every=N (serve --dynamic) fold the delta into the main\n"
     "                    segment in the background once it holds N records;\n"
     "                    0 (default) rebuilds only on the `!rebuild` command\n"
+    "  --port=N          (serve) serve the line protocol on TCP port N\n"
+    "                    instead of the stdin repl (0 picks an ephemeral\n"
+    "                    port, printed on startup); SIGTERM or ctrl-c drains\n"
+    "                    in-flight requests and exits cleanly\n"
+    "  --listen=ADDR     (serve --port) bind address, default 127.0.0.1\n"
+    "  --max-queue=N     (serve --port) admission bound: requests arriving\n"
+    "                    while N admitted ones are queued or executing are\n"
+    "                    shed immediately with a SHED response; 0 = no\n"
+    "                    bound, default 64\n"
     "  --index-version=N (build) serialized index format: 3 (default;\n"
     "                    compressed posting blocks) or 2 (legacy\n"
     "                    uncompressed, for migration); `query`/`repl` read\n"
@@ -148,21 +171,29 @@ int Usage() {
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
+  return cli::HasFlag(argc, argv, flag);
 }
 
 /// `--key=value` string flag; empty string when absent.
 std::string StringFlag(int argc, char** argv, const char* key) {
-  const std::string prefix = std::string("--") + key + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
+  return cli::StringFlag(argc, argv, key);
+}
+
+/// Strict `--key=N` parse (common/cli_flags.h): full consumption and range
+/// validation, diagnostic on stdout. Returns false on a malformed value —
+/// the caller exits 2 so a typo like `--shards=4x` can never run with a
+/// default it did not ask for.
+bool StrictCount(int argc, char** argv, const char* key, uint64_t fallback,
+                 uint64_t min_value, uint64_t max_value, size_t* out) {
+  uint64_t v = 0;
+  std::string error;
+  if (!cli::ParseCountFlag(argc, argv, key, fallback, min_value, max_value, &v,
+                           &error)) {
+    std::printf("%s\n", error.c_str());
+    return false;
   }
-  return "";
+  *out = static_cast<size_t>(v);
+  return true;
 }
 
 /// Writes `trace` as Chrome trace-event JSON; logs where it went.
@@ -173,37 +204,18 @@ void WriteTraceFile(const std::string& path, const obs::QueryTrace& trace) {
   }
 }
 
-/// Parses --tau in either `--tau=X` or `--tau X` form into `*tau`. A value
-/// in (0, 1] is a fraction; one in (1, 100] is a percentage (the historical
-/// `--tau=75` form). Returns false — with a diagnostic printed — on any
-/// malformed value: non-numeric text, trailing junk, non-finite values, or
-/// a value outside (0, 100]. The flag being absent is not an error (`*tau`
-/// keeps the fallback).
+/// Parses --tau in either `--tau=X` or `--tau X` form into `*tau` via the
+/// shared strict parser (common/cli_flags.h). A value in (0, 1] is a
+/// fraction; one in (1, 100] is a percentage (the historical `--tau=75`
+/// form). Returns false — with the diagnostic printed on stdout — on any
+/// malformed value. The flag being absent is not an error (`*tau` keeps the
+/// fallback).
 bool ParseTau(int argc, char** argv, double fallback, double* tau) {
-  *tau = fallback;
-  const char* value = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--tau=", 6) == 0) {
-      value = argv[i] + 6;
-    } else if (std::strcmp(argv[i], "--tau") == 0 && i + 1 < argc) {
-      value = argv[i + 1];
-    }
-  }
-  if (value == nullptr) return true;
-  char* end = nullptr;
-  double raw = std::strtod(value, &end);
-  if (end == value || *end != '\0' || !std::isfinite(raw)) {
-    std::fprintf(stderr, "bad --tau value \"%s\": not a number\n", value);
+  std::string error;
+  if (!cli::ParseTauFlag(argc, argv, fallback, tau, &error)) {
+    std::printf("%s\n", error.c_str());
     return false;
   }
-  if (raw <= 0.0 || raw > 100.0) {
-    std::fprintf(stderr,
-                 "bad --tau value \"%s\": need a fraction in (0,1] or a "
-                 "percentage in (1,100]\n",
-                 value);
-    return false;
-  }
-  *tau = raw > 1.0 ? raw / 100.0 : raw;
   return true;
 }
 
@@ -358,10 +370,15 @@ int RunStats(int argc, char** argv) {
 /// answers in O(1) — the cache line after each query makes that visible.
 int RunServeDynamic(const Corpus& corpus, int argc, char** argv, double tau,
                     AlgorithmKind kind) {
-  const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
-  const size_t rebuild_every = FlagValue(argc, argv, "rebuild-every", 0);
-  const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
-  const size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
+  size_t cache_mb, rebuild_every, deadline_ms, max_elements;
+  if (!StrictCount(argc, argv, "cache-mb", 64, 0, 1u << 16, &cache_mb) ||
+      !StrictCount(argc, argv, "rebuild-every", 0, 0, UINT32_MAX,
+                   &rebuild_every) ||
+      !StrictCount(argc, argv, "deadline-ms", 0, 0, 86400000, &deadline_ms) ||
+      !StrictCount(argc, argv, "max-elements", 0, 0, UINT64_MAX,
+                   &max_elements)) {
+    return 2;
+  }
 
   const unsigned hw = std::thread::hardware_concurrency();
   ThreadPool pool(std::max(1u, (hw == 0 ? 2u : hw) - 1));
@@ -462,6 +479,99 @@ int RunServeDynamic(const Corpus& corpus, int argc, char** argv, double tau,
   return 0;
 }
 
+/// Drain target of the SIGTERM/SIGINT handler. RequestStop is one
+/// async-signal-safe eventfd write, so calling it from the handler is legal.
+serve::Server* g_signal_server = nullptr;
+
+void OnStopSignal(int) {
+  if (g_signal_server != nullptr) g_signal_server->RequestStop();
+}
+
+/// `serve <records.txt> --port=N`: the network front end. The same sharded
+/// (default) or --dynamic back end as the repl paths, behind the TCP line
+/// protocol of serve/server.h: queue-depth admission control (--max-queue),
+/// a per-request deadline SLO (--deadline-ms, anchored at admission), a
+/// default per-tenant element budget (--max-elements), and graceful drain
+/// on SIGTERM/SIGINT — stop accepting, finish and flush every admitted
+/// request, then exit with a reconciliation summary.
+int RunServeNetwork(const Corpus& corpus, int argc, char** argv,
+                    const std::string& listen, uint16_t port) {
+  size_t shards, cache_mb, rebuild_every, deadline_ms, max_elements, max_queue;
+  if (!StrictCount(argc, argv, "shards", 4, 1, 256, &shards) ||
+      !StrictCount(argc, argv, "cache-mb", 64, 0, 1u << 16, &cache_mb) ||
+      !StrictCount(argc, argv, "rebuild-every", 0, 0, UINT32_MAX,
+                   &rebuild_every) ||
+      !StrictCount(argc, argv, "deadline-ms", 0, 0, 86400000, &deadline_ms) ||
+      !StrictCount(argc, argv, "max-elements", 0, 0, UINT64_MAX,
+                   &max_elements) ||
+      !StrictCount(argc, argv, "max-queue", 64, 0, 1u << 20, &max_queue)) {
+    return 2;
+  }
+  const bool dynamic = HasFlag(argc, argv, "--dynamic");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Two pools on purpose: the server's executor workers block on each
+  // query's shard fan-out / rebuild, which must land on a *different* pool
+  // (the nested-fan-out starvation rule, docs/CONCURRENCY.md).
+  ThreadPool backend_pool(std::max(1u, (hw == 0 ? 2u : hw) - 1));
+
+  serve::ServerOptions so;
+  so.listen_addr = listen;
+  so.port = port;
+  so.num_workers = std::max(2u, hw == 0 ? 2u : hw);
+  so.max_queue = max_queue;
+  so.deadline_ms = deadline_ms;
+  so.default_element_budget = max_elements;
+
+  WallTimer build_timer;
+  std::unique_ptr<serve::ShardedSelector> sharded;
+  std::unique_ptr<serve::DynamicServing> dyn;
+  std::unique_ptr<serve::Server> server;
+  if (dynamic) {
+    serve::DynamicServingOptions dso;
+    dso.cache_bytes = cache_mb << 20;
+    dso.rebuild_threshold = rebuild_every;
+    dso.pool = &backend_pool;
+    dyn = std::make_unique<serve::DynamicServing>(corpus.records, dso);
+    server = std::make_unique<serve::Server>(dyn.get(), so);
+  } else {
+    serve::ShardedSelectorOptions sso;
+    sso.num_shards = shards;
+    sso.cache_bytes = cache_mb << 20;
+    sharded = std::make_unique<serve::ShardedSelector>(
+        serve::ShardedSelector::Build(corpus.records, sso));
+    sharded->set_thread_pool(&backend_pool);
+    server = std::make_unique<serve::Server>(sharded.get(), so);
+  }
+  Status st = server->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_signal_server = server.get();
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  // The bound port goes to stdout (scripts parse it; --port=0 is ephemeral).
+  std::printf("listening on %s:%u (%s back end over %zu records, "
+              "workers=%zu max-queue=%zu deadline-ms=%zu) — built in %.2fs\n",
+              listen.c_str(), server->port(), dynamic ? "dynamic" : "sharded",
+              corpus.records.size(), so.num_workers, max_queue, deadline_ms,
+              build_timer.ElapsedSeconds());
+  std::fflush(stdout);
+  server->Join();
+  g_signal_server = nullptr;
+  std::printf("drained: ok=%llu partial=%llu shed=%llu err=%llu inserts=%llu "
+              "in-flight=%zu\n",
+              (unsigned long long)server->ok_count(),
+              (unsigned long long)server->partial_count(),
+              (unsigned long long)server->shed_count(),
+              (unsigned long long)server->error_count(),
+              (unsigned long long)server->insert_count(),
+              server->queue_depth());
+  if (dyn != nullptr) dyn->selector().WaitForRebuild();
+  return server->queue_depth() == 0 ? 0 : 1;
+}
+
 /// `serve <records.txt> [<text>]`: the serving-layer front end. Builds a
 /// ShardedSelector over the records (global statistics, per-shard indexes),
 /// attaches a thread pool sized to the machine and a versioned result
@@ -478,15 +588,37 @@ int RunServe(int argc, char** argv) {
   double tau;
   if (!ParseTau(argc, argv, 0.75, &tau)) return Usage();
   AlgorithmKind kind = ParseAlgo(argc, argv);
+  // --port switches to the network front end (tau/algo then arrive per
+  // request over the wire). The UINT64_MAX fallback distinguishes "absent"
+  // from an explicit --port=0 (ephemeral).
+  size_t port_flag;
+  if (!StrictCount(argc, argv, "port", UINT64_MAX, 0, 65535, &port_flag)) {
+    return 2;
+  }
+  const std::string listen = StringFlag(argc, argv, "listen");
+  if (port_flag != static_cast<size_t>(UINT64_MAX)) {
+    return RunServeNetwork(*corpus, argc, argv,
+                           listen.empty() ? "127.0.0.1" : listen,
+                           static_cast<uint16_t>(port_flag));
+  }
+  if (!listen.empty()) {
+    std::printf("--listen requires --port\n");
+    return 2;
+  }
   if (HasFlag(argc, argv, "--dynamic")) {
     return RunServeDynamic(*corpus, argc, argv, tau, kind);
   }
-  const size_t shards = FlagValue(argc, argv, "shards", 4);
-  const size_t cache_mb = FlagValue(argc, argv, "cache-mb", 64);
-  const size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
-  const size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
-  const size_t slow_usec = FlagValue(argc, argv, "slow-query-usec", 0);
-  const size_t stats_every = FlagValue(argc, argv, "stats-every", 0);
+  size_t shards, cache_mb, deadline_ms, max_elements, slow_usec, stats_every;
+  if (!StrictCount(argc, argv, "shards", 4, 1, 256, &shards) ||
+      !StrictCount(argc, argv, "cache-mb", 64, 0, 1u << 16, &cache_mb) ||
+      !StrictCount(argc, argv, "deadline-ms", 0, 0, 86400000, &deadline_ms) ||
+      !StrictCount(argc, argv, "max-elements", 0, 0, UINT64_MAX,
+                   &max_elements) ||
+      !StrictCount(argc, argv, "slow-query-usec", 0, 0, UINT64_MAX,
+                   &slow_usec) ||
+      !StrictCount(argc, argv, "stats-every", 0, 0, 86400, &stats_every)) {
+    return 2;
+  }
   const std::string trace_out = StringFlag(argc, argv, "trace-out");
 
   // Tail sampling is always on; the flag adds a latency threshold and makes
@@ -612,8 +744,11 @@ int main(int argc, char** argv) {
 
   if (cmd == "build") {
     if (argc < 4) return Usage();
-    const size_t version = FlagValue(argc, argv, "index-version",
-                                     InvertedIndex::kVersionLatest);
+    size_t version;
+    if (!StrictCount(argc, argv, "index-version",
+                     InvertedIndex::kVersionLatest, 0, 255, &version)) {
+      return 2;
+    }
     if (version != InvertedIndex::kVersionLegacy &&
         version != InvertedIndex::kVersionLatest) {
       std::fprintf(stderr, "bad --index-version value %zu: supported are %u "
@@ -659,11 +794,16 @@ int main(int argc, char** argv) {
     }
     double tau;
     if (!ParseTau(argc, argv, 0.75, &tau)) return Usage();
-    size_t k = FlagValue(argc, argv, "k", 0);
+    size_t k, deadline_ms, max_elements;
+    if (!StrictCount(argc, argv, "k", 0, 0, 1u << 20, &k) ||
+        !StrictCount(argc, argv, "deadline-ms", 0, 0, 86400000,
+                     &deadline_ms) ||
+        !StrictCount(argc, argv, "max-elements", 0, 0, UINT64_MAX,
+                     &max_elements)) {
+      return 2;
+    }
     AlgorithmKind kind = ParseAlgo(argc, argv);
     bool explain = HasFlag(argc, argv, "--explain");
-    size_t deadline_ms = FlagValue(argc, argv, "deadline-ms", 0);
-    size_t max_elements = FlagValue(argc, argv, "max-elements", 0);
     if (cmd == "join") {
       WallTimer timer;
       SelfJoinResult joined = SelfJoin(*sel, tau);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Developer gate: seven legs, all required.
+# Developer gate: eight legs, all required.
 #
 #   1. AddressSanitizer: warnings-as-errors build + the full test suite
 #      (build-asan/).
@@ -23,16 +23,22 @@
 #      in-flight queries on a shared selector), the concurrency_test
 #      soak, which runs mixed algorithms in disk and memory mode against
 #      one shared index/store/pool, serving_test's scatter-gather +
-#      result-cache soak, and dynamic_concurrency_test's readers x writer
+#      result-cache soak, dynamic_concurrency_test's readers x writer
 #      x online-Rebuild soak on one DynamicSelector (epoch reclamation,
-#      delta publish, segment swap) — must produce zero race reports
-#      (build-tsan/).
+#      delta publish, segment swap), and server_test's live-socket
+#      integration tests (admission, drain, SLO) — must produce zero race
+#      reports (build-tsan/).
 #   6. UndefinedBehaviorSanitizer: the codec / SIMD-kernel / store tests
 #      under -fsanitize=undefined with non-recoverable reports
 #      (build-ubsan/) — the block codec's bit packing and the per-variant
 #      kernels are exactly where UB (shifts, misaligned loads, overflow)
 #      would hide.
-#   7. Perf regression: a plain RelWithDebInfo build runs
+#   7. Serving smoke: bench_ycsb (build-asan) stands up a live TCP server
+#      over a DynamicServing back end and drives it closed- and open-loop
+#      through src/gen/load.h — zero transport errors, full shed/ok
+#      accounting and a clean drain are its exit-code contract, so the
+#      whole network serving path runs under ASan on every gate.
+#   8. Perf regression: a plain RelWithDebInfo build runs
 #      bench_micro --benchmark_filter=BM_Query and scripts/bench_compare.py
 #      diffs the artifact against the committed baseline
 #      (bench/baselines/BENCH_micro.json); >10% regression on any query
@@ -40,9 +46,9 @@
 #
 # Usage:
 #
-#   scripts/check.sh                       # all seven legs
+#   scripts/check.sh                       # all eight legs
 #   SIMSEL_CHECK_TSAN=1 scripts/check.sh   # widen the TSan leg to the full suite
-#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 7 (e.g. loaded CI box)
+#   SIMSEL_CHECK_SKIP_BENCH=1 scripts/check.sh  # skip leg 8 (e.g. loaded CI box)
 #
 # Keep this green before sending changes; it is the same configuration the
 # sanitizer options in CMakeLists.txt expose.
@@ -57,24 +63,24 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc)"
 
-echo "== check.sh leg 1/7: AddressSanitizer, full suite =="
+echo "== check.sh leg 1/8: AddressSanitizer, full suite =="
 cmake -B build-asan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_ASAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== check.sh leg 2/7: full suite with SIMSEL_FORCE_SCALAR=1 =="
+echo "== check.sh leg 2/8: full suite with SIMSEL_FORCE_SCALAR=1 =="
 SIMSEL_FORCE_SCALAR=1 \
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "== check.sh leg 3/7: documentation links, CLI flags, metric names =="
+echo "== check.sh leg 3/8: documentation links, CLI flags, metric names =="
 scripts/check_docs.py --cli build-asan/examples/simsel_cli
 
-echo "== check.sh leg 4/7: Prometheus exposition lint =="
+echo "== check.sh leg 4/8: Prometheus exposition lint =="
 build-asan/examples/simsel_cli --stats --words=2000 2>/dev/null \
   | scripts/check_prom.py
 
-echo "== check.sh leg 5/7: ThreadSanitizer =="
+echo "== check.sh leg 5/8: ThreadSanitizer =="
 cmake -B build-tsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$jobs"
@@ -88,7 +94,7 @@ else
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" -L concurrency
 fi
 
-echo "== check.sh leg 6/7: UndefinedBehaviorSanitizer, codec + kernels =="
+echo "== check.sh leg 6/8: UndefinedBehaviorSanitizer, codec + kernels =="
 cmake -B build-ubsan -S . -DSIMSEL_WERROR=ON -DSIMSEL_ENABLE_UBSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-ubsan -j "$jobs" \
@@ -97,10 +103,15 @@ cmake --build build-ubsan -j "$jobs" \
 ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
       -R 'codec_test|simd_kernels_test|posting_store_test|index_version_test'
 
+echo "== check.sh leg 7/8: network serving smoke (bench_ycsb under ASan) =="
+cmake --build build-asan -j "$jobs" --target bench_ycsb
+(cd build-asan/bench && ./bench_ycsb --words=6000 --queries=60 --conns=2 \
+     --requests=30 --seconds=1)
+
 if [[ "${SIMSEL_CHECK_SKIP_BENCH:-0}" == "1" ]]; then
-  echo "== check.sh leg 7/7: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
+  echo "== check.sh leg 8/8: perf regression — SKIPPED (SIMSEL_CHECK_SKIP_BENCH=1) =="
 else
-  echo "== check.sh leg 7/7: perf regression vs bench/baselines/BENCH_micro.json =="
+  echo "== check.sh leg 8/8: perf regression vs bench/baselines/BENCH_micro.json =="
   # Sanitizer builds are useless for timing: a separate plain build.
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-bench -j "$jobs" --target bench_micro

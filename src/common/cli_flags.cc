@@ -1,0 +1,97 @@
+#include "common/cli_flags.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace simsel::cli {
+
+namespace {
+
+/// The last occurrence wins, matching the historical FlagValue behavior.
+const char* FindValue(int argc, char* const* argv, const std::string& prefix) {
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+bool ParseCountFlag(int argc, char* const* argv, const char* key,
+                    uint64_t fallback, uint64_t min_value, uint64_t max_value,
+                    uint64_t* out, std::string* error) {
+  *out = fallback;
+  const std::string prefix = std::string("--") + key + "=";
+  const char* value = FindValue(argc, argv, prefix);
+  if (value == nullptr) return true;
+  // Digits only: strtoull would silently accept "  12", "+12", "-1" (as a
+  // huge wrap) and "0x10"; none of those is a count a user meant.
+  bool digits_only = *value != '\0';
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) digits_only = false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long raw = std::strtoull(value, &end, 10);
+  if (!digits_only || end == value || *end != '\0' || errno == ERANGE) {
+    *error = std::string("bad --") + key + " value \"" + value +
+             "\": not an unsigned integer";
+    return false;
+  }
+  if (raw < min_value || raw > max_value) {
+    *error = std::string("bad --") + key + " value \"" + value +
+             "\": need an integer in [" + std::to_string(min_value) + ", " +
+             std::to_string(max_value) + "]";
+    return false;
+  }
+  *out = static_cast<uint64_t>(raw);
+  return true;
+}
+
+bool ParseTauFlag(int argc, char* const* argv, double fallback, double* tau,
+                  std::string* error) {
+  *tau = fallback;
+  const char* value = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tau=", 6) == 0) {
+      value = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--tau") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+  }
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  double raw = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(raw)) {
+    *error = std::string("bad --tau value \"") + value + "\": not a number";
+    return false;
+  }
+  if (raw <= 0.0 || raw > 100.0) {
+    *error = std::string("bad --tau value \"") + value +
+             "\": need a fraction in (0,1] or a percentage in (1,100]";
+    return false;
+  }
+  *tau = raw > 1.0 ? raw / 100.0 : raw;
+  return true;
+}
+
+bool HasFlag(int argc, char* const* argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+std::string StringFlag(int argc, char* const* argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  const char* value = FindValue(argc, argv, prefix);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+}  // namespace simsel::cli

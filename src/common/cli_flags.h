@@ -1,0 +1,42 @@
+#ifndef SIMSEL_COMMON_CLI_FLAGS_H_
+#define SIMSEL_COMMON_CLI_FLAGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace simsel::cli {
+
+/// \file
+/// Strict command-line flag parsing shared by simsel_cli and the bench
+/// binaries' serving flags. The contract mirrors the PR 4 --tau hardening:
+/// a present flag must parse in full (no trailing junk, no partial
+/// consumption) and fall inside its documented range, otherwise parsing
+/// fails with a one-line diagnostic in *error — a typo like `--shards=4x`
+/// or `--port=99999` can never silently run with some default. An absent
+/// flag is never an error; the fallback is used.
+
+/// `--key=value` unsigned integer flag, strict: the value must be digits
+/// only (no sign, no space form) and lie in [min_value, max_value]. Returns
+/// false with `*error` set on any malformed or out-of-range value; true
+/// otherwise with `*out` holding the parsed value or `fallback`.
+bool ParseCountFlag(int argc, char* const* argv, const char* key,
+                    uint64_t fallback, uint64_t min_value, uint64_t max_value,
+                    uint64_t* out, std::string* error);
+
+/// --tau in either `--tau=X` or `--tau X` form. A value in (0, 1] is a
+/// fraction; one in (1, 100] is a percentage (the historical `--tau=75`
+/// form). Strict full-consumption parse; non-finite or out-of-range values
+/// fail with `*error` set. The flag being absent keeps `fallback`.
+bool ParseTauFlag(int argc, char* const* argv, double fallback, double* tau,
+                  std::string* error);
+
+/// Exact-match boolean flag (`--dynamic`).
+bool HasFlag(int argc, char* const* argv, const char* flag);
+
+/// `--key=value` string flag; empty string when absent.
+std::string StringFlag(int argc, char* const* argv, const char* key);
+
+}  // namespace simsel::cli
+
+#endif  // SIMSEL_COMMON_CLI_FLAGS_H_

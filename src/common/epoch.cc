@@ -1,7 +1,5 @@
 #include "common/epoch.h"
 
-#include <thread>
-
 #include "common/logging.h"
 
 namespace simsel {
@@ -16,11 +14,14 @@ EpochManager::~EpochManager() {
 
 EpochManager::Guard::Guard(EpochManager& mgr) : mgr_(&mgr) {
   // Claim a free slot. A thread-local rotating hint spreads readers across
-  // the array so the common case is one CAS.
+  // the array so the common case is one CAS. One full sweep without a free
+  // cell means more than kSlots guards are live right now: grow into the
+  // overflow list instead of spinning — a reader holding its guard across
+  // a long query must never be able to wedge the claim of reader kSlots+1
+  // (the claim is bounded-time even if no other guard ever releases).
   static thread_local size_t hint = 0;
-  size_t slot;
-  for (size_t attempt = 0;; ++attempt) {
-    slot = (hint + attempt) % kSlots;
+  for (size_t attempt = 0; attempt < kSlots; ++attempt) {
+    size_t slot = (hint + attempt) % kSlots;
     uint64_t expected = 0;
     uint64_t e = mgr.global_epoch_.load(std::memory_order_seq_cst);
     if (mgr.slots_[slot].compare_exchange_strong(expected, e,
@@ -35,18 +36,57 @@ EpochManager::Guard::Guard(EpochManager& mgr) : mgr_(&mgr) {
         e = now;
         mgr.slots_[slot].store(e, std::memory_order_seq_cst);
       }
-      break;
+      hint = (slot + 1) % kSlots;
+      slot_ = slot;
+      return;
     }
-    if (attempt >= kSlots) std::this_thread::yield();
   }
-  hint = (slot + 1) % kSlots;
-  slot_ = slot;
+  overflow_ = mgr.ClaimOverflowPin();
 }
 
 EpochManager::Guard::~Guard() {
-  if (mgr_ != nullptr) {
+  if (mgr_ == nullptr) return;
+  if (overflow_ != nullptr) {
+    overflow_->store(0, std::memory_order_seq_cst);
+  } else {
     mgr_->slots_[slot_].store(0, std::memory_order_seq_cst);
   }
+}
+
+std::atomic<uint64_t>* EpochManager::ClaimOverflowPin() {
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  std::atomic<uint64_t>* node = nullptr;
+  for (std::atomic<uint64_t>& n : overflow_) {
+    // Claimers are serialized by overflow_mu_; the CAS only races the
+    // lock-free release (store 0), which can make a node look taken for
+    // one round but never hands it to two guards.
+    uint64_t expected = 0;
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    if (n.compare_exchange_strong(expected, e, std::memory_order_seq_cst)) {
+      node = &n;
+      break;
+    }
+  }
+  if (node == nullptr) {
+    // Every node taken: grow. Deque nodes have stable addresses, so bare
+    // pointers held by live guards stay valid.
+    node = &overflow_.emplace_back(
+        global_epoch_.load(std::memory_order_seq_cst));
+  }
+  // Same re-stamp-until-stable protocol as the fixed slots.
+  uint64_t e = node->load(std::memory_order_seq_cst);
+  while (true) {
+    uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+    node->store(e, std::memory_order_seq_cst);
+  }
+  return node;
+}
+
+size_t EpochManager::overflow_capacity() const {
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  return overflow_.size();
 }
 
 void EpochManager::Retire(std::function<void()> free) {
@@ -65,6 +105,13 @@ uint64_t EpochManager::MinActiveEpoch() const {
   uint64_t min = UINT64_MAX;
   for (const std::atomic<uint64_t>& slot : slots_) {
     uint64_t pinned = slot.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned < min) min = pinned;
+  }
+  // Overflow pins hold reclamation back exactly like slot pins. The mutex
+  // only fences list growth; the values themselves are atomics.
+  std::lock_guard<std::mutex> lock(overflow_mu_);
+  for (const std::atomic<uint64_t>& node : overflow_) {
+    uint64_t pinned = node.load(std::memory_order_seq_cst);
     if (pinned != 0 && pinned < min) min = pinned;
   }
   return min;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -44,12 +45,19 @@ namespace simsel {
 /// One writer at a time: Retire/ReclaimAll are expected to be serialized by
 /// the caller's writer mutex (they additionally take an internal mutex, so
 /// misuse degrades to contention, not corruption). Readers are wait-free
-/// apart from slot claiming, which spins only when more than kSlots guards
-/// are live at once.
+/// apart from slot claiming: the fast path is a CAS into a fixed array of
+/// kSlots cells, and when every cell is taken (more than kSlots guards live
+/// at once — a serving front end under heavy fan-out) the claim *grows*
+/// into a mutex-guarded overflow list instead of spinning. Acquisition
+/// therefore always completes in bounded time, even with arbitrarily many
+/// guards held simultaneously; it never blocks waiting for another guard
+/// to release, so piling more concurrent readers onto the manager can slow
+/// reclamation but can never deadlock it.
 class EpochManager {
  public:
-  /// Maximum concurrently live Guards. Readers beyond this spin-wait for a
-  /// slot; sized generously above any realistic query fan-out.
+  /// Capacity of the wait-free fast path. More than kSlots concurrently
+  /// live Guards is supported: the excess pins land in the overflow list
+  /// (one mutex acquisition per claim/scan — slower, never stuck).
   static constexpr size_t kSlots = 128;
 
   EpochManager() = default;
@@ -67,7 +75,8 @@ class EpochManager {
     explicit Guard(EpochManager& mgr);
     ~Guard();
 
-    Guard(Guard&& other) noexcept : mgr_(other.mgr_), slot_(other.slot_) {
+    Guard(Guard&& other) noexcept
+        : mgr_(other.mgr_), slot_(other.slot_), overflow_(other.overflow_) {
       other.mgr_ = nullptr;
     }
     Guard& operator=(Guard&&) = delete;
@@ -77,6 +86,9 @@ class EpochManager {
    private:
     EpochManager* mgr_;
     size_t slot_ = 0;
+    /// Non-null when this guard's pin lives in the overflow list rather
+    /// than slots_ (the >kSlots case); points at a stable node.
+    std::atomic<uint64_t>* overflow_ = nullptr;
   };
 
   /// Registers `free` to run once every reader pinned at or before the
@@ -95,14 +107,26 @@ class EpochManager {
   }
   /// Retired-but-not-yet-freed count (test / introspection hook).
   size_t retired_count() const;
+  /// Nodes ever grown into the overflow list (test / introspection hook).
+  /// Nodes are reused, never freed before destruction, so this is the
+  /// high-water mark of concurrent guards beyond kSlots.
+  size_t overflow_capacity() const;
 
  private:
   /// Smallest epoch any live Guard has pinned, or UINT64_MAX when idle.
   uint64_t MinActiveEpoch() const;
+  /// Claims (or grows) a free overflow node stamped with the current epoch.
+  std::atomic<uint64_t>* ClaimOverflowPin();
 
   std::atomic<uint64_t> global_epoch_{1};
   /// 0 = slot free, otherwise the pinned epoch.
   std::array<std::atomic<uint64_t>, kSlots> slots_{};
+
+  /// Pins beyond kSlots. std::deque: node addresses are stable across
+  /// growth, so a Guard can hold a bare pointer and release (store 0)
+  /// without the mutex. Nodes are recycled, never erased.
+  mutable std::mutex overflow_mu_;
+  std::deque<std::atomic<uint64_t>> overflow_;
 
   struct Retired {
     uint64_t epoch;

@@ -41,22 +41,49 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
+  Shutdown(ShutdownMode::kDrain);
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    SIMSEL_CHECK_MSG(!shutdown_, "Submit after shutdown");
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
   GetPoolMetrics().queue_depth->Add(1);
   task_ready_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::Shutdown(ShutdownMode mode) {
+  size_t dropped = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      if (mode == ShutdownMode::kAbort) {
+        dropped = queue_.size();
+        queue_.clear();
+      }
+    }
+    // Quiescence: nothing queued (drained or dropped) and nothing running.
+    // Waiting under the same mutex as WorkerLoop's bookkeeping means a task
+    // dequeued before an abort is always waited for — the "enqueued during
+    // shutdown" race resolves to ran-to-completion or never-started.
+    task_ready_.notify_all();
+    all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+  if (dropped > 0) {
+    GetPoolMetrics().queue_depth->Add(-static_cast<int64_t>(dropped));
+  }
+  return dropped;
+}
+
+bool ThreadPool::shutting_down() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 void ThreadPool::Wait() {

@@ -24,8 +24,15 @@ namespace simsel {
 /// pool from inside one of its own tasks (docs/CONCURRENCY.md).
 class ThreadPool {
  public:
+  /// What happens to tasks still queued when Shutdown is called.
+  enum class ShutdownMode {
+    kDrain,  ///< finish every queued task before workers exit
+    kAbort,  ///< drop queued-but-unstarted tasks; running ones finish
+  };
+
   /// Spawns `num_threads` workers (>= 1; defaults to hardware concurrency).
   explicit ThreadPool(size_t num_threads = 0);
+  /// Shutdown(kDrain), then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,16 +40,33 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Returns true when accepted; false — and the task is
+  /// NOT enqueued — once Shutdown has begun. Racing Submit against Shutdown
+  /// is well-defined: the task either runs to completion (drain mode, or it
+  /// was dequeued before an abort) or is never started; it is never started
+  /// and then abandoned half-way.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is running.
   void Wait();
 
+  /// Stops accepting tasks and blocks until the pool is quiescent: in
+  /// kDrain mode every already-queued task has finished, in kAbort mode
+  /// queued-but-unstarted tasks are discarded and only the currently
+  /// running ones are waited for. Returns how many queued tasks were
+  /// dropped (always 0 in drain mode). Idempotent and thread-safe; the
+  /// first caller's mode wins and later calls just wait for quiescence.
+  /// Workers are not joined here — destruction still does that — so the
+  /// pool object stays valid (Submit returns false) after Shutdown.
+  size_t Shutdown(ShutdownMode mode);
+
+  /// True once Shutdown has begun (Submit will refuse).
+  bool shutting_down() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_idle_;
   std::deque<std::function<void()>> queue_;

@@ -1,0 +1,145 @@
+#ifndef SIMSEL_GEN_LOAD_H_
+#define SIMSEL_GEN_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "obs/metrics_registry.h"
+
+namespace simsel::load {
+
+/// \file
+/// Client side of the serve::Server line protocol plus a YCSB-style load
+/// harness: a blocking TCP client, request/response (de)serialization, and
+/// closed-loop / open-loop drivers with Zipf query popularity and a mixed
+/// read/insert workload. The drivers power bench_ycsb and the server
+/// integration test; they depend only on sockets, not on the server.
+
+/// Blocking line-oriented TCP client. One instance is one connection; Send
+/// and Read may be used from two different threads (one sender, one reader
+/// — the open-loop pairing) but each side is single-threaded.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes `line` + '\n' fully (blocking).
+  Status SendLine(std::string_view line);
+  /// Reads one response line (blocking), newline stripped.
+  Status ReadLine(std::string* line);
+  /// Like ReadLine but gives up if no bytes arrive for `timeout_ms`.
+  /// A timeout consumes nothing, sets `*timed_out` and returns non-OK;
+  /// `*timed_out` stays false on a real transport error. Lets a reader
+  /// that shares the socket with a paced sender wake up and re-check its
+  /// exit condition instead of blocking in recv forever.
+  Status ReadLine(std::string* line, int timeout_ms, bool* timed_out);
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes past the last returned line
+};
+
+/// One parsed server response.
+struct Response {
+  enum class Kind { kOk, kPartial, kShed, kInsert, kError, kPong };
+  struct ScoredId {
+    uint64_t id = 0;
+    double score = 0.0;
+  };
+
+  std::string request_id;
+  Kind kind = Kind::kError;
+  /// PARTIAL termination reason or ERR message.
+  std::string reason;
+  /// Index/snapshot version (OK, PARTIAL, INS).
+  uint64_t version = 0;
+  /// Assigned SetId (INS).
+  uint64_t insert_id = 0;
+  std::vector<ScoredId> matches;
+};
+
+std::string FormatQuery(std::string_view request_id, std::string_view tenant,
+                        double tau, AlgorithmKind kind, std::string_view text);
+std::string FormatInsert(std::string_view request_id, std::string_view tenant,
+                         std::string_view text);
+/// False on a line that is not a well-formed response.
+bool ParseResponse(std::string_view line, Response* out);
+
+/// Workload + pacing knobs shared by both drivers.
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent connections; the closed-loop driver runs one synchronous
+  /// client per connection, the open-loop driver one paced sender + one
+  /// reader per connection.
+  size_t num_connections = 4;
+  /// Closed loop: requests each connection issues back to back.
+  size_t requests_per_connection = 100;
+  /// Open loop: total offered request rate (req/s) across all connections,
+  /// and the total number of requests to offer.
+  double rate_per_sec = 0.0;
+  size_t total_requests = 0;
+
+  /// Query pool (borrowed). Queries are drawn rank-Zipf(zipf_skew) over the
+  /// pool — index 0 is the most popular — the usual YCSB popularity model.
+  const std::vector<std::string>* queries = nullptr;
+  double zipf_skew = 0.99;
+  double tau = 0.5;
+  AlgorithmKind kind = AlgorithmKind::kSf;
+  std::string tenant = "-";
+  /// Fraction of requests that are inserts from `inserts` (round-robin;
+  /// requires a dynamic-backed server). 0 = read-only.
+  double insert_fraction = 0.0;
+  const std::vector<std::string>* inserts = nullptr;
+  uint64_t seed = 42;
+};
+
+/// Aggregated outcome of one driver run.
+struct LoadStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t partial = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t inserts_acked = 0;
+  double wall_seconds = 0.0;
+  /// Per-request latency in microseconds. Closed loop: send-to-response.
+  /// Open loop: *scheduled arrival* to response, so queueing a late sender
+  /// would have caused is charged to the server, not silently dropped
+  /// (coordinated omission).
+  obs::HistogramSnapshot latency_usec;
+
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(sent - errors) / wall_seconds
+                            : 0.0;
+  }
+  void Merge(const LoadStats& other);
+};
+
+/// Closed loop: each connection issues its next request only after the
+/// previous response arrives — throughput self-limits to the server's
+/// capacity and the measured latency is pure service latency.
+LoadStats RunClosedLoop(const LoadOptions& options);
+
+/// Open loop: requests depart on a fixed schedule (total_requests at
+/// rate_per_sec, split evenly across connections) regardless of response
+/// progress, pipelining into the connection — the arrival process an
+/// overloaded server actually faces, which is what makes admission-control
+/// shedding observable.
+LoadStats RunOpenLoop(const LoadOptions& options);
+
+}  // namespace simsel::load
+
+#endif  // SIMSEL_GEN_LOAD_H_

@@ -71,6 +71,14 @@ const char* MetricHelp(const std::string& name) {
       {"simsel_shard_latency_usec", "Per-shard execution latency"},
       {"simsel_slow_queries_total",
        "Queries captured by the slow-query log, by reason"},
+      {"simsel_server_requests_total",
+       "Server requests by outcome (ok/partial/shed/error)"},
+      {"simsel_server_inserts_total", "Inserts acknowledged by the server"},
+      {"simsel_server_queue_depth",
+       "Admitted requests in the server (queued or executing)"},
+      {"simsel_server_active_connections", "Open client connections"},
+      {"simsel_server_request_usec",
+       "Admitted request latency, arrival to response"},
   };
   auto it = kHelp.find(name);
   return it != kHelp.end() ? it->second : "simsel metric";

@@ -60,13 +60,14 @@ ResultCache::ResultCache(ResultCacheOptions options)
 
 ResultCache::~ResultCache() {
   // Reconcile the process-wide gauge: this instance's resident bytes leave
-  // the process with it.
-  int64_t resident = 0;
+  // the process with it. Per shard under its lock, the same discipline as
+  // Insert/Erase/Clear.
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    resident += static_cast<int64_t>(shard->bytes);
+    if (shard->bytes != 0) {
+      bytes_metric_->Add(-static_cast<int64_t>(shard->bytes));
+    }
   }
-  if (resident != 0) bytes_metric_->Add(-resident);
 }
 
 size_t ResultCache::EntryBytes(const std::string& key, size_t num_matches) {
@@ -172,8 +173,13 @@ void ResultCache::Insert(const std::string& key, uint64_t epoch,
     shard.map.emplace(std::string_view(shard.lru.front().key),
                       shard.lru.begin());
     shard.bytes += bytes;
+    // The gauge mirror must move under the same shard lock as shard.bytes:
+    // outside it, a racing Clear() can sweep the shard (subtracting the new
+    // entry's bytes via the swept total) before this Add lands, leaving the
+    // process-wide gauge permanently above the resident truth — the gauge
+    // would no longer return to zero after Clear.
+    bytes_metric_->Add(static_cast<int64_t>(bytes));
   }
-  bytes_metric_->Add(static_cast<int64_t>(bytes));
   insertions_.fetch_add(1, std::memory_order_relaxed);
   insertions_metric_->Increment();
   if (evicted > 0) {
@@ -183,15 +189,19 @@ void ResultCache::Insert(const std::string& key, uint64_t epoch,
 }
 
 void ResultCache::Clear() {
-  int64_t dropped = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    dropped += static_cast<int64_t>(shard->bytes);
+    // Decrement the gauge under the same lock that zeroes the shard (see
+    // Insert): deferring a captured total past the unlock lets concurrent
+    // insert/evict traffic observe — and a destructor snapshot bake in — a
+    // gauge that disagrees with the resident bytes.
+    if (shard->bytes != 0) {
+      bytes_metric_->Add(-static_cast<int64_t>(shard->bytes));
+    }
     shard->map.clear();
     shard->lru.clear();
     shard->bytes = 0;
   }
-  if (dropped != 0) bytes_metric_->Add(-dropped);
 }
 
 size_t ResultCache::size_bytes() const {

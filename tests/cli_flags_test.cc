@@ -1,0 +1,151 @@
+// Regression tests for the strict CLI numeric-flag parsing (PR 9's
+// serving-path hardening): a present flag must parse in full and fall
+// inside its documented range or the parse fails with a diagnostic — no
+// typo may silently fall back to a default.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/cli_flags.h"
+
+namespace simsel {
+namespace {
+
+/// argv builder: prepends the program name and keeps the strings alive.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "simsel_cli");
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char* const* argv() const { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+uint64_t MustParse(const Argv& a, const char* key, uint64_t fallback,
+                   uint64_t lo, uint64_t hi) {
+  uint64_t out = 0;
+  std::string error;
+  EXPECT_TRUE(
+      cli::ParseCountFlag(a.argc(), a.argv(), key, fallback, lo, hi, &out,
+                          &error))
+      << error;
+  return out;
+}
+
+std::string MustFail(const Argv& a, const char* key, uint64_t lo,
+                     uint64_t hi) {
+  uint64_t out = 0;
+  std::string error;
+  EXPECT_FALSE(
+      cli::ParseCountFlag(a.argc(), a.argv(), key, 7, lo, hi, &out, &error));
+  EXPECT_FALSE(error.empty());
+  // The failure must never leak a value: the caller prints and exits.
+  return error;
+}
+
+TEST(ParseCountFlagTest, AbsentFlagKeepsFallback) {
+  Argv a({"query", "--other=3"});
+  EXPECT_EQ(MustParse(a, "shards", 42, 0, 100), 42u);
+}
+
+TEST(ParseCountFlagTest, WellFormedValuesParse) {
+  EXPECT_EQ(MustParse(Argv({"--shards=4"}), "shards", 1, 1, 256), 4u);
+  EXPECT_EQ(MustParse(Argv({"--port=0"}), "port", 1, 0, 65535), 0u);
+  EXPECT_EQ(MustParse(Argv({"--port=65535"}), "port", 1, 0, 65535), 65535u);
+  EXPECT_EQ(MustParse(Argv({"--n=18446744073709551615"}), "n", 0, 0,
+                      std::numeric_limits<uint64_t>::max()),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseCountFlagTest, LastOccurrenceWins) {
+  Argv a({"--shards=2", "--shards=9"});
+  EXPECT_EQ(MustParse(a, "shards", 1, 1, 256), 9u);
+}
+
+TEST(ParseCountFlagTest, TrailingJunkIsRejectedNotTruncated) {
+  // The motivating bug class: strtoull("4x") == 4, so `--shards=4x` used to
+  // run with 4 shards as if the typo were intentional.
+  std::string error = MustFail(Argv({"--shards=4x"}), "shards", 1, 256);
+  EXPECT_NE(error.find("--shards"), std::string::npos);
+  EXPECT_NE(error.find("4x"), std::string::npos);
+  EXPECT_NE(error.find("not an unsigned integer"), std::string::npos);
+}
+
+TEST(ParseCountFlagTest, NonDigitFormsAreRejected) {
+  for (const char* bad : {"--k=+4", "--k=-1", "--k=0x10", "--k= 12",
+                          "--k=12 ", "--k=", "--k=4.0", "--k=1e3"}) {
+    MustFail(Argv({bad}), "k", 0, std::numeric_limits<uint64_t>::max());
+  }
+}
+
+TEST(ParseCountFlagTest, OverflowIsRejected) {
+  // One past UINT64_MAX: strtoull saturates with ERANGE; must not wrap or
+  // silently clamp.
+  MustFail(Argv({"--n=18446744073709551616"}), "n", 0,
+           std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseCountFlagTest, RangeIsEnforcedWithBoundsInTheMessage) {
+  std::string error = MustFail(Argv({"--port=70000"}), "port", 0, 65535);
+  EXPECT_NE(error.find("[0, 65535]"), std::string::npos);
+  MustFail(Argv({"--shards=0"}), "shards", 1, 256);
+  MustFail(Argv({"--shards=257"}), "shards", 1, 256);
+  EXPECT_EQ(MustParse(Argv({"--shards=1"}), "shards", 4, 1, 256), 1u);
+  EXPECT_EQ(MustParse(Argv({"--shards=256"}), "shards", 4, 1, 256), 256u);
+}
+
+TEST(ParseTauFlagTest, BothFormsAndBothConventions) {
+  double tau = 0.0;
+  std::string error;
+  Argv eq({"--tau=0.75"});
+  EXPECT_TRUE(cli::ParseTauFlag(eq.argc(), eq.argv(), 0.5, &tau, &error));
+  EXPECT_DOUBLE_EQ(tau, 0.75);
+  Argv space({"--tau", "0.25"});
+  EXPECT_TRUE(
+      cli::ParseTauFlag(space.argc(), space.argv(), 0.5, &tau, &error));
+  EXPECT_DOUBLE_EQ(tau, 0.25);
+  Argv pct({"--tau=80"});  // percentage convention
+  EXPECT_TRUE(cli::ParseTauFlag(pct.argc(), pct.argv(), 0.5, &tau, &error));
+  EXPECT_DOUBLE_EQ(tau, 0.8);
+  Argv absent({"query"});
+  EXPECT_TRUE(
+      cli::ParseTauFlag(absent.argc(), absent.argv(), 0.5, &tau, &error));
+  EXPECT_DOUBLE_EQ(tau, 0.5);
+}
+
+TEST(ParseTauFlagTest, MalformedAndOutOfRangeFail) {
+  for (std::vector<std::string> bad :
+       {std::vector<std::string>{"--tau=abc"},
+        std::vector<std::string>{"--tau=0.5x"},
+        std::vector<std::string>{"--tau=0"},
+        std::vector<std::string>{"--tau=-0.5"},
+        std::vector<std::string>{"--tau=101"},
+        std::vector<std::string>{"--tau=inf"},
+        std::vector<std::string>{"--tau=nan"}}) {
+    double tau = 0.0;
+    std::string error;
+    Argv a(bad);
+    EXPECT_FALSE(cli::ParseTauFlag(a.argc(), a.argv(), 0.5, &tau, &error))
+        << bad[0];
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(HasFlagAndStringFlagTest, ExactMatchAndValueExtraction) {
+  Argv a({"serve", "--dynamic", "--listen=0.0.0.0", "--dynamic2"});
+  EXPECT_TRUE(cli::HasFlag(a.argc(), a.argv(), "--dynamic"));
+  EXPECT_FALSE(cli::HasFlag(a.argc(), a.argv(), "--dyn"));
+  EXPECT_EQ(cli::StringFlag(a.argc(), a.argv(), "listen"), "0.0.0.0");
+  EXPECT_EQ(cli::StringFlag(a.argc(), a.argv(), "port"), "");
+}
+
+}  // namespace
+}  // namespace simsel

@@ -136,6 +136,94 @@ TEST(EpochManagerTest, GuardChurnNeverFreesUnderAReader) {
   delete current.load();
 }
 
+TEST(EpochManagerTest, MoreThanKSlotsGuardsGrowIntoOverflow) {
+  // Guard acquisition must complete in bounded time even when every fixed
+  // slot is taken: guard kSlots+1.. land in the overflow list instead of
+  // spinning for a release that may never come.
+  EpochManager mgr;
+  constexpr size_t kExtra = 40;
+  std::vector<std::unique_ptr<EpochManager::Guard>> guards;
+  guards.reserve(EpochManager::kSlots + kExtra);
+  for (size_t i = 0; i < EpochManager::kSlots + kExtra; ++i) {
+    // Must not block or crash past kSlots.
+    guards.push_back(std::make_unique<EpochManager::Guard>(mgr));
+  }
+  EXPECT_GE(mgr.overflow_capacity(), kExtra);
+  bool freed = false;
+  mgr.Retire([&freed] { freed = true; });
+  // Overflow pins hold reclamation back exactly like slot pins...
+  EXPECT_EQ(mgr.Reclaim(), 0u);
+  EXPECT_FALSE(freed);
+  // ...including when only overflow pins remain live.
+  guards.erase(guards.begin(), guards.begin() + EpochManager::kSlots);
+  EXPECT_EQ(mgr.Reclaim(), 0u);
+  EXPECT_FALSE(freed);
+  guards.clear();
+  EXPECT_EQ(mgr.Reclaim(), 1u);
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochManagerTest, OverflowNodesAreRecycledAcrossWaves) {
+  EpochManager mgr;
+  constexpr size_t kWaveExtra = 16;
+  for (int wave = 0; wave < 5; ++wave) {
+    std::vector<std::unique_ptr<EpochManager::Guard>> guards;
+    for (size_t i = 0; i < EpochManager::kSlots + kWaveExtra; ++i) {
+      guards.push_back(std::make_unique<EpochManager::Guard>(mgr));
+    }
+    bool freed = false;
+    mgr.Retire([&freed] { freed = true; });
+    EXPECT_FALSE(freed);
+    guards.clear();
+    EXPECT_EQ(mgr.Reclaim(), 1u);
+    EXPECT_TRUE(freed);
+  }
+  // Released overflow nodes are reclaimed by later waves, not re-grown: the
+  // list's high-water mark stays at one wave's overflow, bounding memory
+  // even under repeated fan-out bursts.
+  EXPECT_EQ(mgr.overflow_capacity(), kWaveExtra);
+}
+
+TEST(EpochManagerTest, ConcurrentOverflowChurnStaysSafe) {
+  // Hammer the overflow path from several threads while a writer retires:
+  // each thread holds enough guards to overflow the fixed array on its own,
+  // the retired objects' canaries must never be poisoned under a reader.
+  EpochManager mgr;
+  struct Box {
+    std::atomic<uint64_t> canary{0xfeedfaceull};
+  };
+  std::atomic<Box*> current{new Box};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<std::unique_ptr<EpochManager::Guard>> guards;
+        for (size_t i = 0; i < EpochManager::kSlots / 2 + 8; ++i) {
+          guards.push_back(std::make_unique<EpochManager::Guard>(mgr));
+        }
+        Box* box = current.load(std::memory_order_seq_cst);
+        if (box->canary.load(std::memory_order_relaxed) != 0xfeedfaceull) {
+          bad_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    Box* fresh = new Box;
+    Box* old = current.exchange(fresh, std::memory_order_seq_cst);
+    mgr.Retire([old] {
+      old->canary.store(0, std::memory_order_relaxed);
+      delete old;
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(bad_reads.load(), 0u);
+  delete current.load();
+}
+
 // --- Serial ground truth keyed by selector version ----------------------
 //
 // The writer inserts a fixed script of records. A reference selector
@@ -423,7 +511,14 @@ TEST(DynamicServingTest, ConcurrentCachedReadsNeverServeStaleResults) {
   for (size_t t = 0; t < failures.size(); ++t) {
     readers.emplace_back([&, t] {
       size_t qi = t;
-      while (!done.load(std::memory_order_acquire) && failures[t].empty()) {
+      // `first` guarantees at least one Select per reader even if the
+      // writer finishes the whole script before this thread is scheduled
+      // (single-core hosts) — otherwise the hits+misses assertion below
+      // can observe an untouched cache.
+      bool first = true;
+      while ((first || !done.load(std::memory_order_acquire)) &&
+             failures[t].empty()) {
+        first = false;
         qi = (qi + 1) % truth.queries.size();
         QueryResult r = serving.Select(truth.queries[qi], tau);
         if (r.snapshot_version >= truth.expected.size()) {

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/parallel.h"
 #include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "serve/result_cache.h"
 #include "serve/sharded_selector.h"
@@ -325,6 +326,60 @@ TEST(ResultCacheTest, StaleEpochInvalidatesOnLookup) {
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_FALSE(cache.Lookup("key", 2, &out));  // really gone
   EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(ResultCacheTest, ResidentBytesGaugeReconcilesUnderConcurrentChurn) {
+  // The process-wide simsel_result_cache_bytes gauge is shared by every
+  // ResultCache instance, so the test works in deltas: whatever this
+  // instance adds under concurrent Insert/Lookup/evict churn must leave the
+  // gauge exactly where it started once Clear empties the cache.
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("simsel_result_cache_bytes");
+  const int64_t before = gauge->Value();
+
+  ResultCacheOptions options;
+  options.capacity_bytes = 1u << 14;  // small budget => constant eviction
+  options.num_shards = 2;
+  {
+    ResultCache cache(options);
+    std::vector<Match> matches(16, Match{1, 0.5});
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 3; ++t) {
+      writers.emplace_back([&, t] {
+        AccessCounters counters;
+        for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          std::string key =
+              "k" + std::to_string(t) + "-" + std::to_string(i % 64);
+          cache.Insert(key, 1, matches, counters);
+          CachedResult out;
+          cache.Lookup(key, 1, &out);
+          if (i % 16 == 15) cache.Lookup(key, 2, &out);  // invalidate path
+          if (i >= 400) break;
+        }
+      });
+    }
+    std::thread clearer([&] {
+      for (int i = 0; i < 10; ++i) {
+        cache.Clear();
+        std::this_thread::yield();
+      }
+    });
+    for (std::thread& w : writers) w.join();
+    stop.store(true, std::memory_order_relaxed);
+    clearer.join();
+
+    // Mid-life checkpoint: with traffic quiesced, the gauge delta must equal
+    // the resident truth exactly — not merely converge eventually.
+    EXPECT_EQ(gauge->Value() - before,
+              static_cast<int64_t>(cache.size_bytes()));
+    cache.Clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.size_bytes(), 0u);
+    EXPECT_EQ(gauge->Value(), before);
+  }
+  // Destruction of an already-empty cache must not double-subtract.
+  EXPECT_EQ(gauge->Value(), before);
 }
 
 TEST(ShardedSelectorTest, CacheHitReturnsIdenticalQueryResult) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "common/thread_pool.h"
 
@@ -52,6 +54,84 @@ TEST(ThreadPoolTest, DestructorDrainsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, DrainShutdownRunsEveryQueuedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  size_t dropped = pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_TRUE(pool.shutting_down());
+}
+
+TEST(ThreadPoolTest, AbortShutdownDropsQueuedButNeverHalfRuns) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0}, finished{0};
+  // One blocker occupies the single worker so the rest stay queued.
+  pool.Submit([&] {
+    started.fetch_add(1);
+    while (!release.load()) std::this_thread::yield();
+    finished.fetch_add(1);
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      started.fetch_add(1);
+      finished.fetch_add(1);
+    });
+  }
+  while (started.load() == 0) std::this_thread::yield();
+  std::thread stopper([&] {
+    // Shutdown must wait for the running blocker to finish (never abandon a
+    // started task); unstarted queued tasks are dropped and counted.
+    size_t dropped = pool.Shutdown(ThreadPool::ShutdownMode::kAbort);
+    EXPECT_LE(dropped, 10u);
+    EXPECT_EQ(started.load(), finished.load());
+    EXPECT_EQ(static_cast<size_t>(finished.load()), 11u - dropped);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  release.store(true);
+  stopper.join();
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownIsRefusedNotLost) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::atomic<bool> stop_submitting{false};
+  // Submissions race Shutdown: every Submit must either return true and the
+  // task runs exactly once, or return false and the task never runs — the
+  // server's graceful drain depends on there being no third outcome.
+  std::atomic<int> accepted{0};
+  std::thread submitter([&] {
+    while (!stop_submitting.load()) {
+      if (pool.Submit([&ran] { ran.fetch_add(1); })) {
+        accepted.fetch_add(1);
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool.Shutdown(ThreadPool::ShutdownMode::kDrain);
+  stop_submitting.store(true);
+  submitter.join();
+  // Drain mode: every accepted task ran; anything after shutdown was
+  // refused, and a refused Submit leaves no trace.
+  EXPECT_EQ(ran.load(), accepted.load());
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(pool.Shutdown(ThreadPool::ShutdownMode::kDrain), 0u);
+  EXPECT_EQ(pool.Shutdown(ThreadPool::ShutdownMode::kAbort), 0u);
+  EXPECT_EQ(counter.load(), 8);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
