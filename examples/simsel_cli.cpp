@@ -148,10 +148,19 @@ constexpr char kHelp[] =
     "                    while N admitted ones are queued or executing are\n"
     "                    shed immediately with a SHED response; 0 = no\n"
     "                    bound, default 64\n"
-    "  --index-version=N (build) serialized index format: 3 (default;\n"
-    "                    compressed posting blocks) or 2 (legacy\n"
+    "  --index-version=N (build) serialized index format: 4 (default;\n"
+    "                    compressed posting blocks + sketch section), 3\n"
+    "                    (compressed blocks, no sketches) or 2 (legacy\n"
     "                    uncompressed, for migration); `query`/`repl` read\n"
-    "                    both\n"
+    "                    all three\n"
+    "  --sketch-k=N      (build) MinHash signature components per set for\n"
+    "                    the prefilter tier (default 256; 0 disables the\n"
+    "                    sketch section entirely)\n"
+    "  --no-sketches     (build) same as --sketch-k=0\n"
+    "  --no-prefilter    (query/repl/serve) answer with the exact kernels\n"
+    "                    only, never the sketch tier; results are identical\n"
+    "                    either way (the tier is exact), so this is for\n"
+    "                    accounting and ablation\n"
     "  --words=N         synthetic corpus size for --explain / --stats\n"
     "  --explain         with `query`: print the per-phase trace\n"
     "  --trace-out=FILE  (query/serve) record a span trace of each query and\n"
@@ -272,9 +281,10 @@ void PrintMatches(const Collection& collection, const QueryResult& r,
 int RunQuery(const SimilaritySelector& sel, const std::string& text,
              double tau, AlgorithmKind kind, size_t k, bool explain = false,
              size_t deadline_ms = 0, size_t max_elements = 0,
-             const std::string& trace_out = "") {
+             const std::string& trace_out = "", bool prefilter = true) {
   obs::QueryTrace trace;
   SelectOptions options;
+  options.prefilter = prefilter;
   if (explain || !trace_out.empty()) options.trace = &trace;
   // The deadline is absolute, so anchor it here, per call — in the repl
   // every line gets its own `deadline_ms` of wall time.
@@ -395,8 +405,10 @@ int RunServeDynamic(const Corpus& corpus, int argc, char** argv, double tau,
                rebuild_every > 0 ? ", auto-rebuild" : "",
                build_timer.ElapsedSeconds());
 
+  const bool use_prefilter = !HasFlag(argc, argv, "--no-prefilter");
   auto run_one = [&](const std::string& text) {
     SelectOptions options;
+    options.prefilter = use_prefilter;
     if (deadline_ms > 0) {
       options.control.deadline =
           QueryControl::DeadlineAfterMillis(static_cast<int64_t>(deadline_ms));
@@ -670,9 +682,11 @@ int RunServe(int argc, char** argv) {
     });
   }
 
+  const bool use_prefilter = !HasFlag(argc, argv, "--no-prefilter");
   auto run_one = [&](const std::string& text) {
     obs::QueryTrace trace;
     SelectOptions options;
+    options.prefilter = use_prefilter;
     if (!trace_out.empty()) options.trace = &trace;
     if (deadline_ms > 0) {
       options.control.deadline =
@@ -750,12 +764,30 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (version != InvertedIndex::kVersionLegacy &&
+        version != InvertedIndex::kVersionBlocks &&
         version != InvertedIndex::kVersionLatest) {
       std::fprintf(stderr, "bad --index-version value %zu: supported are %u "
-                   "(legacy, uncompressed) and %u (compressed blocks)\n",
+                   "(legacy, uncompressed), %u (compressed blocks) and %u "
+                   "(compressed blocks + sketch section)\n",
                    version, InvertedIndex::kVersionLegacy,
+                   InvertedIndex::kVersionBlocks,
                    InvertedIndex::kVersionLatest);
       return 2;
+    }
+    BuildOptions build_opts;
+    size_t sketch_k;
+    if (!StrictCount(argc, argv, "sketch-k", build_opts.index.sketch.k, 0,
+                     1u << 16, &sketch_k)) {
+      return 2;
+    }
+    if (sketch_k == 0 || HasFlag(argc, argv, "--no-sketches")) {
+      build_opts.index.build_sketches = false;
+    } else {
+      build_opts.index.sketch.k = static_cast<uint32_t>(sketch_k);
+      // Keep bands * rows <= k as k shrinks; fewer bands raise the engage
+      // bar rather than invalidating the family (see sketch/minhash.h).
+      build_opts.index.sketch.bands = std::max<uint32_t>(
+          1, static_cast<uint32_t>(sketch_k) / build_opts.index.sketch.rows);
     }
     Result<Corpus> corpus = LoadCorpusFromFile(argv[2]);
     if (!corpus.ok()) {
@@ -763,17 +795,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     WallTimer timer;
-    SimilaritySelector sel = SimilaritySelector::Build(corpus->records);
+    SimilaritySelector sel =
+        SimilaritySelector::Build(corpus->records, build_opts);
     Status st = sel.SaveIndex(argv[3], static_cast<uint32_t>(version));
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
+    const IndexFileStats fs =
+        sel.index().EncodedStats(static_cast<uint32_t>(version));
     std::printf("indexed %zu records (%zu tokens, %llu postings) in %.2fs "
-                "-> %s (format v%zu)\n",
+                "-> %s (format v%zu, sketch section %llu bytes)\n",
                 corpus->records.size(), sel.index().num_tokens(),
                 (unsigned long long)sel.index().total_postings(),
-                timer.ElapsedSeconds(), argv[3], version);
+                timer.ElapsedSeconds(), argv[3], version,
+                (unsigned long long)fs.sketch_payload_bytes);
     return 0;
   }
 
@@ -790,6 +826,7 @@ int main(int argc, char** argv) {
       std::printf("inverted lists    %10zu bytes\n", sizes.inverted_lists);
       std::printf("skip lists        %10zu bytes\n", sizes.skip_lists);
       std::printf("extendible hash   %10zu bytes\n", sizes.extendible_hash);
+      std::printf("sketches          %10zu bytes\n", sizes.sketches);
       return 0;
     }
     double tau;
@@ -843,7 +880,8 @@ int main(int argc, char** argv) {
       }
       if (text.empty()) return Usage();
       return RunQuery(*sel, text, tau, kind, k, explain, deadline_ms,
-                      max_elements, StringFlag(argc, argv, "trace-out"));
+                      max_elements, StringFlag(argc, argv, "trace-out"),
+                      !HasFlag(argc, argv, "--no-prefilter"));
     }
     // repl
     std::printf("tau=%.2f algo=%s%s — one query per line, ctrl-d to exit\n",
@@ -853,7 +891,8 @@ int main(int argc, char** argv) {
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
       RunQuery(*sel, line, tau, kind, k, /*explain=*/false, deadline_ms,
-               max_elements, StringFlag(argc, argv, "trace-out"));
+               max_elements, StringFlag(argc, argv, "trace-out"),
+               !HasFlag(argc, argv, "--no-prefilter"));
     }
     return 0;
   }

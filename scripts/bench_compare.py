@@ -3,6 +3,7 @@
 
 Usage:
     scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+    scripts/bench_compare.py --prefilter-gate BENCH_prefilter.json
 
 Compares, between the two artifacts:
 
@@ -21,6 +22,14 @@ in only one artifact are reported but never fail the run (benches evolve).
 
 Tiny absolute values are noise: rows where the baseline is below
 `--min-usec` (default 1.0) are skipped.
+
+`--prefilter-gate` is a different mode: it takes a single
+BENCH_prefilter.json artifact and enforces the sketch tier's acceptance
+claims — every ablation cell byte-identical ("identical" column all "yes"),
+the SF elements-read ratio at tau=0.9 at least `--min-read-ratio` (default
+2.0), and the tier actually engaging at tau=0.9. The measured false-positive
+overhead is reported but never gated (it is a property of the workload, not
+a correctness claim).
 """
 
 import argparse
@@ -101,15 +110,94 @@ def compare(kind, base, cand, threshold, min_value):
     return regressions
 
 
+def find_table(doc, title_prefix):
+    for table in doc.get("tables", []):
+        if table.get("title", "").startswith(title_prefix):
+            return table
+    return None
+
+
+def prefilter_gate(path, min_read_ratio):
+    """Enforce the sketch tier's acceptance claims on one artifact."""
+    doc = load(path)
+    failures = []
+
+    ablation = find_table(doc, "Prefilter ablation")
+    if ablation is None:
+        print("prefilter-gate: no 'Prefilter ablation' table in artifact",
+              file=sys.stderr)
+        return 2
+    cols = ablation.get("columns", [])
+    try:
+        c_tau = cols.index("tau")
+        c_algo = cols.index("algo")
+        c_ratio = cols.index("read_ratio")
+        c_ident = cols.index("identical")
+    except ValueError as e:
+        print(f"prefilter-gate: ablation table misses a column: {e}",
+              file=sys.stderr)
+        return 2
+
+    sf_gated = False
+    for row in ablation.get("rows", []):
+        tau, algo = row[c_tau], row[c_algo]
+        if row[c_ident] != "yes":
+            failures.append(f"tau={tau} {algo}: results NOT identical "
+                            "with the tier on")
+        if tau == "0.9" and algo == "SF":
+            sf_gated = True
+            ratio = float(row[c_ratio])
+            verdict = "ok" if ratio >= min_read_ratio else "FAIL"
+            print(f"  [gate] SF tau=0.9 elements-read ratio: {ratio:.2f} "
+                  f"(need >= {min_read_ratio:.1f}) {verdict}")
+            if ratio < min_read_ratio:
+                failures.append(f"SF tau=0.9 read ratio {ratio:.2f} < "
+                                f"{min_read_ratio:.1f}")
+    if not sf_gated:
+        failures.append("no SF tau=0.9 row in the ablation table")
+
+    admission = find_table(doc, "Prefilter admission")
+    if admission is not None:
+        acols = admission.get("columns", [])
+        for row in admission.get("rows", []):
+            entry = dict(zip(acols, row))
+            print(f"  [info] tau={entry.get('tau')}: "
+                  f"engaged={entry.get('engaged')} "
+                  f"admitted={entry.get('admitted')} "
+                  f"fp={entry.get('fp')} ({entry.get('fp_pct')}% overhead)")
+            if entry.get("tau") == "0.9" and entry.get("engaged") == "0":
+                failures.append("tier never engaged at tau=0.9")
+
+    if failures:
+        print("\nFAIL: prefilter gate:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: prefilter tier is exact and meets the elements-read gate")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("candidate", nargs="?")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative slowdown that fails the run (default 0.10)")
     ap.add_argument("--min-usec", type=float, default=1.0,
                     help="ignore rows with a baseline below this value")
+    ap.add_argument("--prefilter-gate", metavar="ARTIFACT",
+                    help="gate a BENCH_prefilter.json artifact instead of "
+                         "diffing two artifacts")
+    ap.add_argument("--min-read-ratio", type=float, default=2.0,
+                    help="SF tau=0.9 elements-read reduction the prefilter "
+                         "gate requires (default 2.0)")
     args = ap.parse_args()
+
+    if args.prefilter_gate:
+        return prefilter_gate(args.prefilter_gate, args.min_read_ratio)
+    if not args.baseline or not args.candidate:
+        ap.error("baseline and candidate artifacts are required "
+                 "(or use --prefilter-gate)")
 
     base_doc, cand_doc = load(args.baseline), load(args.candidate)
     for name, doc in (("baseline", base_doc), ("candidate", cand_doc)):

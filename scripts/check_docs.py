@@ -5,8 +5,11 @@ Three checks, all required:
 
   1. Internal links: every relative markdown link in the scanned docs
      (docs/*.md plus README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) must
-     point at a file or directory that exists in the repo. Anchors and
-     external (http/https/mailto) links are ignored.
+     point at a file or directory that exists in the repo, and every
+     `#fragment` — same-file (`#section`) or cross-file (`FILE.md#section`)
+     — must match a heading in the target document (GitHub slug rules:
+     lowercased, punctuation stripped, spaces to hyphens, `-N` suffixes on
+     duplicates). External (http/https/mailto) links are ignored.
 
   2. CLI flags: every `--flag` named on a line that invokes simsel_cli in
      the scanned docs must appear in `simsel_cli --help` output, so the
@@ -55,18 +58,71 @@ NOT_METRICS = {"simsel_cli"}
 OBSERVABILITY_DOC = os.path.join(REPO, "docs", "OBSERVABILITY.md")
 
 
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)")
+
+
+def github_slug(text):
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+_slug_cache = {}
+
+
+def heading_slugs(path):
+    """All heading anchors of a markdown file, duplicate-suffixed like
+    GitHub (`#name`, `#name-1`, ...). Fenced code blocks are skipped so a
+    `# comment` inside a shell example is not a heading."""
+    if path not in _slug_cache:
+        slugs, counts, in_code = set(), {}, False
+        with open(path, encoding="utf-8") as f:
+            for line in f.read().splitlines():
+                if line.lstrip().startswith("```"):
+                    in_code = not in_code
+                    continue
+                if in_code:
+                    continue
+                m = HEADING_RE.match(line)
+                if not m:
+                    continue
+                slug = github_slug(m.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else "%s-%d" % (slug, n))
+        _slug_cache[path] = slugs
+    return _slug_cache[path]
+
+
 def check_links(path, lines, errors):
     base = os.path.dirname(path)
+    rel = os.path.relpath(path, REPO)
     for lineno, line in enumerate(lines, 1):
         for target in LINK_RE.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            if target.startswith("#"):
+                if target[1:] not in heading_slugs(path):
+                    errors.append(
+                        "%s:%d: broken anchor -> %s (no such heading)"
+                        % (rel, lineno, target)
+                    )
+                continue
+            file_part, _, frag = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, file_part))
             if not os.path.exists(resolved):
                 errors.append(
-                    "%s:%d: broken link -> %s"
-                    % (os.path.relpath(path, REPO), lineno, target)
+                    "%s:%d: broken link -> %s" % (rel, lineno, target)
                 )
+            elif frag and resolved.endswith(".md"):
+                if frag not in heading_slugs(resolved):
+                    errors.append(
+                        "%s:%d: broken anchor -> %s (no heading #%s in %s)"
+                        % (rel, lineno, target, frag,
+                           os.path.relpath(resolved, REPO))
+                    )
 
 
 def check_flags(path, lines, help_flags, errors):

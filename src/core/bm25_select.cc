@@ -29,6 +29,9 @@ InvertedIndex BuildBm25Index(const Bm25Measure& measure,
   for (SetId s = 0; s < collection.size(); ++s) {
     lengths[s] = static_cast<float>(measure.doc_length(s));
   }
+  // The sketch prefilter tier is IDF-selection-only; don't pay for
+  // signatures this selector never consults.
+  options.build_sketches = false;
   return InvertedIndex::BuildWithLengths(collection, lengths, options);
 }
 

@@ -20,6 +20,11 @@ struct DeltaRecord {
                                 // ignores them; kept so a tf-weighted
                                 // measure could score the delta too)
   float frozen_length = 0.0f;   // with unknown-token mass included
+  /// MinHash signature over `tokens` under the main index's sketch family
+  /// (empty when the main index carries no sketches): lets the prefilter
+  /// tier screen delta records with the same admission rule as persisted
+  /// sets, so the tier stays available while records stream in.
+  std::vector<uint64_t> sketch;
   std::string text;
 };
 
@@ -213,6 +218,12 @@ DeltaRecord Analyze(const std::string& text, const SimilaritySelector& main) {
     len_sq += measure.default_idf() * measure.default_idf();
   }
   rec.frozen_length = static_cast<float>(std::sqrt(len_sq));
+  if (main.prefilter() != nullptr) {
+    const sketch::Prefilter& pf = *main.prefilter();
+    rec.sketch.resize(pf.params().k);
+    sketch::ComputeSignature(rec.tokens.data(), rec.tokens.size(), pf.seeds(),
+                             rec.sketch.data());
+  }
   return rec;
 }
 
@@ -367,6 +378,16 @@ QueryResult DynamicSelector::Snapshot::SelectPrepared(
     result.counters.elements_read += visited;
     result.counters.elements_total += visited;
   }
+  // Sketch screen for the delta records (the prefilter tier's delta-side
+  // arm): a record that provably cannot reach τ at the configured error
+  // bound is pruned before the exact two-pointer walk. Records appended
+  // without a sketch (main index built sketchless) are always verified.
+  sketch::DeltaScreen screen;
+  if (options.prefilter && state_->main->prefilter() != nullptr) {
+    screen = state_->main->prefilter()->MakeDeltaScreen(q, clamped);
+  }
+  uint64_t delta_probes = 0;
+  uint64_t delta_prunes = 0;
   if (!tripped) {
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
@@ -377,9 +398,19 @@ QueryResult DynamicSelector::Snapshot::SelectPrepared(
         break;
       }
       uint32_t pos = candidates[c];
+      const DeltaRecord& rec = delta.record(pos);
+      if (screen.active() && !rec.sketch.empty()) {
+        ++result.counters.hash_probes;
+        ++delta_probes;
+        if (!screen.Admits(rec.sketch.data(), rec.frozen_length,
+                           rec.tokens.size())) {
+          ++result.counters.candidate_prunes;
+          ++delta_prunes;
+          continue;
+        }
+      }
       ++result.counters.rows_scanned;
       ++delta_rows;
-      const DeltaRecord& rec = delta.record(pos);
       double sum = 0.0;
       size_t i = 0, j = 0;
       while (i < q.tokens.size() && j < rec.tokens.size()) {
@@ -413,6 +444,8 @@ QueryResult DynamicSelector::Snapshot::SelectPrepared(
   AccessCounters delta_only;
   delta_only.elements_read = delta_postings;
   delta_only.rows_scanned = delta_rows;
+  delta_only.hash_probes = delta_probes;
+  delta_only.candidate_prunes = delta_prunes;
   delta_only.results = delta_matches;
   internal::RecordDeltaScanMetrics(delta_only);
   return result;

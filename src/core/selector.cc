@@ -145,6 +145,7 @@ SimilaritySelector SimilaritySelector::Build(
   sel.measure_ = std::make_unique<IdfMeasure>(*sel.collection_);
   sel.index_ = std::make_unique<InvertedIndex>(
       InvertedIndex::Build(*sel.collection_, *sel.measure_, options.index));
+  sel.prefilter_ = sketch::AttachPrefilter(*sel.measure_, *sel.index_);
   if (options.build_sql_baseline) {
     GramTable::Tree::Options tree_options;
     tree_options.page_bytes = options.btree_page_bytes;
@@ -182,6 +183,10 @@ Result<SimilaritySelector> SimilaritySelector::BuildWithSavedIndex(
   SIMSEL_LOG(kInfo) << "loaded index from " << index_path << " ("
                     << sel.index_->num_tokens() << " lists, "
                     << sel.index_->total_postings() << " postings)";
+  // The banding tables and partition router are derived structures (like
+  // skip indexes), deterministically recomputed from the persisted
+  // signatures + collection statistics.
+  sel.prefilter_ = sketch::AttachPrefilter(*sel.measure_, *sel.index_);
   if (options.build_sql_baseline) {
     GramTable::Tree::Options tree_options;
     tree_options.page_bytes = options.btree_page_bytes;
@@ -218,6 +223,11 @@ QueryResult SimilaritySelector::Dispatch(const PreparedQuery& q, double tau,
                                          AlgorithmKind kind,
                                          const SelectOptions& options) const {
   obs::TraceScope span(options.trace, AlgorithmKindName(kind));
+  if (options.prefilter && prefilter_ != nullptr &&
+      sketch::PrefilterEligible(kind)) {
+    QueryResult out;
+    if (prefilter_->TrySelect(q, tau, options, &out)) return out;
+  }
   switch (kind) {
     case AlgorithmKind::kLinearScan:
       return LinearScanSelect(*measure_, *collection_, q, tau, options);
@@ -281,6 +291,8 @@ IndexSizeReport SimilaritySelector::Sizes() const {
     report.gram_table = gram_table_->RowBytes();
     report.btree = gram_table_->BTreeBytes();
   }
+  report.sketches = index_->SketchBytes();
+  if (prefilter_ != nullptr) report.sketches += prefilter_->DerivedBytes();
   return report;
 }
 

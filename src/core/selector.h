@@ -10,6 +10,7 @@
 #include "index/inverted_index.h"
 #include "rel/gram_table.h"
 #include "sim/idf.h"
+#include "sketch/prefilter.h"
 #include "text/tokenizer.h"
 
 namespace simsel {
@@ -59,6 +60,7 @@ struct IndexSizeReport {
   size_t inverted_lists = 0;    // both sort orders
   size_t skip_lists = 0;
   size_t extendible_hash = 0;
+  size_t sketches = 0;          // MinHash signatures + derived prefilter
 };
 
 /// The library facade: owns the tokenizer, collection, IDF measure, inverted
@@ -123,6 +125,8 @@ class SimilaritySelector {
   const InvertedIndex& index() const { return *index_; }
   /// Null unless built with build_sql_baseline.
   const GramTable* gram_table() const { return gram_table_.get(); }
+  /// The sketch prefilter tier; null when the index carries no sketches.
+  const sketch::Prefilter* prefilter() const { return prefilter_.get(); }
 
   IndexSizeReport Sizes() const;
 
@@ -138,6 +142,7 @@ class SimilaritySelector {
   std::unique_ptr<IdfMeasure> measure_;
   std::unique_ptr<InvertedIndex> index_;
   std::unique_ptr<GramTable> gram_table_;
+  std::unique_ptr<sketch::Prefilter> prefilter_;
 };
 
 }  // namespace simsel

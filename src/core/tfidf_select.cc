@@ -35,6 +35,9 @@ InvertedIndex BuildTfIdfIndex(const TfIdfMeasure& measure,
   for (SetId s = 0; s < collection.size(); ++s) {
     lengths[s] = measure.set_length(s);
   }
+  // The sketch prefilter tier is IDF-selection-only; don't pay for
+  // signatures this selector never consults.
+  options.build_sketches = false;
   return InvertedIndex::BuildWithLengths(collection, lengths, options);
 }
 

@@ -147,6 +147,15 @@ struct SelectOptions {
   /// Scan the candidate set only while F < τ and stop at the first viable
   /// candidate (Section V's bookkeeping reductions).
   bool lazy_candidate_scan = true;
+  /// Consult the MinHash sketch prefilter tier (src/sketch/) before the
+  /// exact kernel. When the index carries sketches and the query's engage
+  /// gate clears, the tier answers the query itself — banding candidate
+  /// generation, partition routing, then exact verification of every
+  /// admitted candidate, so the matches are byte-identical to the kernel's
+  /// (see docs/SKETCHES.md for the exactness argument). Otherwise the query
+  /// falls through unchanged. Ignored by the unindexed baselines
+  /// (scan/SQL/sort-by-id).
+  bool prefilter = true;
   /// Optional cache simulator: when set, every list page and hash bucket
   /// the inverted-list algorithms touch goes through this LRU and the
   /// hit/miss counts land in QueryResult counters (see

@@ -139,6 +139,26 @@ InvertedIndex InvertedIndex::BuildRangeWithLengths(
     index.id_lens_.shrink_to_fit();
   }
 
+  // Pass 4: per-set MinHash signatures for the sketch prefilter tier. Sets
+  // are independent, so the pass reuses the build pool; the fixed seed makes
+  // the section identical across builds and thread counts.
+  if (options.build_sketches && options.sketch.valid() &&
+      range_end > range_begin) {
+    const uint32_t k = options.sketch.k;
+    const std::vector<uint64_t> seeds = sketch::ComponentSeeds(options.sketch);
+    index.sketch_begin_ = range_begin;
+    index.sketch_sigs_.resize(
+        static_cast<size_t>(range_end - range_begin) * k);
+    ForEachToken(pool.get(), range_end - range_begin,
+                 [&index, &collection, &seeds, range_begin, k](size_t i) {
+                   const SetRecord& set =
+                       collection.set(range_begin + static_cast<SetId>(i));
+                   sketch::ComputeSignature(
+                       set.tokens.data(), set.tokens.size(), seeds,
+                       index.sketch_sigs_.data() + i * static_cast<size_t>(k));
+                 });
+  }
+
   index.BuildDerived();
   return index;
 }
@@ -356,7 +376,7 @@ constexpr uint32_t kMagic = 0x53494E56;  // "SINV"
 void InvertedIndex::EncodeTo(std::vector<uint8_t>* bufp, uint32_t version,
                              IndexFileStats* stats) const {
   SIMSEL_CHECK_MSG(
-      version == kVersionLegacy || version == kVersionLatest,
+      version >= kVersionLegacy && version <= kVersionLatest,
       "unsupported index serialization version");
   std::vector<uint8_t>& buf = *bufp;
   const size_t num_tokens = this->num_tokens();
@@ -416,11 +436,33 @@ void InvertedIndex::EncodeTo(std::vector<uint8_t>* bufp, uint32_t version,
       }
     }
   }
+  const size_t id_payload = buf.size() - id_payload_begin;
+
+  // v4: trailing MinHash sketch section (params + raw signature words).
+  size_t sketch_payload = 0;
+  if (version >= 4) {
+    buf.push_back(has_sketches() ? 1 : 0);
+    if (has_sketches()) {
+      const size_t sketch_begin_pos = buf.size();
+      const sketch::SketchParams& p = options_.sketch;
+      PutFixed32(&buf, p.k);
+      PutFixed32(&buf, p.bands);
+      PutFixed32(&buf, p.rows);
+      PutFixed64(&buf, p.seed);
+      PutDouble(&buf, p.miss_bound);
+      PutVarint64(&buf, sketch_begin_);
+      PutVarint64(&buf, sketch_num_sets());
+      for (uint64_t w : sketch_sigs_) PutFixed64(&buf, w);
+      sketch_payload = buf.size() - sketch_begin_pos;
+    }
+  }
+
   if (stats != nullptr) {
     // PagedFile wraps the payload in a 16-byte header + 8-byte checksum.
     stats->file_bytes = buf.size() + 24;
     stats->len_payload_bytes = len_payload;
-    stats->id_payload_bytes = buf.size() - id_payload_begin;
+    stats->id_payload_bytes = id_payload;
+    stats->sketch_payload_bytes = sketch_payload;
   }
 }
 
@@ -449,8 +491,8 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
   if (!GetFixed32(&dec, &magic) || magic != kMagic) {
     return Status::Corruption("bad magic in index file: " + path);
   }
-  if (!GetFixed32(&dec, &version) ||
-      (version != kVersionLegacy && version != kVersionLatest)) {
+  if (!GetFixed32(&dec, &version) || version < kVersionLegacy ||
+      version > kVersionLatest) {
     return Status::Corruption("unsupported index version in: " + path);
   }
   InvertedIndex index;
@@ -559,6 +601,33 @@ Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
           index.id_lens_[begin + i] = len_of_id[id];
         }
       }
+    }
+  }
+  // v4: trailing MinHash sketch section.
+  index.options_.build_sketches = false;
+  if (version >= 4) {
+    if (dec.exhausted()) return Status::Corruption("missing sketch flag");
+    const bool has_sketch = dec.data[dec.pos++] != 0;
+    if (has_sketch) {
+      sketch::SketchParams& p = index.options_.sketch;
+      uint64_t sketch_begin = 0, num_sets = 0;
+      if (!GetFixed32(&dec, &p.k) || !GetFixed32(&dec, &p.bands) ||
+          !GetFixed32(&dec, &p.rows) || !GetFixed64(&dec, &p.seed) ||
+          !GetDouble(&dec, &p.miss_bound) ||
+          !GetVarint64(&dec, &sketch_begin) ||
+          !GetVarint64(&dec, &num_sets) || !p.valid()) {
+        return Status::Corruption("bad sketch section header in: " + path);
+      }
+      const uint64_t words = num_sets * p.k;
+      if (num_sets > (uint64_t{1} << 32) || words > dec.remaining() / 8) {
+        return Status::Corruption("truncated sketch section in: " + path);
+      }
+      index.sketch_begin_ = static_cast<SetId>(sketch_begin);
+      index.sketch_sigs_.resize(words);
+      for (uint64_t i = 0; i < words; ++i) {
+        GetFixed64(&dec, &index.sketch_sigs_[i]);
+      }
+      index.options_.build_sketches = true;
     }
   }
   index.BuildDerived();

@@ -11,6 +11,7 @@
 #include "container/skip_index.h"
 #include "index/collection.h"
 #include "sim/idf.h"
+#include "sketch/minhash.h"
 
 namespace simsel {
 
@@ -39,6 +40,13 @@ struct InvertedIndexOptions {
   bool build_skip = true;
   /// Build per-list extendible hashes (needed by TA/iTA random access).
   bool build_hash = true;
+  /// Build per-set MinHash signatures for the sketch prefilter tier
+  /// (src/sketch/). Persisted in the version-4 index image; without them
+  /// SelectOptions::prefilter silently falls through to the exact kernels.
+  bool build_sketches = true;
+  /// Sketch family parameters (see sketch/minhash.h). Fixed default seed so
+  /// two builds of one collection produce identical sketch sections.
+  sketch::SketchParams sketch;
 };
 
 /// Summary of one fixed-size block of by-length postings. Because the list
@@ -71,6 +79,8 @@ struct IndexFileStats {
   uint64_t len_payload_bytes = 0;
   /// By-id posting payload (0 when id lists are not built).
   uint64_t id_payload_bytes = 0;
+  /// MinHash signature payload (version >= 4 with sketches built; else 0).
+  uint64_t sketch_payload_bytes = 0;
 };
 
 /// The paper's specialized index (Section III-B): one inverted list per
@@ -178,13 +188,30 @@ class InvertedIndex {
     return blocks_.size() * sizeof(PostingBlockSummary);
   }
 
-  /// Serialized format versions Save accepts (Load reads both):
+  /// Per-set MinHash signatures (sketch prefilter tier). Row i holds the
+  /// params.k 64-bit components of set sketch_begin() + i; empty when the
+  /// index was built (or loaded from a version < 4 image) without sketches.
+  bool has_sketches() const { return !sketch_sigs_.empty(); }
+  const sketch::SketchParams& sketch_params() const { return options_.sketch; }
+  /// First set id covered by the sketch rows (the shard begin for
+  /// BuildShard, 0 otherwise).
+  SetId sketch_begin() const { return sketch_begin_; }
+  size_t sketch_num_sets() const {
+    return has_sketches() ? sketch_sigs_.size() / options_.sketch.k : 0;
+  }
+  const uint64_t* sketch_signatures() const { return sketch_sigs_.data(); }
+  size_t SketchBytes() const { return sketch_sigs_.size() * sizeof(uint64_t); }
+
+  /// Serialized format versions Save accepts (Load reads all):
   ///  - 2: plain varint ids + fixed32 lengths, both sort orders in full;
   ///  - 3: by-length lists as compressed posting blocks (storage/
   ///    block_codec.h) aligned to the summary blocks, by-id lists as gap
-  ///    varints with the lengths reconstructed from a set-id table.
+  ///    varints with the lengths reconstructed from a set-id table;
+  ///  - 4: version 3 plus a trailing MinHash sketch section (params +
+  ///    per-set signatures; see docs/FORMATS.md).
   static constexpr uint32_t kVersionLegacy = 2;
-  static constexpr uint32_t kVersionLatest = 3;
+  static constexpr uint32_t kVersionBlocks = 3;
+  static constexpr uint32_t kVersionLatest = 4;
 
   /// Serializes lists + options to `path` (skip/hash are derived structures
   /// and are rebuilt on Load). `version` selects the wire format — the
@@ -223,6 +250,10 @@ class InvertedIndex {
   std::vector<std::unique_ptr<ExtendibleHash>> hashes_;
   std::vector<PostingBlockSummary> blocks_;  // concatenated per token
   std::vector<uint64_t> block_offsets_;      // size num_tokens + 1
+  // Sketch section: num_sets rows of options_.sketch.k signature words for
+  // sets [sketch_begin_, sketch_begin_ + num_sets). Empty when not built.
+  std::vector<uint64_t> sketch_sigs_;
+  SetId sketch_begin_ = 0;
 };
 
 }  // namespace simsel

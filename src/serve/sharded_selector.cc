@@ -102,6 +102,7 @@ ShardedSelector ShardedSelector::Build(const std::vector<std::string>& records,
     shard.index = std::make_unique<InvertedIndex>(
         InvertedIndex::BuildShard(*sel.collection_, *sel.measure_, shard.begin,
                                   shard.end, options.build.index));
+    shard.prefilter = sketch::AttachPrefilter(*sel.measure_, *shard.index);
     if (options.disk_mode) {
       // Storage is strictly per shard: a store images one index's lists, and
       // pool page keys (token, page) would collide across shards.
@@ -206,6 +207,11 @@ QueryResult ShardedSelector::RunShard(const Shard& shard,
                                       const PreparedQuery& q, double tau,
                                       AlgorithmKind kind,
                                       const SelectOptions& options) const {
+  if (options.prefilter && shard.prefilter != nullptr &&
+      sketch::PrefilterEligible(kind)) {
+    QueryResult out;
+    if (shard.prefilter->TrySelect(q, tau, options, &out)) return out;
+  }
   switch (kind) {
     case AlgorithmKind::kLinearScan: {
       // Range scan of the global collection over this shard's ids (the

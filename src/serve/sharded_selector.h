@@ -137,6 +137,10 @@ class ShardedSelector {
     std::unique_ptr<InvertedIndex> index;
     std::unique_ptr<PostingStore> store;  // disk mode only
     std::unique_ptr<BufferPool> pool;     // disk mode with pool_pages > 0
+    /// Sketch prefilter tier over this shard's id range (null when the
+    /// shard index carries no sketches). Shard answers stay byte-identical
+    /// to the kernels', so the scatter-gather merge argument is unchanged.
+    std::unique_ptr<sketch::Prefilter> prefilter;
   };
 
   ShardedSelector() = default;

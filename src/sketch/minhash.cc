@@ -1,0 +1,47 @@
+#include "sketch/minhash.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace simsel::sketch {
+
+std::vector<uint64_t> ComponentSeeds(const SketchParams& params) {
+  std::vector<uint64_t> seeds(params.k);
+  uint64_t state = params.seed;
+  for (uint32_t i = 0; i < params.k; ++i) seeds[i] = SplitMix64Next(&state);
+  return seeds;
+}
+
+void ComputeSignature(const uint32_t* tokens, size_t n,
+                      const std::vector<uint64_t>& seeds, uint64_t* out) {
+  const size_t k = seeds.size();
+  for (size_t i = 0; i < k; ++i) out[i] = std::numeric_limits<uint64_t>::max();
+  for (size_t j = 0; j < n; ++j) {
+    // One shared mix of the token, salted per component: cheaper than k
+    // independent mixes and just as well distributed for min-taking.
+    const uint64_t base = Mix64(tokens[j] + 0x9E3779B97F4A7C15ULL);
+    for (size_t i = 0; i < k; ++i) {
+      const uint64_t h = Mix64(base ^ seeds[i]);
+      if (h < out[i]) out[i] = h;
+    }
+  }
+}
+
+double EstimateJaccard(const uint64_t* a, const uint64_t* b, uint32_t k) {
+  uint32_t equal = 0;
+  for (uint32_t i = 0; i < k; ++i) equal += a[i] == b[i];
+  return k == 0 ? 0.0 : static_cast<double>(equal) / k;
+}
+
+double AdmissionEpsilon(const SketchParams& params) {
+  return std::sqrt(std::log(1.0 / params.miss_bound) / (2.0 * params.k));
+}
+
+double EngageThreshold(const SketchParams& params) {
+  const double per_band = 1.0 - std::pow(params.miss_bound, 1.0 / params.bands);
+  return std::pow(per_band, 1.0 / params.rows);
+}
+
+}  // namespace simsel::sketch

@@ -1,0 +1,112 @@
+#ifndef SIMSEL_SKETCH_MINHASH_H_
+#define SIMSEL_SKETCH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simsel::sketch {
+
+/// Parameters of the MinHash sketch tier (see docs/SKETCHES.md).
+///
+/// Every set gets a signature of `k` 64-bit components: component i is the
+/// minimum of a seeded mix of the set's distinct dictionary tokens. Equal
+/// components between two signatures estimate the Jaccard similarity of the
+/// token sets, and the first `bands * rows` components double as an LSH
+/// banding table (`bands` keys of `rows` components each) for sub-linear
+/// candidate generation.
+///
+/// `miss_bound` is the per-stage error budget δ of the exactness argument:
+/// the banding stage only engages when every true answer collides with the
+/// query in at least one band with probability ≥ 1 − δ, and the admission
+/// stage keeps every true answer with probability ≥ 1 − δ (Chernoff–
+/// Hoeffding; see AdmissionEpsilon). Everything is seeded, so a given build
+/// + query is fully deterministic.
+struct SketchParams {
+  /// Signature components per set. More components shrink the admission
+  /// slack ε ~ 1/sqrt(k) (fewer false positives) at k × 8 bytes per set.
+  /// The default trades 2 KiB per set for ε ≈ 0.134 and an engage bar of
+  /// j ≈ 0.263 (see EngageThreshold), which captures typical τ = 0.9
+  /// selection queries.
+  uint32_t k = 256;
+  /// LSH bands × rows per band; bands * rows <= k. Lower rows engage at
+  /// lower similarity; more bands lower the miss probability.
+  uint32_t bands = 128;
+  uint32_t rows = 2;
+  /// Per-stage miss probability bound δ (banding and admission each).
+  double miss_bound = 1e-4;
+  /// Seed of the component hash family. Fixed default so two builds of the
+  /// same collection produce byte-identical sketch sections.
+  uint64_t seed = 0x53494D534B4554ULL;  // "SIMSKET"
+
+  bool valid() const {
+    return k > 0 && rows > 0 && bands > 0 &&
+           static_cast<uint64_t>(bands) * rows <= k && miss_bound > 0.0 &&
+           miss_bound < 1.0;
+  }
+};
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The k per-component salts, expanded from params.seed via SplitMix64.
+std::vector<uint64_t> ComponentSeeds(const SketchParams& params);
+
+/// Fills out[0..seeds.size()) with the MinHash signature of the (distinct)
+/// token array. An empty set yields the all-UINT64_MAX sentinel signature.
+void ComputeSignature(const uint32_t* tokens, size_t n,
+                      const std::vector<uint64_t>& seeds, uint64_t* out);
+
+/// Fraction of equal components — the unbiased MinHash estimate of the
+/// Jaccard similarity of the two underlying token sets.
+double EstimateJaccard(const uint64_t* a, const uint64_t* b, uint32_t k);
+
+/// Admission slack ε = sqrt(ln(1/δ) / 2k): by the Chernoff–Hoeffding bound,
+/// the k-component estimate Ĵ satisfies P(Ĵ < J − ε) ≤ δ, so admitting
+/// every candidate with Ĵ ≥ j_required − ε keeps a true answer with
+/// probability ≥ 1 − δ.
+double AdmissionEpsilon(const SketchParams& params);
+
+/// Minimum true Jaccard at which the banding stage is allowed to engage:
+/// j such that (1 − j^rows)^bands ≤ δ, i.e. (1 − δ^(1/bands))^(1/rows).
+/// Below it the tier falls through to the exact kernels unchanged.
+double EngageThreshold(const SketchParams& params);
+
+/// Early-exit form of `EstimateJaccard(a, b, k) >= j`: accepts as soon as
+/// the matched-component count reaches `need` (= j * k) and rejects as soon
+/// as the remaining components cannot reach it. Callers shave a hair off
+/// `need` so floating-point rounding can only ever admit *more* than the
+/// full estimate would — admission stays a superset.
+inline bool SignatureAdmits(const uint64_t* a, const uint64_t* b, uint32_t k,
+                            double need) {
+  uint32_t equal = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    equal += (a[i] == b[i]) ? 1u : 0u;
+    if (equal >= need) return true;
+    if (equal + (k - i - 1) < need) return false;
+  }
+  return equal >= need;
+}
+
+/// LSH key of one band: a mix-chain over `rows` consecutive signature
+/// components starting at band * rows. Identical component runs always map
+/// to identical keys; a 64-bit key makes cross-band collisions (which only
+/// ever *add* candidates) negligible.
+inline uint64_t BandKey(const uint64_t* sig, uint32_t band, uint32_t rows) {
+  uint64_t key = Mix64(band + 0x62616E64ULL);  // "band"
+  for (uint32_t r = 0; r < rows; ++r) {
+    key = Mix64(key ^ sig[static_cast<size_t>(band) * rows + r]);
+  }
+  return key;
+}
+
+}  // namespace simsel::sketch
+
+#endif  // SIMSEL_SKETCH_MINHASH_H_

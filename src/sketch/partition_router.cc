@@ -1,0 +1,147 @@
+#include "sketch/partition_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/minhash.h"
+
+namespace simsel::sketch {
+
+namespace {
+
+/// Routing slack: wider than core/internal.h's kPruneSlack because the
+/// router's bound regroups the summation per bucket (different rounding than
+/// the kernels' canonical ascending-token order). Pruning power is
+/// insensitive at this magnitude; soundness is not.
+constexpr double kRouteSlack = 1e-7;
+
+uint32_t BucketOf(uint32_t token, uint32_t buckets) {
+  return static_cast<uint32_t>(
+      Mix64(token + 0x62756B74ULL) % buckets);  // "bukt"
+}
+
+}  // namespace
+
+PartitionRouter PartitionRouter::Build(const IdfMeasure& measure, SetId begin,
+                                       SetId end, uint32_t partitions,
+                                       uint32_t buckets) {
+  PartitionRouter router;
+  router.buckets_ = std::max<uint32_t>(1, buckets);
+  const Collection& collection = measure.collection();
+  const uint32_t n = end - begin;
+
+  // Engage-gate arrays: (len, |s|) sorted by len, sizes turned into a
+  // running prefix maximum.
+  std::vector<std::pair<float, uint32_t>> by_len;
+  by_len.reserve(n);
+  for (SetId s = begin; s < end; ++s) {
+    by_len.emplace_back(
+        measure.set_length(s),
+        static_cast<uint32_t>(collection.set(s).tokens.size()));
+  }
+  std::sort(by_len.begin(), by_len.end());
+  router.sorted_lens_.resize(n);
+  router.prefix_max_size_.resize(n);
+  uint32_t running = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    router.sorted_lens_[i] = by_len[i].first;
+    running = std::max(running, by_len[i].second);
+    router.prefix_max_size_[i] = running;
+  }
+
+  // Equi-depth boundaries over the sorted lengths. Duplicate boundary
+  // values collapse some partitions to empty; they carry zero mass and are
+  // never admitted.
+  const uint32_t p = std::max<uint32_t>(1, std::min(partitions, std::max(n, 1u)));
+  router.lower_.resize(p);
+  router.lower_[0] = -std::numeric_limits<float>::infinity();
+  for (uint32_t i = 1; i < p; ++i) {
+    router.lower_[i] =
+        router.sorted_lens_[static_cast<size_t>(i) * n / p];
+  }
+  router.parts_.assign(p, Partition{});
+  router.mass_.assign(static_cast<size_t>(p) * router.buckets_, 0.0);
+
+  std::vector<double> bucket_mass(router.buckets_);
+  for (SetId s = begin; s < end; ++s) {
+    const SetRecord& set = collection.set(s);
+    const float len = measure.set_length(s);
+    const uint32_t part = router.PartitionOf(len);
+    Partition& stats = router.parts_[part];
+    if (stats.count == 0) {
+      stats.min_len = stats.max_len = len;
+    } else {
+      stats.min_len = std::min(stats.min_len, len);
+      stats.max_len = std::max(stats.max_len, len);
+    }
+    ++stats.count;
+    stats.max_size =
+        std::max(stats.max_size, static_cast<uint32_t>(set.tokens.size()));
+    std::fill(bucket_mass.begin(), bucket_mass.end(), 0.0);
+    for (TokenId t : set.tokens) {
+      const double idf = measure.idf(t);
+      bucket_mass[BucketOf(t, router.buckets_)] += idf * idf;
+    }
+    double* learned = router.mass_.data() +
+                      static_cast<size_t>(part) * router.buckets_;
+    for (uint32_t b = 0; b < router.buckets_; ++b) {
+      learned[b] = std::max(learned[b], bucket_mass[b]);
+    }
+  }
+  return router;
+}
+
+uint32_t PartitionRouter::PartitionOf(float len) const {
+  // Last boundary <= len. lower_[0] is -inf, so the result is in range.
+  const auto it = std::upper_bound(lower_.begin(), lower_.end(), len);
+  return static_cast<uint32_t>(it - lower_.begin()) - 1;
+}
+
+uint32_t PartitionRouter::MaxSetSizeBelow(float hi) const {
+  const auto it =
+      std::upper_bound(sorted_lens_.begin(), sorted_lens_.end(), hi);
+  if (it == sorted_lens_.begin()) return 0;
+  return prefix_max_size_[(it - sorted_lens_.begin()) - 1];
+}
+
+PartitionRouter::Route PartitionRouter::RouteQuery(const PreparedQuery& q,
+                                                   double tau, float win_lo,
+                                                   float win_hi) const {
+  Route route;
+  route.mask.assign(parts_.size(), 0);
+  if (q.tokens.empty() || q.length <= 0.0) return route;
+  std::vector<double> query_mass(buckets_, 0.0);
+  for (size_t i = 0; i < q.tokens.size(); ++i) {
+    query_mass[BucketOf(q.tokens[i], buckets_)] += q.weights[i];
+  }
+  const double threshold = tau * (1.0 - kRouteSlack);
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    const Partition& part = parts_[p];
+    if (part.count == 0) continue;
+    ++route.total;
+    if (part.max_len < win_lo || part.min_len > win_hi) continue;
+    // Any member inside the window has len(s) >= max(min_len, win.lo) > 0.
+    const double lo_den = std::max<double>(part.min_len, win_lo);
+    if (lo_den <= 0.0) continue;  // only empty sets; they cannot match
+    const double* learned = mass_.data() + p * buckets_;
+    double bound = 0.0;
+    for (uint32_t b = 0; b < buckets_; ++b) {
+      bound += std::min(query_mass[b], learned[b]);
+    }
+    if (bound / (lo_den * q.length) < threshold) continue;
+    route.mask[p] = 1;
+    ++route.admitted;
+    route.max_set_size = std::max(route.max_set_size, part.max_size);
+  }
+  route.any = route.admitted > 0;
+  return route;
+}
+
+size_t PartitionRouter::SizeBytes() const {
+  return lower_.size() * sizeof(float) +
+         parts_.size() * sizeof(Partition) + mass_.size() * sizeof(double) +
+         sorted_lens_.size() * sizeof(float) +
+         prefix_max_size_.size() * sizeof(uint32_t);
+}
+
+}  // namespace simsel::sketch

@@ -1,0 +1,79 @@
+#ifndef SIMSEL_SKETCH_PARTITION_ROUTER_H_
+#define SIMSEL_SKETCH_PARTITION_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/idf.h"
+
+namespace simsel::sketch {
+
+/// Statistical partition router in the spirit of LES3: sets are split into
+/// equi-depth partitions by normalized length, and each partition learns,
+/// at Build time, the maximum idf² mass any of its member sets carries in
+/// each of a fixed number of token hash buckets. A query is routed only to
+/// the partitions whose learned statistics admit a τ-match:
+///
+///   score(q, s ∈ p) = Σ_b mass(q ∩ s, bucket b) / (len(s)·len(q))
+///                   ≤ Σ_b min(Q_b, M[p][b]) / (max(min_len_p, win.lo)·len(q))
+///
+/// where Q_b is the query's mass in bucket b and M[p][b] the partition's
+/// learned per-bucket maximum. The bound is sound per partition (every step
+/// is a per-set upper bound), so skipping partitions below τ can never drop
+/// an answer; a widened slack absorbs summation-order rounding.
+class PartitionRouter {
+ public:
+  /// Per-query routing verdict: which partitions may contain a τ-match.
+  struct Route {
+    bool any = false;            ///< at least one partition admitted
+    uint32_t admitted = 0;       ///< admitted partition count
+    uint32_t total = 0;          ///< non-empty partition count
+    uint32_t max_set_size = 0;   ///< max |s| over admitted partitions
+    std::vector<uint8_t> mask;   ///< per-partition admission flags
+  };
+
+  /// Learns partition statistics over sets [begin, end) of the measure's
+  /// collection. `partitions` is capped at the number of non-empty sets.
+  static PartitionRouter Build(const IdfMeasure& measure, SetId begin,
+                               SetId end, uint32_t partitions,
+                               uint32_t buckets);
+
+  /// Routes a prepared query at threshold tau, restricted to the Theorem-1
+  /// length window [win_lo, win_hi].
+  Route RouteQuery(const PreparedQuery& q, double tau, float win_lo,
+                   float win_hi) const;
+
+  /// Partition index of a set with normalized length `len`.
+  uint32_t PartitionOf(float len) const;
+
+  /// Largest distinct-token set size among sets with length <= hi — an O(log
+  /// n) upper bound for the engage gate, before any routing work is done.
+  uint32_t MaxSetSizeBelow(float hi) const;
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(parts_.size());
+  }
+  uint32_t num_buckets() const { return buckets_; }
+  size_t SizeBytes() const;
+
+ private:
+  struct Partition {
+    float min_len = 0.0f;
+    float max_len = 0.0f;
+    uint32_t max_size = 0;
+    uint32_t count = 0;
+  };
+
+  std::vector<float> lower_;   // partition lower boundaries, non-decreasing
+  std::vector<Partition> parts_;
+  std::vector<double> mass_;   // parts × buckets learned per-bucket maxima
+  // Engage-gate support: lengths sorted ascending with a running maximum of
+  // the set sizes, so MaxSetSizeBelow is one binary search.
+  std::vector<float> sorted_lens_;
+  std::vector<uint32_t> prefix_max_size_;
+  uint32_t buckets_ = 0;
+};
+
+}  // namespace simsel::sketch
+
+#endif  // SIMSEL_SKETCH_PARTITION_ROUTER_H_

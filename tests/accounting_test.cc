@@ -110,13 +110,17 @@ TEST(AccountingMonotonicityTest, ReadsDecreaseWithThreshold) {
 TEST(AccountingProbesTest, OnlyTaFamilyProbes) {
   const SimilaritySelector& sel = Selector();
   PreparedQuery q = sel.Prepare(sel.collection().text(3));
+  // Kernel accounting contract, so the sketch tier (which charges its band
+  // and signature probes to hash_probes too) is pinned off.
+  SelectOptions options;
+  options.prefilter = false;
   for (AlgorithmKind kind :
        {AlgorithmKind::kSortById, AlgorithmKind::kNra, AlgorithmKind::kInra,
         AlgorithmKind::kSf, AlgorithmKind::kHybrid}) {
-    QueryResult r = sel.SelectPrepared(q, 0.8, kind, {});
+    QueryResult r = sel.SelectPrepared(q, 0.8, kind, options);
     EXPECT_EQ(r.counters.hash_probes, 0u) << AlgorithmKindName(kind);
   }
-  QueryResult ta = sel.SelectPrepared(q, 0.8, AlgorithmKind::kTa, {});
+  QueryResult ta = sel.SelectPrepared(q, 0.8, AlgorithmKind::kTa, options);
   EXPECT_GT(ta.counters.hash_probes, 0u);
 }
 

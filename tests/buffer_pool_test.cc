@@ -129,6 +129,7 @@ TEST(BufferPoolIntegrationTest, RepeatQueryHitsCache) {
   BufferPool pool(100000);  // large: no capacity evictions
   SelectOptions opts;
   opts.buffer_pool = &pool;
+  opts.prefilter = false;  // pool traffic flows through the kernels
   PreparedQuery q = sel.Prepare(sel.collection().text(3));
 
   QueryResult first = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, opts);

@@ -243,6 +243,10 @@ TEST(DynamicSelectorTest, FailedMainShortCircuitsDelta) {
   injector.FailNextReads(1'000'000);
   SelectOptions options;
   options.posting_store = &store;
+  // The sketch tier reads no posting pages, so an engaged query would
+  // (correctly) dodge the injected faults; pin it off to exercise the
+  // kernel failure path this test is about.
+  options.prefilter = false;
   QueryResult r = snap.Select(query, 0.8, AlgorithmKind::kSf, options);
   EXPECT_FALSE(r.status.ok());
   // PR 8 fix: the old code appended delta matches to a failed result,

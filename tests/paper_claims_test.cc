@@ -8,6 +8,15 @@ namespace {
 // Tests pinning specific claims from the paper's narrative, on data crafted
 // to exhibit them.
 
+// Every claim here is about the exact kernels' access patterns, so the
+// sketch tier (which answers eligible queries without touching the lists)
+// is pinned off throughout.
+SelectOptions Kernels() {
+  SelectOptions options;
+  options.prefilter = false;
+  return options;
+}
+
 // Section V: "Assume that set lengths are unique and τ = 1. The Length
 // Boundedness property will restrict the search space to only one set.
 // Clearly, in this case we can construct examples where NRA will have to
@@ -27,8 +36,8 @@ TEST(PaperClaimsTest, UniqueLengthsAtTauOne) {
   PreparedQuery q = sel.Prepare(records[20]);
   const double tau = 0.9999;
 
-  QueryResult inra = sel.SelectPrepared(q, tau, AlgorithmKind::kInra, {});
-  QueryResult nra = sel.SelectPrepared(q, tau, AlgorithmKind::kNra, {});
+  QueryResult inra = sel.SelectPrepared(q, tau, AlgorithmKind::kInra, Kernels());
+  QueryResult nra = sel.SelectPrepared(q, tau, AlgorithmKind::kNra, Kernels());
   // Both find exactly the record itself.
   ASSERT_EQ(inra.matches.size(), 1u);
   EXPECT_EQ(inra.matches[0].id, 20u);
@@ -48,10 +57,10 @@ TEST(PaperClaimsTest, SfUsuallyReadsNoMoreThanInra) {
   for (SetId s = 0; s < 60; ++s) {
     PreparedQuery q = sel.Prepare(sel.collection().text(s * 5));
     uint64_t sf =
-        sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, {}).counters
+        sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, Kernels()).counters
             .elements_read;
     uint64_t inra =
-        sel.SelectPrepared(q, 0.8, AlgorithmKind::kInra, {}).counters
+        sel.SelectPrepared(q, 0.8, AlgorithmKind::kInra, Kernels()).counters
             .elements_read;
     if (sf < inra) {
       ++sf_wins;
@@ -88,7 +97,7 @@ TEST(PaperClaimsTest, SfSkipsLongFrequentLists) {
   build.index.skip_fanout = 8;
   SimilaritySelector sel = SimilaritySelector::Build(records, build);
   PreparedQuery q = sel.Prepare(records[7]);
-  QueryResult r = sel.SelectPrepared(q, 0.9, AlgorithmKind::kSf, {});
+  QueryResult r = sel.SelectPrepared(q, 0.9, AlgorithmKind::kSf, Kernels());
   ASSERT_FALSE(r.matches.empty());
   EXPECT_EQ(r.matches[0].id, 7u);
   // The "zz" list has 200 entries; the window + λ cutoffs must confine SF
@@ -105,15 +114,15 @@ TEST(PaperClaimsTest, SortByIdFlatInThreshold) {
   SimilaritySelector sel = testing_util::MakeSelector(300, 1003, false);
   PreparedQuery q = sel.Prepare(sel.collection().text(11));
   uint64_t low =
-      sel.SelectPrepared(q, 0.5, AlgorithmKind::kSortById, {}).counters
+      sel.SelectPrepared(q, 0.5, AlgorithmKind::kSortById, Kernels()).counters
           .elements_read;
   uint64_t high =
-      sel.SelectPrepared(q, 0.95, AlgorithmKind::kSortById, {}).counters
+      sel.SelectPrepared(q, 0.95, AlgorithmKind::kSortById, Kernels()).counters
           .elements_read;
   EXPECT_EQ(low, high);
-  uint64_t sf_low = sel.SelectPrepared(q, 0.5, AlgorithmKind::kSf, {})
+  uint64_t sf_low = sel.SelectPrepared(q, 0.5, AlgorithmKind::kSf, Kernels())
                         .counters.elements_read;
-  uint64_t sf_high = sel.SelectPrepared(q, 0.95, AlgorithmKind::kSf, {})
+  uint64_t sf_high = sel.SelectPrepared(q, 0.95, AlgorithmKind::kSf, Kernels())
                          .counters.elements_read;
   EXPECT_LE(sf_high, sf_low);
   EXPECT_LT(sf_high, high);
@@ -136,8 +145,8 @@ TEST(PaperClaimsTest, ItaTradesProbesForPruning) {
   AccessCounters ita, sf;
   for (SetId s = 0; s < 20; ++s) {
     PreparedQuery q = sel.Prepare(sel.collection().text(s * 9));
-    ita.Merge(sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, {}).counters);
-    sf.Merge(sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, {}).counters);
+    ita.Merge(sel.SelectPrepared(q, 0.8, AlgorithmKind::kIta, Kernels()).counters);
+    sf.Merge(sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, Kernels()).counters);
   }
   EXPECT_GE(ita.PruningPower(), sf.PruningPower() - 0.02);
   EXPECT_GT(ita.hash_probes, 0u);

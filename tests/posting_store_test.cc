@@ -140,6 +140,9 @@ TEST(DiskModeTest, StoreCountsPhysicalPages) {
   Store().ResetCounters();
   SelectOptions disk;
   disk.posting_store = &Store();
+  // Physical-page accounting of the kernels: the sketch tier reads no
+  // posting pages at all, so it is pinned off here.
+  disk.prefilter = false;
   PreparedQuery q = sel.Prepare(sel.collection().text(3));
   sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
   EXPECT_GT(Store().sequential_page_reads() + Store().random_page_reads(),
@@ -152,6 +155,7 @@ TEST(DiskModeTest, WorksTogetherWithBufferPool) {
   SelectOptions disk;
   disk.posting_store = &Store();
   disk.buffer_pool = &pool;
+  disk.prefilter = false;  // pool accounting flows through the kernels
   PreparedQuery q = sel.Prepare(sel.collection().text(9));
   QueryResult first = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
   QueryResult second = sel.SelectPrepared(q, 0.8, AlgorithmKind::kSf, disk);
